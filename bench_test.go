@@ -1,0 +1,201 @@
+package mlcc
+
+// The figure benchmarks regenerate the data behind every table and figure of
+// the paper's evaluation at Quick scale (see internal/exp); run them with
+//
+//	go test -bench=Fig -benchtime=1x
+//
+// Each benchmark reports the headline quantities of its figure via
+// b.ReportMetric, so `-bench` output doubles as a results table. The
+// micro-benchmarks at the bottom track simulator performance (events/sec,
+// allocation behaviour), which bounds how large a topology the harness can
+// sweep.
+
+import (
+	"testing"
+
+	"mlcc/internal/exp"
+	"mlcc/internal/sim"
+	"mlcc/internal/stats"
+	"mlcc/internal/topo"
+	"mlcc/internal/workload"
+)
+
+// runExperiment executes a registered experiment once per bench iteration.
+func runExperiment(b *testing.B, id string) *exp.Report {
+	b.Helper()
+	e, ok := exp.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var rep *exp.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = e.Run(exp.Config{Scale: exp.Quick, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return rep
+}
+
+// metric pulls a table cell into the benchmark output.
+func metric(b *testing.B, rep *exp.Report, table int, row, col, name string) {
+	b.Helper()
+	if table >= len(rep.Tables) {
+		return
+	}
+	if v, ok := rep.Tables[table].Get(row, col); ok {
+		b.ReportMetric(v, name)
+	}
+}
+
+func BenchmarkFig02Motivation(b *testing.B) {
+	rep := runExperiment(b, "fig2")
+	metric(b, rep, 0, "dcqcn", "pfcPauses", "dcqcn-pfc")
+	metric(b, rep, 0, "dcqcn", "peakLeafQMB", "dcqcn-peakQ-MB")
+}
+
+func BenchmarkFig03Motivation(b *testing.B) {
+	rep := runExperiment(b, "fig3")
+	metric(b, rep, 0, "dcqcn", "intraShare", "dcqcn-intraShare")
+	metric(b, rep, 0, "mlcc", "intraShare", "mlcc-intraShare")
+}
+
+func BenchmarkFig04Motivation(b *testing.B) {
+	rep := runExperiment(b, "fig4")
+	metric(b, rep, 0, "dcqcn", "peakQMB", "dcqcn-peakQ-MB")
+	metric(b, rep, 0, "dcqcn", "avgQMB", "dcqcn-avgQ-MB")
+}
+
+func BenchmarkFig07Convergence(b *testing.B) {
+	rep := runExperiment(b, "fig7")
+	metric(b, rep, 0, "simultaneous", "jain", "jain-simultaneous")
+	metric(b, rep, 0, "sequential", "jain", "jain-sequential")
+	metric(b, rep, 0, "simultaneous", "mean", "mean-Gbps")
+}
+
+func BenchmarkFig08Convergence(b *testing.B) {
+	rep := runExperiment(b, "fig8")
+	metric(b, rep, 0, "simultaneous", "jain", "jain-simultaneous")
+	metric(b, rep, 0, "simultaneous", "dciQMB", "dciQ-MB")
+}
+
+func BenchmarkFig09DQMTheta(b *testing.B) {
+	rep := runExperiment(b, "fig9")
+	metric(b, rep, 0, "18.000ms", "peak", "theta18-peakQ-MB")
+	metric(b, rep, 0, "18.000ms", "steady", "theta18-steadyQ-MB")
+	metric(b, rep, 0, "18.000ms", "perFlowSteady", "theta18-perflowQ-MB")
+}
+
+func BenchmarkFig10DQMSequential(b *testing.B) {
+	rep := runExperiment(b, "fig10")
+	metric(b, rep, 0, "theta=18ms", "peak", "peakQ-MB")
+	metric(b, rep, 0, "theta=18ms", "final", "finalQ-MB")
+}
+
+func BenchmarkFig11HeavyLoad(b *testing.B) {
+	rep := runExperiment(b, "fig11")
+	metric(b, rep, 0, "mlcc", "intra", "ws-mlcc-intra-ms")
+	metric(b, rep, 0, "dcqcn", "intra", "ws-dcqcn-intra-ms")
+	metric(b, rep, 1, "dcqcn", "intra", "ws-reduction-vs-dcqcn-pct")
+}
+
+func BenchmarkFig12LightLoad(b *testing.B) {
+	rep := runExperiment(b, "fig12")
+	metric(b, rep, 0, "mlcc", "intra", "ws-mlcc-intra-ms")
+	metric(b, rep, 1, "dcqcn", "intra", "ws-reduction-vs-dcqcn-pct")
+}
+
+func BenchmarkFig13TailHeavy(b *testing.B) {
+	rep := runExperiment(b, "fig13")
+	metric(b, rep, 0, "mlcc", "<10KB", "ws-intra-small-p999-ms")
+	metric(b, rep, 1, "mlcc", ">5M", "ws-cross-big-p999-ms")
+}
+
+func BenchmarkFig14TailLight(b *testing.B) {
+	rep := runExperiment(b, "fig14")
+	metric(b, rep, 0, "mlcc", "<10KB", "ws-intra-small-p999-ms")
+}
+
+func BenchmarkFig15ShortHaul(b *testing.B) {
+	rep := runExperiment(b, "fig15")
+	metric(b, rep, 0, "mlcc", "intra", "ws-mlcc-intra-ms")
+	metric(b, rep, 1, "dcqcn", "intra", "ws-reduction-vs-dcqcn-pct")
+}
+
+func BenchmarkFig16Testbed(b *testing.B) {
+	rep := runExperiment(b, "fig16")
+	metric(b, rep, 0, "mlcc", "overall", "mlcc-overall-ms")
+	metric(b, rep, 0, "dcqcn", "overall", "dcqcn-overall-ms")
+}
+
+// --- micro-benchmarks -------------------------------------------------------
+
+// BenchmarkSimulatorThroughput measures raw engine throughput on a saturated
+// two-DC network: simulated events per wall second bound every experiment.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := topo.DefaultParams().WithAlgorithm(topo.AlgMLCC)
+		n := topo.TwoDC(p)
+		for j := 0; j < 4; j++ {
+			n.AddFlow(n.RackHost(1, j), n.RackHost(5, j), 1<<24, 0)
+		}
+		n.Run(5 * sim.Millisecond)
+		b.ReportMetric(float64(n.Eng.Fired()), "events/op")
+	}
+}
+
+// BenchmarkSingleFlowFCT measures the cost of one complete flow lifecycle.
+func BenchmarkSingleFlowFCT(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := topo.DefaultParams().WithAlgorithm(topo.AlgMLCC)
+		n := topo.TwoDC(p)
+		f := n.AddFlow(0, 20, 1<<20, 0)
+		n.Run(50 * sim.Millisecond)
+		if !f.Done {
+			b.Fatal("flow incomplete")
+		}
+	}
+}
+
+// BenchmarkWorkloadGeneration measures the traffic generator.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	b.ReportAllocs()
+	spec := workload.Spec{
+		CDF:       workload.Websearch(),
+		IntraLoad: 0.5,
+		CrossLoad: 0.2,
+		HostRate:  25 * sim.Gbps,
+		CrossRate: 100 * sim.Gbps,
+		Hosts:     64,
+		Duration:  5 * sim.Millisecond,
+		Seed:      1,
+	}
+	for i := 0; i < b.N; i++ {
+		flows := workload.Generate(spec)
+		if len(flows) == 0 {
+			b.Fatal("no flows")
+		}
+	}
+}
+
+// BenchmarkFCTCollector measures summary statistics on 100k samples.
+func BenchmarkFCTCollector(b *testing.B) {
+	col := stats.NewFCTCollector()
+	for i := 0; i < 100_000; i++ {
+		col.Add(stats.FCTSample{
+			Size:  int64(i%1000)*1000 + 1,
+			FCT:   sim.Time(i%977+1) * sim.Microsecond,
+			Cross: i%7 == 0,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := col.Percentile(stats.Intra, 0.999); !ok {
+			b.Fatal("no samples")
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command mlccfig regenerates the data behind any figure of the paper's
+// evaluation. Run with -list to see experiment ids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mlcc/internal/exp"
+	"mlcc/internal/trace"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		full    = flag.Bool("full", false, "run at the paper's full scale (slow)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		fig     = flag.String("fig", "", "experiment id (fig2..fig16, ablation) or 'all'")
+		csvDir  = flag.String("csv", "", "directory to write per-figure time-series CSVs")
+	)
+	flag.Parse()
+	if *list {
+		for _, id := range exp.IDs() {
+			e, _ := exp.Lookup(id)
+			fmt.Printf("%-8s %s\n", id, e.Title)
+		}
+		return
+	}
+	if *fig == "" {
+		fmt.Fprintln(os.Stderr, "usage: mlccfig -fig <id>|all [-full] [-seed N]")
+		os.Exit(2)
+	}
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = exp.IDs()
+	}
+	cfg := exp.Config{Scale: exp.Quick, Seed: *seed, Workers: *workers}
+	if *full {
+		cfg.Scale = exp.Full
+	}
+	for _, id := range ids {
+		e, ok := exp.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		rep, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n(elapsed %v)\n\n", rep, time.Since(t0).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: csv: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeCSV exports a report's time series as <dir>/<figid>.csv in long form.
+func writeCSV(dir string, rep *exp.Report) error {
+	if len(rep.Series) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tr := trace.New()
+	for i, ser := range rep.Series {
+		// Series names may repeat across sub-scenarios; disambiguate.
+		st := tr.Stream(fmt.Sprintf("%02d:%s", i, ser.Name), trace.QueueLen)
+		for j := range ser.T {
+			st.Add(ser.T[j], ser.V[j])
+		}
+	}
+	f, err := os.Create(filepath.Join(dir, rep.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tr.WriteCSV(f)
+}

@@ -1,0 +1,106 @@
+// Command mlccsim runs one workload simulation on the two-datacenter
+// topology and prints an FCT summary.
+//
+// Examples:
+//
+//	mlccsim -alg mlcc -workload websearch -intra 0.5 -cross 0.2
+//	mlccsim -alg dcqcn -workload hadoop -intra 0.3 -cross 0.1 -duration 10ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mlcc"
+)
+
+func main() {
+	var (
+		alg      = flag.String("alg", "mlcc", "congestion control algorithm: "+strings.Join(mlcc.Algorithms(), ", "))
+		wl       = flag.String("workload", "websearch", "traffic distribution: "+strings.Join(mlcc.Workloads(), ", "))
+		intra    = flag.Float64("intra", 0.5, "intra-DC load (fraction of per-host bisection capacity)")
+		cross    = flag.Float64("cross", 0.2, "cross-DC load (fraction of long-haul capacity)")
+		duration = flag.Duration("duration", 5*time.Millisecond, "flow arrival window")
+		hosts    = flag.Int("hosts-per-leaf", 8, "servers per rack (paper scale: 32)")
+		longhaul = flag.Duration("longhaul", 3*time.Millisecond, "inter-DC propagation delay")
+		dumbbell = flag.Bool("dumbbell", false, "use the testbed dumbbell topology")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		flowsIn  = flag.String("flows", "", "replay a flow trace file instead of generating traffic")
+		flowsOut = flag.String("save-flows", "", "write the generated workload to a trace file")
+		fctOut   = flag.String("fct", "", "write per-flow completion times to a CSV file")
+	)
+	flag.Parse()
+
+	cfg := mlcc.Config{
+		Algorithm:     *alg,
+		Workload:      *wl,
+		IntraLoad:     *intra,
+		CrossLoad:     *cross,
+		Duration:      mlcc.Time(duration.Nanoseconds()) * mlcc.Nanosecond,
+		HostsPerLeaf:  *hosts,
+		LongHaulDelay: mlcc.Time(longhaul.Nanoseconds()) * mlcc.Nanosecond,
+		Dumbbell:      *dumbbell,
+		Seed:          *seed,
+	}
+	if *flowsIn != "" {
+		f, err := os.Open(*flowsIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlccsim:", err)
+			os.Exit(1)
+		}
+		totalHosts := 2 * 4 * *hosts // leaves per DC × hosts per leaf × 2 DCs
+		if *dumbbell {
+			totalHosts = 2 * *hosts
+		}
+		cfg.Flows, err = mlcc.ReadFlows(f, totalHosts)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlccsim:", err)
+			os.Exit(1)
+		}
+	}
+	t0 := time.Now()
+	res, err := mlcc.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlccsim:", err)
+		os.Exit(1)
+	}
+	if *flowsOut != "" {
+		f, err := os.Create(*flowsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlccsim:", err)
+			os.Exit(1)
+		}
+		if err := mlcc.WriteFlows(f, res.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, "mlccsim:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if *fctOut != "" {
+		f, err := os.Create(*fctOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlccsim:", err)
+			os.Exit(1)
+		}
+		if err := res.FCT.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mlccsim:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	fmt.Printf("algorithm      %s\n", *alg)
+	fmt.Printf("workload       %s (intra %.0f%%, cross %.0f%%)\n", *wl, *intra*100, *cross*100)
+	fmt.Printf("flows          %d (%d completed, %d unfinished)\n", res.Flows, res.Completed, res.Unfinished)
+	fmt.Printf("avg FCT intra  %v\n", res.AvgFCTIntra)
+	fmt.Printf("avg FCT cross  %v\n", res.AvgFCTCross)
+	fmt.Printf("avg FCT        %v\n", res.AvgFCT)
+	fmt.Printf("p99.9 intra    %v\n", res.P999Intra)
+	fmt.Printf("p99.9 cross    %v\n", res.P999Cross)
+	fmt.Printf("PFC pauses     %d\n", res.PFCPauses)
+	fmt.Printf("drops          %d\n", res.Drops)
+	fmt.Printf("elapsed        %v\n", time.Since(t0).Round(time.Millisecond))
+}

@@ -1,0 +1,31 @@
+// Compare: a miniature of the paper's Fig. 11 — run the same Websearch
+// workload under every congestion-control algorithm and print the average
+// flow completion times side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlcc"
+)
+
+func main() {
+	fmt.Printf("%-10s %14s %14s %12s %10s\n", "algorithm", "intra avg FCT", "cross avg FCT", "p999 intra", "PFC")
+	for _, alg := range mlcc.Algorithms() {
+		res, err := mlcc.Run(mlcc.Config{
+			Algorithm: alg,
+			Workload:  "websearch",
+			IntraLoad: 0.5,
+			CrossLoad: 0.2,
+			Duration:  3 * mlcc.Millisecond,
+			Seed:      7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %14v %14v %12v %10d\n",
+			alg, res.AvgFCTIntra, res.AvgFCTCross, res.P999Intra, res.PFCPauses)
+	}
+	fmt.Println("\nlower is better; MLCC should lead or tie on intra-DC FCT while keeping cross-DC FCT competitive")
+}

@@ -1,0 +1,29 @@
+// Quickstart: run one Websearch workload under MLCC and print the FCT
+// summary — the smallest useful program against the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlcc"
+)
+
+func main() {
+	res, err := mlcc.Run(mlcc.Config{
+		Algorithm: "mlcc",
+		Workload:  "websearch",
+		IntraLoad: 0.5, // 50% of per-host bisection capacity
+		CrossLoad: 0.2, // 20% of the 100G inter-DC fiber
+		Duration:  2 * mlcc.Millisecond,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flows completed:    %d/%d\n", res.Completed, res.Flows)
+	fmt.Printf("avg FCT (intra-DC): %v\n", res.AvgFCTIntra)
+	fmt.Printf("avg FCT (cross-DC): %v\n", res.AvgFCTCross)
+	fmt.Printf("p99.9 FCT intra:    %v\n", res.P999Intra)
+	fmt.Printf("PFC pause events:   %d\n", res.PFCPauses)
+}

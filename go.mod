@@ -1,0 +1,3 @@
+module mlcc
+
+go 1.22

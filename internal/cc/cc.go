@@ -1,0 +1,74 @@
+// Package cc defines the congestion-control plug-in interface shared by all
+// algorithms (DCQCN, Timely, HPCC, PowerTCP and MLCC) and the INT-based
+// utilization estimator reused by the INT-driven algorithms.
+//
+// A Sender is a per-flow rate controller living at the sending host: the NIC
+// consults Rate() before emitting every packet and feeds back ACKs, CNPs and
+// (for MLCC) Switch-INT near-source frames. A Receiver, when an algorithm
+// installs one, runs at the receiving host and may stamp fields onto
+// outgoing ACKs (MLCC's credit-driven algorithm).
+package cc
+
+import (
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+)
+
+// FlowInfo is the static description handed to algorithm factories when a
+// flow starts.
+type FlowInfo struct {
+	ID   pkt.FlowID
+	Src  pkt.NodeID
+	Dst  pkt.NodeID
+	Size int64 // payload bytes
+
+	LinkRate sim.Rate // sending host NIC line rate (rate ceiling)
+	MTU      int
+	BaseRTT  sim.Time // end-to-end base (unloaded) RTT
+	NearRTT  sim.Time // sender ↔ sender-side DCI base RTT (MLCC near-source loop)
+	FarRTT   sim.Time // receiver ↔ receiver-side DCI base RTT (MLCC receiver-driven loop)
+	CrossDC  bool
+}
+
+// Sender is the per-flow rate controller at the sending host.
+type Sender interface {
+	// OnAck processes an acknowledgement, including its INT stack, ECE bit
+	// and MLCC rate fields.
+	OnAck(now sim.Time, ack *pkt.Packet)
+	// OnCNP processes a DCQCN congestion-notification packet.
+	OnCNP(now sim.Time)
+	// OnSwitchINT processes MLCC near-source feedback from the sender-side
+	// DCI switch.
+	OnSwitchINT(now sim.Time, p *pkt.Packet)
+	// Rate returns the current pacing rate; the NIC reads it before every
+	// packet emission.
+	Rate() sim.Rate
+}
+
+// Receiver is optional per-flow logic at the receiving host. OnData runs for
+// every arriving data packet just before the ACK is emitted and may write
+// credit/rate fields onto the ACK.
+type Receiver interface {
+	OnData(now sim.Time, data *pkt.Packet, ack *pkt.Packet)
+}
+
+// SenderFactory builds a Sender for a new flow.
+type SenderFactory func(f FlowInfo) Sender
+
+// ReceiverFactory builds a Receiver for a new incoming flow; may be nil for
+// algorithms with passive receivers.
+type ReceiverFactory func(f FlowInfo) Receiver
+
+// Algorithm bundles the factories an experiment needs to deploy a CC scheme.
+type Algorithm struct {
+	Name        string
+	NewSender   SenderFactory
+	NewReceiver ReceiverFactory // nil = plain echo receiver
+	// UseMLCCDCI reports whether DCI switches must run MLCC behaviours
+	// (near-source INT reflection, PFQ, DQM).
+	UseMLCCDCI bool
+}
+
+// MinRate is the floor pacing rate: flows never stall entirely, matching the
+// minimum-rate guards in DCQCN/HPCC implementations.
+const MinRate = 10 * sim.Mbps

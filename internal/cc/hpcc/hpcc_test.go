@@ -1,0 +1,84 @@
+package hpcc
+
+import (
+	"testing"
+
+	"mlcc/internal/cc"
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+)
+
+func flowInfo() cc.FlowInfo {
+	return cc.FlowInfo{
+		ID: 1, LinkRate: 25 * sim.Gbps, MTU: 1000,
+		BaseRTT: 25 * sim.Microsecond,
+	}
+}
+
+// ackWithHop builds an ACK carrying a single INT hop.
+func ackWithHop(seq int64, h pkt.INTHop) *pkt.Packet {
+	return &pkt.Packet{Kind: pkt.Ack, Seq: seq, Hops: []pkt.INTHop{h}}
+}
+
+func TestStartsAtLineRate(t *testing.T) {
+	s := New(DefaultParams())(flowInfo())
+	if r := s.Rate(); r < 23*sim.Gbps || r > 25*sim.Gbps {
+		t.Fatalf("initial rate = %v", r)
+	}
+}
+
+func TestBacksOffOnCongestedINT(t *testing.T) {
+	s := New(DefaultParams())(flowInfo())
+	T := 25 * sim.Microsecond
+	band := 100 * sim.Gbps
+	bdp := sim.BDPBytes(band, T)
+	hop := pkt.INTHop{Node: 7, QLen: 2 * bdp, TxBytes: 0, TS: 0, Band: band}
+	s.OnAck(0, ackWithHop(0, hop))
+	seq := int64(0)
+	for i := 1; i <= 100; i++ {
+		hop.TS += T / 4
+		hop.TxBytes += int64(float64(band) / 8 * (T / 4).Seconds())
+		seq += 1000
+		s.OnAck(hop.TS, ackWithHop(seq, hop))
+	}
+	if r := s.Rate(); r > 12*sim.Gbps {
+		t.Fatalf("no back-off under U≈3: %v", r)
+	}
+}
+
+func TestRecoversOnIdleLink(t *testing.T) {
+	s := New(DefaultParams())(flowInfo()).(*sender)
+	T := 25 * sim.Microsecond
+	band := 100 * sim.Gbps
+	hop := pkt.INTHop{Node: 7, QLen: 0, TxBytes: 0, TS: 0, Band: band}
+	s.OnAck(0, ackWithHop(0, hop))
+	seq := int64(0)
+	for i := 1; i <= 500; i++ {
+		hop.TS += T / 4
+		hop.TxBytes += int64(0.05 * float64(band) / 8 * (T / 4).Seconds())
+		seq += 1000
+		s.OnAck(hop.TS, ackWithHop(seq, hop))
+	}
+	if r := s.Rate(); r < 15*sim.Gbps {
+		t.Fatalf("no recovery on idle link: %v", r)
+	}
+}
+
+func TestIgnoresCNPAndSwitchINT(t *testing.T) {
+	s := New(DefaultParams())(flowInfo())
+	r := s.Rate()
+	s.OnCNP(0)
+	s.OnSwitchINT(0, &pkt.Packet{Hops: []pkt.INTHop{{Node: 1}}})
+	if s.Rate() != r {
+		t.Fatal("HPCC must ignore CNP/SwitchINT")
+	}
+}
+
+func TestEmptyINTNoop(t *testing.T) {
+	s := New(DefaultParams())(flowInfo())
+	r := s.Rate()
+	s.OnAck(0, &pkt.Packet{Kind: pkt.Ack})
+	if s.Rate() != r {
+		t.Fatal("rate moved without INT")
+	}
+}

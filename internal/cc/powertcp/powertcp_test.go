@@ -1,0 +1,102 @@
+package powertcp
+
+import (
+	"math"
+	"testing"
+
+	"mlcc/internal/cc"
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+)
+
+func flowInfo() cc.FlowInfo {
+	return cc.FlowInfo{
+		ID: 1, LinkRate: 25 * sim.Gbps, MTU: 1000,
+		BaseRTT: 25 * sim.Microsecond,
+	}
+}
+
+func ackWithHop(h pkt.INTHop) *pkt.Packet {
+	return &pkt.Packet{Kind: pkt.Ack, Hops: []pkt.INTHop{h}}
+}
+
+// drive feeds n INT samples with the hop running at util fraction of
+// capacity and queue qlen, spaced dt apart.
+func drive(s cc.Sender, n int, util float64, qlen int64, dt sim.Time) {
+	band := 100 * sim.Gbps
+	hop := pkt.INTHop{Node: 3, QLen: qlen, TxBytes: 0, TS: 0, Band: band}
+	s.OnAck(0, ackWithHop(hop))
+	for i := 0; i < n; i++ {
+		hop.TS += dt
+		hop.TxBytes += int64(util * float64(band) / 8 * dt.Seconds())
+		s.OnAck(hop.TS, ackWithHop(hop))
+	}
+}
+
+func TestStartsAtLineRate(t *testing.T) {
+	s := New(DefaultParams())(flowInfo())
+	if r := s.Rate(); r != 25*sim.Gbps {
+		t.Fatalf("initial rate = %v", r)
+	}
+}
+
+func TestEquilibriumAtFullUtilizationZeroQueue(t *testing.T) {
+	// normPower = 1 at λ=C, q=0: window should stay near its value.
+	s := New(DefaultParams())(flowInfo())
+	st := s.(*sender)
+	w0 := st.w
+	drive(s, 200, 1.0, 0, 6*sim.Microsecond)
+	if math.Abs(st.w-w0)/w0 > 0.3 {
+		t.Fatalf("window drifted at equilibrium: %v -> %v", w0, st.w)
+	}
+}
+
+func TestBacksOffOnStandingQueue(t *testing.T) {
+	s := New(DefaultParams())(flowInfo())
+	T := 25 * sim.Microsecond
+	bdp := sim.BDPBytes(100*sim.Gbps, T)
+	drive(s, 200, 1.0, 3*bdp, 6*sim.Microsecond)
+	if r := s.Rate(); r > 12*sim.Gbps {
+		t.Fatalf("no back-off with standing queue: %v", r)
+	}
+}
+
+func TestGrowsOnIdleLink(t *testing.T) {
+	s := New(DefaultParams())(flowInfo())
+	st := s.(*sender)
+	st.w = st.w / 20
+	drive(s, 400, 0.05, 0, 6*sim.Microsecond)
+	if r := s.Rate(); r < 5*sim.Gbps {
+		t.Fatalf("no growth on idle link: %v", r)
+	}
+}
+
+func TestWindowBounded(t *testing.T) {
+	s := New(DefaultParams())(flowInfo()).(*sender)
+	drive(s, 500, 0.0, 0, 6*sim.Microsecond) // zero current → no division blowup
+	if s.w > s.maxW || s.w < s.minW {
+		t.Fatalf("window out of bounds: %v not in [%v, %v]", s.w, s.minW, s.maxW)
+	}
+}
+
+func TestPathChangeReprimes(t *testing.T) {
+	s := New(DefaultParams())(flowInfo()).(*sender)
+	h1 := pkt.INTHop{Node: 1, TS: 0, Band: 100 * sim.Gbps}
+	h2 := pkt.INTHop{Node: 2, TS: sim.Microsecond, Band: 100 * sim.Gbps}
+	s.OnAck(0, ackWithHop(h1))
+	w0 := s.w
+	s.OnAck(sim.Microsecond, ackWithHop(h2)) // different node: prime only
+	if s.w != w0 {
+		t.Fatal("window moved on path change sample")
+	}
+}
+
+func TestIgnoresCNP(t *testing.T) {
+	s := New(DefaultParams())(flowInfo())
+	r := s.Rate()
+	s.OnCNP(0)
+	s.OnSwitchINT(0, &pkt.Packet{})
+	if s.Rate() != r {
+		t.Fatal("PowerTCP must ignore CNP/SwitchINT")
+	}
+}

@@ -1,0 +1,126 @@
+// Package timely implements TIMELY (Mittal et al., SIGCOMM 2015): RTT-
+// gradient congestion control. The sender measures per-ACK RTTs from echoed
+// timestamps, smooths the RTT difference with an EWMA, and adjusts its rate
+// additively when the gradient is non-positive (with hyperactive increase
+// after N consecutive decreases of RTT) and multiplicatively when positive,
+// bounded by the Tlow/Thigh guard bands.
+package timely
+
+import (
+	"mlcc/internal/cc"
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+)
+
+// Params holds TIMELY knobs, defaulting to the paper's recommendations.
+type Params struct {
+	TLow     sim.Time // below this RTT: pure additive increase
+	THigh    sim.Time // above this RTT: multiplicative decrease regardless of gradient
+	MinRTT   sim.Time // gradient normalization base; 0 = use flow BaseRTT
+	EWMA     float64  // α for the RTT-diff EWMA
+	AddStep  sim.Rate // δ additive increment
+	Beta     float64  // multiplicative decrease factor
+	HAIAfter int      // consecutive gradient<=0 samples before hyperactive increase
+	HAIMax   int      // max HAI multiplier
+}
+
+// DefaultParams returns the native recommended configuration.
+func DefaultParams() Params {
+	return Params{
+		TLow:     50 * sim.Microsecond,
+		THigh:    500 * sim.Microsecond,
+		EWMA:     0.875,
+		AddStep:  50 * sim.Mbps,
+		Beta:     0.8,
+		HAIAfter: 5,
+		HAIMax:   5,
+	}
+}
+
+// New returns a SenderFactory running TIMELY with params p.
+func New(p Params) cc.SenderFactory {
+	return func(f cc.FlowInfo) cc.Sender {
+		minRTT := p.MinRTT
+		if minRTT == 0 {
+			minRTT = f.BaseRTT
+		}
+		return &sender{p: p, flow: f, minRTT: minRTT, rate: f.LinkRate}
+	}
+}
+
+type sender struct {
+	p      Params
+	flow   cc.FlowInfo
+	minRTT sim.Time
+
+	rate     sim.Rate
+	prevRTT  sim.Time
+	rttDiff  float64 // smoothed RTT difference, seconds
+	haveRTT  bool
+	negCount int
+	lastUpd  sim.Time
+}
+
+// Rate implements cc.Sender.
+func (s *sender) Rate() sim.Rate { return s.rate }
+
+// OnCNP is a no-op: TIMELY is purely delay-based.
+func (s *sender) OnCNP(now sim.Time) {}
+
+// OnSwitchINT is a no-op.
+func (s *sender) OnSwitchINT(now sim.Time, p *pkt.Packet) {}
+
+// OnAck folds one RTT sample into the gradient engine. Updates are gated to
+// one per minRTT so a burst of ACKs counts as one decision, as in the paper's
+// completion-event formulation.
+func (s *sender) OnAck(now sim.Time, ack *pkt.Packet) {
+	if ack.EchoTS == 0 {
+		return
+	}
+	rtt := now - ack.EchoTS
+	if rtt <= 0 {
+		return
+	}
+	if !s.haveRTT {
+		s.prevRTT = rtt
+		s.haveRTT = true
+		return
+	}
+	newDiff := (rtt - s.prevRTT).Seconds()
+	s.prevRTT = rtt
+	s.rttDiff = (1-s.p.EWMA)*s.rttDiff + s.p.EWMA*newDiff
+	if now-s.lastUpd < s.minRTT {
+		return
+	}
+	s.lastUpd = now
+	gradient := s.rttDiff / s.minRTT.Seconds()
+
+	switch {
+	case rtt < s.p.TLow:
+		s.negCount = 0
+		s.rate += s.p.AddStep
+	case rtt > s.p.THigh:
+		s.negCount = 0
+		// Decrease proportionally to how far beyond Thigh the RTT sits.
+		factor := 1 - s.p.Beta*(1-float64(s.p.THigh)/float64(rtt))
+		s.rate = sim.Rate(float64(s.rate) * factor)
+	case gradient <= 0:
+		s.negCount++
+		n := 1
+		if s.negCount >= s.p.HAIAfter {
+			n = s.negCount - s.p.HAIAfter + 2
+			if n > s.p.HAIMax {
+				n = s.p.HAIMax
+			}
+		}
+		s.rate += sim.Rate(n) * s.p.AddStep
+	default:
+		s.negCount = 0
+		factor := 1 - s.p.Beta*gradient
+		if factor < 0.5 {
+			factor = 0.5
+		}
+		s.rate = sim.Rate(float64(s.rate) * factor)
+	}
+	s.rate = sim.ClampRate(s.rate, cc.MinRate, s.flow.LinkRate)
+}

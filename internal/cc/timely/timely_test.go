@@ -1,0 +1,128 @@
+package timely
+
+import (
+	"testing"
+
+	"mlcc/internal/cc"
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+)
+
+func flowInfo() cc.FlowInfo {
+	return cc.FlowInfo{
+		ID: 1, LinkRate: 25 * sim.Gbps, MTU: 1000,
+		BaseRTT: 25 * sim.Microsecond,
+	}
+}
+
+// ackAt feeds an ACK whose echoed timestamp implies the given RTT at `now`.
+func ackAt(s cc.Sender, now, rtt sim.Time) {
+	s.OnAck(now, &pkt.Packet{Kind: pkt.Ack, EchoTS: now - rtt})
+}
+
+func TestStartsAtLineRate(t *testing.T) {
+	s := New(DefaultParams())(flowInfo())
+	if s.Rate() != 25*sim.Gbps {
+		t.Fatalf("initial rate = %v", s.Rate())
+	}
+}
+
+func TestLowRTTAdditiveIncrease(t *testing.T) {
+	s := New(DefaultParams())(flowInfo())
+	s.(*sender).rate = sim.Gbps
+	now := sim.Time(0)
+	for i := 0; i < 50; i++ {
+		now += 30 * sim.Microsecond
+		ackAt(s, now, 20*sim.Microsecond) // below Tlow=50us
+	}
+	if s.Rate() <= sim.Gbps {
+		t.Fatalf("no additive increase below Tlow: %v", s.Rate())
+	}
+}
+
+func TestHighRTTMultiplicativeDecrease(t *testing.T) {
+	s := New(DefaultParams())(flowInfo())
+	now := sim.Time(0)
+	for i := 0; i < 50; i++ {
+		now += 30 * sim.Microsecond
+		ackAt(s, now, 2*sim.Millisecond) // far above Thigh=500us
+	}
+	if s.Rate() > 5*sim.Gbps {
+		t.Fatalf("no decrease above Thigh: %v", s.Rate())
+	}
+	if s.Rate() < cc.MinRate {
+		t.Fatalf("rate below floor: %v", s.Rate())
+	}
+}
+
+func TestPositiveGradientDecreases(t *testing.T) {
+	s := New(DefaultParams())(flowInfo())
+	now := sim.Time(0)
+	rtt := 100 * sim.Microsecond
+	for i := 0; i < 60; i++ {
+		now += 30 * sim.Microsecond
+		rtt += 4 * sim.Microsecond // steadily rising RTT in the guard band
+		ackAt(s, now, rtt)
+	}
+	if s.Rate() >= 25*sim.Gbps {
+		t.Fatalf("rising gradient did not reduce rate: %v", s.Rate())
+	}
+}
+
+func TestNegativeGradientIncreasesWithHAI(t *testing.T) {
+	s := New(DefaultParams())(flowInfo())
+	st := s.(*sender)
+	st.rate = sim.Gbps
+	now := sim.Time(0)
+	rtt := 400 * sim.Microsecond
+	var last sim.Rate = st.rate
+	increments := []sim.Rate{}
+	for i := 0; i < 30; i++ {
+		now += 30 * sim.Microsecond
+		if rtt > 100*sim.Microsecond {
+			rtt -= 4 * sim.Microsecond
+		}
+		ackAt(s, now, rtt)
+		increments = append(increments, s.Rate()-last)
+		last = s.Rate()
+	}
+	if s.Rate() <= sim.Gbps {
+		t.Fatalf("falling gradient did not increase rate: %v", s.Rate())
+	}
+	// HAI: later increments should exceed the first ones.
+	if increments[len(increments)-1] <= increments[1] {
+		t.Fatalf("no hyperactive increase: first %v last %v", increments[1], increments[len(increments)-1])
+	}
+}
+
+func TestIgnoresAcksWithoutTimestamp(t *testing.T) {
+	s := New(DefaultParams())(flowInfo())
+	r0 := s.Rate()
+	s.OnAck(sim.Millisecond, &pkt.Packet{Kind: pkt.Ack})
+	if s.Rate() != r0 {
+		t.Fatal("rate moved on timestamp-less ACK")
+	}
+}
+
+func TestUpdateGatedPerRTT(t *testing.T) {
+	s := New(DefaultParams())(flowInfo()).(*sender)
+	s.rate = sim.Gbps
+	// Two ACKs within one minRTT: only the first decision applies.
+	ackAt(s, 10*sim.Microsecond, 20*sim.Microsecond)
+	ackAt(s, 12*sim.Microsecond, 20*sim.Microsecond)
+	r1 := s.Rate()
+	ackAt(s, 13*sim.Microsecond, 20*sim.Microsecond)
+	if s.Rate() != r1 {
+		t.Fatal("updates not gated to one per RTT")
+	}
+}
+
+func TestNoopHandlers(t *testing.T) {
+	s := New(DefaultParams())(flowInfo())
+	r := s.Rate()
+	s.OnCNP(0)
+	s.OnSwitchINT(0, &pkt.Packet{})
+	if s.Rate() != r {
+		t.Fatal("CNP/SwitchINT must not affect TIMELY")
+	}
+}

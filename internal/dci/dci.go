@@ -1,0 +1,190 @@
+// Package dci models datacenter-interconnect switches. A DCI switch is a
+// deep-buffered fabric switch (hundreds of MB) that, when MLCC is enabled,
+// additionally plays both MLCC roles depending on packet direction:
+//
+//   - Sender-side role (near-source feedback loop, §3.2.1): for data packets
+//     leaving through the long-haul port, it reads and clears the INT
+//     records accumulated inside the sender-side datacenter and reflects
+//     them to the sender in a Switch-INT control frame.
+//   - Receiver-side role (receiver-driven loop + DQM, §3.2.2/§3.3): data
+//     packets arriving from the long-haul port are stored in dynamically
+//     allocated per-flow queues (PFQ) that drain at the receiver-published
+//     credit rate R_credit; dequeued packets are stamped with the flow
+//     credit C_D and a fresh DCI INT record. ACKs flowing back toward the
+//     sender deliver C_R and R_credit to the PFQ, drive the per-flow DQM
+//     instance, and leave carrying the smoothed end-to-end rate R̄_DQM.
+//
+// Without MLCC the type degenerates to a plain deep-buffered fabric.Switch,
+// which is exactly how the baselines (DCQCN/Timely/HPCC/PowerTCP) see DCI
+// switches in the paper.
+package dci
+
+import (
+	"mlcc/internal/cc"
+	"mlcc/internal/core"
+	"mlcc/internal/fabric"
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+)
+
+// Config parameterizes a DCI switch.
+type Config struct {
+	Fabric fabric.Config
+
+	// LongHaulPort is the index of the port facing the other datacenter.
+	LongHaulPort int
+
+	// MLCC enables near-source feedback, PFQ and DQM.
+	MLCC bool
+
+	// DQM parameters (used when MLCC). RTTc/RTTd/MTU/MaxRate must be set by
+	// the topology builder.
+	DQM core.DQMParams
+
+	// InitRate is the initial PFQ dequeue rate for a new flow (the paper:
+	// "the receiver-side DCI-switch sends the flow into the receiver-side
+	// datacenter using the initial rate"). Typically the server line rate.
+	InitRate sim.Rate
+}
+
+// Switch is a DCI switch.
+type Switch struct {
+	*fabric.Switch
+	cfg Config
+
+	pfq   map[pkt.FlowID]*pfqFlow
+	discs []*PFQDisc // one per DC-facing port (indexed arbitrarily)
+
+	// Counters.
+	SwitchINTSent int64 // near-source feedback frames generated
+	PFQFlows      int64 // PFQs ever allocated
+	DQMUpdates    int64
+}
+
+// New builds a DCI switch. Ports are added by the topology builder through
+// AddPort (inherited); call Finalize after all ports exist.
+func New(eng *sim.Engine, pool *pkt.Pool, cfg Config) *Switch {
+	s := &Switch{
+		Switch: fabric.New(eng, pool, cfg.Fabric),
+		cfg:    cfg,
+		pfq:    make(map[pkt.FlowID]*pfqFlow),
+	}
+	return s
+}
+
+// Finalize installs MLCC behaviours once all ports have been added: PFQ
+// disciplines on every DC-facing port and the ingress hooks on the switch.
+func (s *Switch) Finalize() {
+	if !s.cfg.MLCC {
+		return
+	}
+	for i := 0; i < s.NumPorts(); i++ {
+		if i == s.cfg.LongHaulPort {
+			continue
+		}
+		d := &PFQDisc{sw: s, port: i}
+		s.SetDiscipline(i, d)
+		s.discs = append(s.discs, d)
+	}
+	s.SetHooks(s)
+}
+
+// PFQBacklog reports the queued bytes of one flow's PFQ (0 if none).
+func (s *Switch) PFQBacklog(id pkt.FlowID) int64 {
+	if f, ok := s.pfq[id]; ok {
+		return f.q.Bytes()
+	}
+	return 0
+}
+
+// PFQTotalBacklog reports queued bytes across all PFQs.
+func (s *Switch) PFQTotalBacklog() int64 {
+	var sum int64
+	for _, d := range s.discs {
+		sum += d.DataBytes()
+	}
+	return sum
+}
+
+// ActivePFQs reports currently allocated per-flow queues.
+func (s *Switch) ActivePFQs() int { return len(s.pfq) }
+
+// OnIngress implements fabric.Hooks.
+func (s *Switch) OnIngress(p *pkt.Packet, in, out int) bool {
+	if out == s.cfg.LongHaulPort {
+		switch p.Kind {
+		case pkt.Data:
+			s.reflectINT(p)
+		case pkt.Ack:
+			s.applyAck(p)
+		}
+	}
+	return false
+}
+
+// reflectINT implements the near-source feedback loop: encapsulate the
+// sender-side datacenter's INT records — plus this DCI switch's own
+// long-haul egress record, since the inter-DC fiber is the last sender-side
+// hop and its queue is otherwise invisible to every loop — in a Switch-INT
+// frame to the sender, and clear them from the data packet.
+func (s *Switch) reflectINT(p *pkt.Packet) {
+	si := s.Pool.NewControl(pkt.SwitchINT, p.Flow, s.ID(), p.Src)
+	si.Hops = append(si.Hops, p.Hops...)
+	lh := s.Port(s.cfg.LongHaulPort)
+	si.Hops = append(si.Hops, pkt.INTHop{
+		Node:    s.ID(),
+		QLen:    s.DisciplineAt(s.cfg.LongHaulPort).DataBytes(),
+		TxBytes: lh.TxBytes,
+		TS:      s.Eng.Now(),
+		Band:    lh.Rate,
+	})
+	p.ClearHops()
+	s.SwitchINTSent++
+	s.ForwardTo(si, -1, s.RouteFor(p.Src, p.Flow))
+}
+
+// applyAck implements the receiver-side DCI ACK processing: update the PFQ
+// credit C_D and dequeue rate from (C_R, R_credit), run one DQM round, and
+// stamp R̄_DQM for the sender.
+func (s *Switch) applyAck(p *pkt.Packet) {
+	f, ok := s.pfq[p.Flow]
+	if !ok {
+		return
+	}
+	f.cd = p.CR
+	if p.RCredit > 0 {
+		f.rate = sim.ClampRate(p.RCredit, cc.MinRate, f.disc.portRate())
+		f.dqm.OnCreditRound(p.RCredit, f.q.Bytes())
+		s.DQMUpdates++
+		f.disc.kickSoon()
+	}
+	p.RDQM = f.dqm.Smoothed()
+	if p.Last {
+		f.closed = true
+		f.disc.maybeRemove(f)
+	}
+}
+
+// flowFor returns (allocating if needed) the PFQ state for a flow on disc d.
+func (s *Switch) flowFor(id pkt.FlowID, d *PFQDisc) *pfqFlow {
+	if f, ok := s.pfq[id]; ok {
+		return f
+	}
+	dq := s.cfg.DQM
+	if dq.MaxRate <= 0 {
+		dq.MaxRate = s.cfg.InitRate
+	}
+	if dq.MTU <= 0 {
+		dq.MTU = pkt.DefaultMTU
+	}
+	f := &pfqFlow{
+		id:   id,
+		disc: d,
+		rate: s.cfg.InitRate,
+		dqm:  core.NewDQM(dq, s.cfg.InitRate),
+	}
+	s.pfq[id] = f
+	d.flows = append(d.flows, f)
+	s.PFQFlows++
+	return f
+}

@@ -1,0 +1,317 @@
+package dci
+
+import (
+	"testing"
+
+	"mlcc/internal/core"
+	"mlcc/internal/fabric"
+	"mlcc/internal/link"
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+)
+
+// stub is a link endpoint that records deliveries and can transmit queued
+// frames.
+type stub struct {
+	eng    *sim.Engine
+	pool   *pkt.Pool
+	port   *link.Port
+	outbox []*pkt.Packet
+	got    []*pkt.Packet
+	gotAt  []sim.Time
+}
+
+func newStub(eng *sim.Engine, pool *pkt.Pool, rate sim.Rate, delay sim.Time) *stub {
+	s := &stub{eng: eng, pool: pool}
+	s.port = link.NewPort(eng, s, 0, rate, delay, pool)
+	s.port.SetSource(s)
+	return s
+}
+
+func (s *stub) Receive(p *pkt.Packet, on *link.Port) {
+	s.got = append(s.got, p)
+	s.gotAt = append(s.gotAt, s.eng.Now())
+}
+
+func (s *stub) Next(paused *[pkt.NumClasses]bool) *pkt.Packet {
+	if len(s.outbox) == 0 || paused[s.outbox[0].Pri] {
+		return nil
+	}
+	p := s.outbox[0]
+	s.outbox = s.outbox[1:]
+	return p
+}
+
+func (s *stub) send(p *pkt.Packet) {
+	s.outbox = append(s.outbox, p)
+	s.port.Kick()
+}
+
+// rig: dcSide (host 1) -- port0 [DCI] port1 -- farSide (host 2).
+type rig struct {
+	eng     *sim.Engine
+	pool    *pkt.Pool
+	sw      *Switch
+	dcSide  *stub
+	farSide *stub
+}
+
+func dqmParams() core.DQMParams {
+	p := core.DefaultDQMParams()
+	p.RTTc = 6 * sim.Millisecond
+	p.RTTd = 24 * sim.Microsecond
+	p.MTU = 1000
+	p.MaxRate = 25 * sim.Gbps
+	return p
+}
+
+func newRig(t *testing.T, mlccMode bool) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	pool := pkt.NewPool()
+	sw := New(eng, pool, Config{
+		Fabric: fabric.Config{
+			ID:          300,
+			BufferBytes: 128 << 20,
+			INTEnabled:  !mlccMode,
+		},
+		LongHaulPort: 1,
+		MLCC:         mlccMode,
+		DQM:          dqmParams(),
+		InitRate:     25 * sim.Gbps,
+	})
+	dcSide := newStub(eng, pool, 100*sim.Gbps, sim.Microsecond)
+	farSide := newStub(eng, pool, 100*sim.Gbps, sim.Microsecond)
+	p0 := sw.AddPort(100*sim.Gbps, sim.Microsecond)
+	p1 := sw.AddPort(100*sim.Gbps, sim.Microsecond)
+	link.Connect(dcSide.port, p0)
+	link.Connect(farSide.port, p1)
+	sw.AddRoute(1, 0) // host 1 on the DC side
+	sw.AddRoute(2, 1) // host 2 beyond the long haul
+	sw.Finalize()
+	return &rig{eng: eng, pool: pool, sw: sw, dcSide: dcSide, farSide: farSide}
+}
+
+func TestFinalizeInstallsPFQOnDCPortsOnly(t *testing.T) {
+	r := newRig(t, true)
+	if _, ok := r.sw.DisciplineAt(0).(*PFQDisc); !ok {
+		t.Fatal("DC-facing port lacks PFQ discipline")
+	}
+	if _, ok := r.sw.DisciplineAt(1).(*PFQDisc); ok {
+		t.Fatal("long-haul port must keep the FIFO discipline")
+	}
+}
+
+func TestNonMLCCKeepsFIFO(t *testing.T) {
+	r := newRig(t, false)
+	for i := 0; i < 2; i++ {
+		if _, ok := r.sw.DisciplineAt(i).(*PFQDisc); ok {
+			t.Fatal("PFQ installed without MLCC mode")
+		}
+	}
+}
+
+func TestNearSourceReflection(t *testing.T) {
+	r := newRig(t, true)
+	// Data from host 1 toward host 2 (out = long haul) carrying DC INT.
+	data := r.pool.NewData(7, 1, 2, 0, 1000)
+	data.AddHop(pkt.INTHop{Node: 101, QLen: 5000, Band: 100 * sim.Gbps})
+	r.dcSide.send(data)
+	r.eng.Run()
+
+	if r.sw.SwitchINTSent != 1 {
+		t.Fatalf("SwitchINTSent = %d", r.sw.SwitchINTSent)
+	}
+	// The data packet reaches the far side with INT cleared.
+	if len(r.farSide.got) != 1 {
+		t.Fatalf("far side got %d packets", len(r.farSide.got))
+	}
+	if len(r.farSide.got[0].Hops) != 0 {
+		t.Fatal("INT not cleared from forwarded data")
+	}
+	// The sender got a SwitchINT with the DC hop plus the long-haul hop.
+	if len(r.dcSide.got) != 1 {
+		t.Fatalf("dc side got %d packets", len(r.dcSide.got))
+	}
+	si := r.dcSide.got[0]
+	if si.Kind != pkt.SwitchINT || si.Flow != 7 {
+		t.Fatalf("bad SwitchINT: %v", si)
+	}
+	if len(si.Hops) != 2 {
+		t.Fatalf("SwitchINT hops = %d, want DC hop + long-haul hop", len(si.Hops))
+	}
+	if si.Hops[0].Node != 101 || si.Hops[1].Node != 300 {
+		t.Fatalf("hop nodes = %v, %v", si.Hops[0].Node, si.Hops[1].Node)
+	}
+}
+
+func TestPFQStampsCreditAndINT(t *testing.T) {
+	r := newRig(t, true)
+	// Data arriving from the long haul for host 1: must be PFQ'd.
+	data := r.pool.NewData(9, 2, 1, 0, 1000)
+	data.AddHop(pkt.INTHop{Node: 999}) // stale; must be erased
+	r.farSide.send(data)
+	r.eng.Run()
+	if len(r.dcSide.got) != 1 {
+		t.Fatalf("dc side got %d packets", len(r.dcSide.got))
+	}
+	p := r.dcSide.got[0]
+	if p.CD != 0 {
+		t.Fatalf("CD = %d, want initial 0", p.CD)
+	}
+	if len(p.Hops) != 1 || p.Hops[0].Node != 300 {
+		t.Fatalf("INT not reinserted by the DCI: %v", p.Hops)
+	}
+	if r.sw.PFQFlows != 1 {
+		t.Fatalf("PFQFlows = %d", r.sw.PFQFlows)
+	}
+}
+
+func TestAckUpdatesCreditRateAndDQM(t *testing.T) {
+	r := newRig(t, true)
+	// Allocate the PFQ first.
+	r.farSide.send(r.pool.NewData(9, 2, 1, 0, 1000))
+	r.eng.Run()
+
+	ack := r.pool.NewControl(pkt.Ack, 9, 1, 2)
+	ack.CR = 1
+	ack.RCredit = 5 * sim.Gbps
+	r.dcSide.send(ack)
+	r.eng.Run()
+
+	if r.sw.DQMUpdates != 1 {
+		t.Fatalf("DQMUpdates = %d", r.sw.DQMUpdates)
+	}
+	// The ACK continued to the far side carrying R̄_DQM.
+	var got *pkt.Packet
+	for _, p := range r.farSide.got {
+		if p.Kind == pkt.Ack {
+			got = p
+		}
+	}
+	if got == nil {
+		t.Fatal("ack not forwarded")
+	}
+	if got.RDQM == 0 {
+		t.Fatal("RDQM not stamped on ack")
+	}
+	// Subsequent data dequeues carry the updated CD and the new pace.
+	r.farSide.send(r.pool.NewData(9, 2, 1, 1000, 1000))
+	r.eng.Run()
+	last := r.dcSide.got[len(r.dcSide.got)-1]
+	if last.Kind != pkt.Data || last.CD != 1 {
+		t.Fatalf("CD not updated from CR: %v cd=%d", last.Kind, last.CD)
+	}
+}
+
+func TestPFQPacingAtCreditRate(t *testing.T) {
+	r := newRig(t, true)
+	r.farSide.send(r.pool.NewData(9, 2, 1, 0, 1000))
+	r.eng.Run()
+	// Set a slow dequeue rate (1 Gbps → 8 µs per 1000B packet).
+	ack := r.pool.NewControl(pkt.Ack, 9, 1, 2)
+	ack.CR = 1
+	ack.RCredit = sim.Gbps
+	r.dcSide.send(ack)
+	r.eng.Run()
+
+	// Burst three packets; inter-arrival on the DC side must be ≥ 8 µs.
+	base := len(r.dcSide.got)
+	for i := 1; i <= 3; i++ {
+		r.farSide.send(r.pool.NewData(9, 2, 1, int64(i)*1000, 1000))
+	}
+	r.eng.Run()
+	if got := len(r.dcSide.got) - base; got != 3 {
+		t.Fatalf("delivered %d", got)
+	}
+	for i := base + 1; i < len(r.dcSide.got); i++ {
+		gap := r.dcSide.gotAt[i] - r.dcSide.gotAt[i-1]
+		if gap < 7*sim.Microsecond {
+			t.Fatalf("pacing violated: gap %v < 8us", gap)
+		}
+	}
+}
+
+func TestPFQGarbageCollection(t *testing.T) {
+	r := newRig(t, true)
+	r.farSide.send(r.pool.NewData(9, 2, 1, 0, 1000))
+	r.eng.Run()
+	if r.sw.ActivePFQs() != 1 {
+		t.Fatalf("ActivePFQs = %d", r.sw.ActivePFQs())
+	}
+	ack := r.pool.NewControl(pkt.Ack, 9, 1, 2)
+	ack.CR = 1
+	ack.RCredit = sim.Gbps
+	ack.Last = true
+	r.dcSide.send(ack)
+	r.eng.Run()
+	if r.sw.ActivePFQs() != 0 {
+		t.Fatalf("PFQ not garbage-collected: %d", r.sw.ActivePFQs())
+	}
+}
+
+func TestPFQBacklogAccounting(t *testing.T) {
+	r := newRig(t, true)
+	// Throttle the PFQ hard so packets accumulate.
+	r.farSide.send(r.pool.NewData(9, 2, 1, 0, 1000))
+	r.eng.Run()
+	ack := r.pool.NewControl(pkt.Ack, 9, 1, 2)
+	ack.CR = 1
+	ack.RCredit = 10 * sim.Mbps
+	r.dcSide.send(ack)
+	r.eng.Run()
+	for i := 1; i <= 5; i++ {
+		r.farSide.send(r.pool.NewData(9, 2, 1, int64(i)*1000, 1000))
+	}
+	r.eng.RunUntil(r.eng.Now() + 100*sim.Microsecond)
+	if b := r.sw.PFQBacklog(9); b < 3000 {
+		t.Fatalf("backlog = %d, want several packets", b)
+	}
+	if tot := r.sw.PFQTotalBacklog(); tot != r.sw.PFQBacklog(9) {
+		t.Fatalf("total %d != flow backlog %d", tot, r.sw.PFQBacklog(9))
+	}
+	if r.sw.PFQBacklog(12345) != 0 {
+		t.Fatal("unknown flow reports backlog")
+	}
+	// Drain completely.
+	ack2 := r.pool.NewControl(pkt.Ack, 9, 1, 2)
+	ack2.CR = 2
+	ack2.RCredit = 25 * sim.Gbps
+	r.dcSide.send(ack2)
+	r.eng.Run()
+	if r.sw.PFQTotalBacklog() != 0 {
+		t.Fatalf("backlog not drained: %d", r.sw.PFQTotalBacklog())
+	}
+	if r.sw.BufferUsed() != 0 {
+		t.Fatalf("shared buffer residual: %d", r.sw.BufferUsed())
+	}
+}
+
+func TestControlBypassesPFQ(t *testing.T) {
+	r := newRig(t, true)
+	// Freeze the only PFQ at a crawl, then send a control frame: it must
+	// not queue behind data.
+	r.farSide.send(r.pool.NewData(9, 2, 1, 0, 1000))
+	r.eng.Run()
+	ack := r.pool.NewControl(pkt.Ack, 9, 1, 2)
+	ack.CR = 1
+	ack.RCredit = 10 * sim.Mbps
+	r.dcSide.send(ack)
+	r.eng.Run()
+	for i := 1; i <= 3; i++ {
+		r.farSide.send(r.pool.NewData(9, 2, 1, int64(i)*1000, 1000))
+	}
+	cnp := r.pool.NewControl(pkt.CNP, 9, 2, 1)
+	r.farSide.send(cnp)
+	before := r.eng.Now()
+	r.eng.RunUntil(before + 50*sim.Microsecond)
+	found := false
+	for _, p := range r.dcSide.got {
+		if p.Kind == pkt.CNP {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("control frame stuck behind paced PFQ data")
+	}
+}

@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"sync"
+
+	"mlcc/internal/sim"
+	"mlcc/internal/topo"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation",
+		Title: "MLCC ablation: contribution of the near-source and DQM loops",
+		Run:   runAblation,
+	})
+}
+
+// runAblation quantifies the design choices DESIGN.md calls out, by removing
+// one loop at a time:
+//
+//   - Sender-side scenario (fig7 shape): without the near-source loop the
+//     sender only learns about sender-side congestion when it inflates the
+//     DCI queue; convergence degrades and the queue grows.
+//   - Receiver-side scenario (fig9 shape): without DQM nothing drains the
+//     receiver-side DCI queue below "whatever accumulated during the first
+//     RTT_C"; the standing queue stays large.
+func runAblation(cfg Config) (*Report, error) {
+	rep := &Report{ID: "ablation", Title: "MLCC ablation: contribution of the near-source and DQM loops"}
+	variants := []string{topo.AlgMLCC, topo.AlgMLCCNoNS, topo.AlgMLCCNoDQM}
+
+	window := 50 * sim.Millisecond
+	steady := 35 * sim.Millisecond
+	if cfg.Scale == Quick {
+		window, steady = 36*sim.Millisecond, 24*sim.Millisecond
+	}
+
+	type out struct {
+		jainSend, meanSend float64 // sender-side scenario
+		qRecvMB            float64 // receiver-side scenario steady queue
+		jainRecv           float64
+	}
+	results := map[string]*out{}
+	var mu sync.Mutex
+	jobs := make([]func(), 0, 2*len(variants))
+	for _, alg := range variants {
+		alg := alg
+		jobs = append(jobs, func() {
+			// Sender-side bottleneck: 8×25G into one 100G uplink.
+			p := topo.DefaultParams().WithAlgorithm(alg)
+			p.Seed = cfg.Seed
+			p.SpinesPerDC = 1
+			p.HostsPerLeaf = 8
+			var pairs [][2]int
+			n := topo.TwoDC(p)
+			for i := 0; i < 8; i++ {
+				pairs = append(pairs, [2]int{n.RackHost(1, i), n.RackHost(5, i)})
+			}
+			starts := make([]sim.Time, len(pairs))
+			for i := range starts {
+				starts[i] = sim.Millisecond
+			}
+			res := runConvergence(cfg, p, pairs, starts, window, steady)
+			_, _, mean := summarize(res.rates)
+			mu.Lock()
+			o := results[alg]
+			if o == nil {
+				o = &out{}
+				results[alg] = o
+			}
+			o.jainSend = res.jain
+			o.meanSend = mean / 1e9
+			mu.Unlock()
+		})
+		jobs = append(jobs, func() {
+			// Receiver-side bottleneck: 4 flows into two 25G servers.
+			p := topo.DefaultParams().WithAlgorithm(alg)
+			p.Seed = cfg.Seed
+			var pairs [][2]int
+			n := topo.TwoDC(p)
+			for i := 0; i < 4; i++ {
+				pairs = append(pairs, [2]int{n.RackHost(1, i), n.RackHost(5, i/2)})
+			}
+			starts := make([]sim.Time, len(pairs))
+			for i := range starts {
+				starts[i] = sim.Millisecond
+			}
+			res := runConvergence(cfg, p, pairs, starts, window, steady)
+			mu.Lock()
+			o := results[alg]
+			if o == nil {
+				o = &out{}
+				results[alg] = o
+			}
+			o.qRecvMB = res.dciQ.AvgAfter(steady) / (1 << 20)
+			o.jainRecv = res.jain
+			mu.Unlock()
+		})
+	}
+	parallel(cfg.Workers, jobs)
+
+	tbl := NewTable("Loop contributions", "", "sendJain", "sendMeanGbps", "recvJain", "recvDciQMB")
+	for _, alg := range variants {
+		o := results[alg]
+		tbl.AddRow(alg, o.jainSend, o.meanSend, o.jainRecv, o.qRecvMB)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	rep.AddNote("mlcc-nons must show degraded sender-side convergence; mlcc-nodqm must show a much larger standing receiver-side DCI queue")
+	return rep, nil
+}

@@ -1,0 +1,202 @@
+// Package exp is the benchmark harness: one experiment per table/figure of
+// the paper's evaluation. Each experiment builds the appropriate network(s),
+// drives the workload, and reports the same rows or series the paper plots.
+// Independent simulations within an experiment run concurrently on a worker
+// pool — the engines themselves are single-threaded for determinism, so
+// parallelism comes from running many engines at once.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mlcc/internal/sim"
+	"mlcc/internal/stats"
+)
+
+// Scale selects the simulation size. Quick keeps benchmark runs in seconds
+// (8 hosts/leaf, short windows); Full is the paper's §4.1 setup (4:1
+// oversubscription needs 32 hosts/leaf) for offline regeneration via
+// cmd/mlccfig -full.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// Config controls one experiment invocation.
+type Config struct {
+	Scale Scale
+	Seed  int64
+	// Workers bounds concurrent simulations; 0 = GOMAXPROCS.
+	Workers int
+}
+
+// Table is an ordered labelled grid of measurements.
+type Table struct {
+	Title string
+	Unit  string
+	Cols  []string
+	rows  []tableRow
+}
+
+type tableRow struct {
+	label string
+	vals  []float64
+}
+
+// NewTable constructs a table with the given columns.
+func NewTable(title, unit string, cols ...string) *Table {
+	return &Table{Title: title, Unit: unit, Cols: cols}
+}
+
+// AddRow appends a labelled row; vals align with Cols (missing = NaN).
+func (t *Table) AddRow(label string, vals ...float64) {
+	row := tableRow{label: label, vals: make([]float64, len(t.Cols))}
+	copy(row.vals, vals)
+	t.rows = append(t.rows, row)
+}
+
+// Get returns the value at (rowLabel, col).
+func (t *Table) Get(rowLabel, col string) (float64, bool) {
+	ci := -1
+	for i, c := range t.Cols {
+		if c == col {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, r := range t.rows {
+		if r.label == rowLabel {
+			return r.vals[ci], true
+		}
+	}
+	return 0, false
+}
+
+// Rows returns the row labels in insertion order.
+func (t *Table) Rows() []string {
+	out := make([]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = r.label
+	}
+	return out
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", t.Title)
+	if t.Unit != "" {
+		fmt.Fprintf(&b, " (%s)", t.Unit)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-24s", "")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "%-24s", r.label)
+		for _, v := range r.vals {
+			fmt.Fprintf(&b, "%14.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Report is the output of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*Table
+	Series []*stats.Series
+	Notes  []string
+}
+
+// AddNote appends a free-form observation line.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if len(r.Series) > 0 {
+		fmt.Fprintf(&b, "series: ")
+		for i, s := range r.Series {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s[%d]", s.Name, s.Len())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Experiment regenerates one paper figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) (*Report, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exp: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Lookup returns the experiment with the given id.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs lists registered experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// fig2 < fig10 numerically.
+		return figNum(out[i]) < figNum(out[j])
+	})
+	return out
+}
+
+func figNum(id string) int {
+	n := 0
+	for _, c := range id {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	return n
+}
+
+// msOf converts simulation time to milliseconds for table cells.
+func msOf(t sim.Time) float64 { return t.Millis() }
+
+// usOf converts simulation time to microseconds for table cells.
+func usOf(t sim.Time) float64 { return t.Micros() }

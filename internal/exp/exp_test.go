@@ -1,0 +1,189 @@
+package exp
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablation", "loadsweep"}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("experiment %q not registered", w)
+		}
+	}
+	// Numeric ordering: fig2 before fig10.
+	pos := map[string]int{}
+	for i, id := range ids {
+		pos[id] = i
+	}
+	if pos["fig2"] > pos["fig10"] {
+		t.Error("IDs not numerically sorted")
+	}
+	for _, id := range ids {
+		e, ok := Lookup(id)
+		if !ok || e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %q incomplete", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup accepted unknown id")
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	tbl := NewTable("demo", "ms", "a", "b")
+	tbl.AddRow("x", 1, 2)
+	tbl.AddRow("y", 3) // short row: missing cell is zero
+	if v, ok := tbl.Get("x", "b"); !ok || v != 2 {
+		t.Fatalf("Get(x,b) = %v, %v", v, ok)
+	}
+	if v, ok := tbl.Get("y", "b"); !ok || v != 0 {
+		t.Fatalf("Get(y,b) = %v, %v", v, ok)
+	}
+	if _, ok := tbl.Get("z", "a"); ok {
+		t.Fatal("Get on missing row succeeded")
+	}
+	if _, ok := tbl.Get("x", "c"); ok {
+		t.Fatal("Get on missing col succeeded")
+	}
+	if rows := tbl.Rows(); len(rows) != 2 || rows[0] != "x" {
+		t.Fatalf("Rows = %v", rows)
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "demo (ms)") || !strings.Contains(s, "x") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{ID: "r", Title: "T"}
+	rep.Tables = append(rep.Tables, NewTable("t", "", "c"))
+	rep.AddNote("hello %d", 7)
+	s := rep.String()
+	if !strings.Contains(s, "== r: T ==") || !strings.Contains(s, "hello 7") {
+		t.Fatalf("report string %q", s)
+	}
+}
+
+func TestParallelRunsAllJobs(t *testing.T) {
+	var n atomic.Int64
+	jobs := make([]func(), 50)
+	for i := range jobs {
+		jobs[i] = func() { n.Add(1) }
+	}
+	parallel(4, jobs)
+	if n.Load() != 50 {
+		t.Fatalf("ran %d jobs", n.Load())
+	}
+	// Serial path.
+	n.Store(0)
+	parallel(1, jobs[:3])
+	if n.Load() != 3 {
+		t.Fatalf("serial ran %d", n.Load())
+	}
+	// Degenerate inputs.
+	parallel(0, nil)
+	parallel(100, jobs[:2])
+}
+
+func TestFigNumParsing(t *testing.T) {
+	if figNum("fig13") != 13 || figNum("fig2") != 2 || figNum("ablation") != 0 {
+		t.Fatal("figNum broken")
+	}
+}
+
+// TestFig10EndToEnd is the cheapest full experiment: DQM sequential burst.
+func TestFig10EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	e, _ := Lookup("fig10")
+	rep, err := e.Run(Config{Scale: Quick, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, ok := rep.Tables[0].Get("theta=18ms", "peak")
+	if !ok || peak <= 1 {
+		t.Fatalf("peak queue = %v MB, expected a burst of several MB", peak)
+	}
+	final, _ := rep.Tables[0].Get("theta=18ms", "final")
+	if final > peak/2 {
+		t.Fatalf("queue did not drain: peak %v, final %v", peak, final)
+	}
+	if len(rep.Series) == 0 || rep.Series[0].Len() == 0 {
+		t.Fatal("no series recorded")
+	}
+}
+
+// TestFig16EndToEnd checks the dumbbell comparison: MLCC must not lose to
+// DCQCN overall on the testbed scenario.
+func TestFig16EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	e, _ := Lookup("fig16")
+	rep, err := e.Run(Config{Scale: Quick, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok1 := rep.Tables[0].Get("mlcc", "overall")
+	d, ok2 := rep.Tables[0].Get("dcqcn", "overall")
+	if !ok1 || !ok2 {
+		t.Fatal("missing rows")
+	}
+	if m <= 0 || d <= 0 {
+		t.Fatalf("degenerate FCTs: mlcc=%v dcqcn=%v", m, d)
+	}
+	if m > d*1.05 {
+		t.Fatalf("MLCC overall FCT %v worse than DCQCN %v", m, d)
+	}
+}
+
+// TestFCTCacheReuse verifies the memoization that lets fig11 and fig13 share
+// simulations.
+func TestFCTCacheReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	ClearCache()
+	k := fctKey{alg: "mlcc", cdf: "hadoop", intra: 0.1, cross: 0.05, dumbbell: true, scale: Quick, seed: 1}
+	r1, err := runFCT(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := runFCT(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("cache did not reuse the simulation")
+	}
+	ClearCache()
+	r3, err := runFCT(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Fatal("ClearCache did not drop the entry")
+	}
+	// Determinism: same seed, same results.
+	a1, _ := r1.Col.Avg(nil)
+	a3, _ := r3.Col.Avg(nil)
+	if a1 != a3 {
+		t.Fatalf("non-deterministic rerun: %v vs %v", a1, a3)
+	}
+}
+
+func TestRunFCTUnknownWorkload(t *testing.T) {
+	if _, err := runFCT(fctKey{alg: "mlcc", cdf: "nope", scale: Quick}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

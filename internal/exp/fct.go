@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"mlcc/internal/host"
+	"mlcc/internal/sim"
+	"mlcc/internal/stats"
+	"mlcc/internal/topo"
+	"mlcc/internal/workload"
+)
+
+// fctKey identifies one FCT simulation for memoization: the avg-FCT and
+// tail-FCT figures (11↔13, 12↔14) share the same underlying runs.
+type fctKey struct {
+	alg      string
+	cdf      string
+	intra    float64
+	cross    float64
+	longHaul sim.Time
+	dumbbell bool
+	scale    Scale
+	seed     int64
+}
+
+// fctResult is the outcome of one workload simulation.
+type fctResult struct {
+	Col        *stats.FCTCollector
+	Flows      int
+	Unfinished int
+	PFCPauses  int64
+	Drops      int64
+}
+
+var fctCache sync.Map // fctKey -> *fctResult
+
+// scaleTopo returns the base topology parameters for a scale.
+func scaleTopo(s Scale) topo.Params {
+	p := topo.DefaultParams()
+	if s == Full {
+		p.HostsPerLeaf = 32 // 32×25G vs 2×100G uplinks = 4:1, per §4.1
+	} else {
+		p.HostsPerLeaf = 8
+	}
+	return p
+}
+
+// windows returns the (arrival window, drain deadline) for a scale.
+func windows(s Scale) (sim.Time, sim.Time) {
+	if s == Full {
+		return 20 * sim.Millisecond, 250 * sim.Millisecond
+	}
+	return 5 * sim.Millisecond, 120 * sim.Millisecond
+}
+
+// runFCT runs (or recalls) one workload simulation.
+func runFCT(k fctKey) (*fctResult, error) {
+	if v, ok := fctCache.Load(k); ok {
+		return v.(*fctResult), nil
+	}
+	cdf, err := workload.ByName(k.cdf)
+	if err != nil {
+		return nil, err
+	}
+	window, deadline := windows(k.scale)
+
+	var n *topo.Network
+	p := scaleTopo(k.scale)
+	if k.longHaul != 0 {
+		p.LongHaulDelay = k.longHaul
+	}
+	p.Seed = k.seed
+	pa := p.WithAlgorithm(k.alg)
+	if k.dumbbell {
+		pa.HostsPerLeaf = 2
+		pa.HostRate = 100 * sim.Gbps
+		n = topo.Dumbbell(pa)
+	} else {
+		n = topo.TwoDC(pa)
+	}
+
+	flows := workload.Generate(workload.Spec{
+		CDF:       cdf,
+		IntraLoad: k.intra,
+		CrossLoad: k.cross,
+		HostRate:  n.P.HostRate,
+		IntraRate: n.PerHostBisection(),
+		CrossRate: n.P.FabricRate,
+		Hosts:     n.NumHosts(),
+		Duration:  window,
+		Seed:      k.seed,
+	})
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("exp: workload %v generated no flows", k)
+	}
+
+	col := stats.NewFCTCollector()
+	for _, h := range n.Hosts {
+		h.OnFlowDone = func(f *host.Flow) {
+			col.Add(stats.FCTSample{
+				Size:  f.Info.Size,
+				FCT:   f.FCT(),
+				Cross: f.Info.CrossDC,
+				Start: f.Start,
+			})
+		}
+	}
+	for _, fs := range flows {
+		n.AddFlow(fs.Src, fs.Dst, fs.Size, fs.Start)
+	}
+	n.Run(deadline)
+
+	res := &fctResult{Col: col, Flows: len(flows)}
+	for _, f := range n.Table.All() {
+		if !f.Done {
+			res.Unfinished++
+		}
+	}
+	for _, sw := range n.Leaves {
+		res.PFCPauses += sw.PFCPauses
+		res.Drops += sw.Drops
+	}
+	for _, sw := range n.Spines {
+		res.PFCPauses += sw.PFCPauses
+		res.Drops += sw.Drops
+	}
+	fctCache.Store(k, res)
+	return res, nil
+}
+
+// ClearCache drops memoized simulations (tests use it to force reruns).
+func ClearCache() {
+	fctCache.Range(func(k, _ any) bool {
+		fctCache.Delete(k)
+		return true
+	})
+}
+
+// fctForAlgs runs the workload for every algorithm concurrently.
+func fctForAlgs(cfg Config, algs []string, cdf string, intra, cross float64, longHaul sim.Time, dumbbell bool) (map[string]*fctResult, error) {
+	out := make(map[string]*fctResult, len(algs))
+	errs := make(map[string]error, len(algs))
+	var mu sync.Mutex
+	jobs := make([]func(), 0, len(algs))
+	for _, alg := range algs {
+		alg := alg
+		jobs = append(jobs, func() {
+			res, err := runFCT(fctKey{
+				alg: alg, cdf: cdf, intra: intra, cross: cross,
+				longHaul: longHaul, dumbbell: dumbbell,
+				scale: cfg.Scale, seed: cfg.Seed,
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[alg] = err
+				return
+			}
+			out[alg] = res
+		})
+	}
+	parallel(cfg.Workers, jobs)
+	for _, err := range errs {
+		return nil, err
+	}
+	return out, nil
+}

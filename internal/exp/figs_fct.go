@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"mlcc/internal/sim"
+	"mlcc/internal/stats"
+	"mlcc/internal/topo"
+)
+
+// evalAlgs is the comparison set of the paper's large-scale evaluation.
+var evalAlgs = []string{topo.AlgMLCC, topo.AlgDCQCN, topo.AlgTimely, topo.AlgHPCC, topo.AlgPowerTCP}
+
+// avgFCTReport builds a Fig. 11/12/15-style report: average FCT of intra-
+// and cross-DC traffic per algorithm, one table per traffic pattern.
+func avgFCTReport(id, title string, cfg Config, intra, cross float64, longHaul sim.Time) (*Report, error) {
+	rep := &Report{ID: id, Title: title}
+	for _, cdf := range []string{"websearch", "hadoop"} {
+		res, err := fctForAlgs(cfg, evalAlgs, cdf, intra, cross, longHaul, false)
+		if err != nil {
+			return nil, err
+		}
+		tbl := NewTable("Avg FCT, "+cdf+" traffic", "ms", "intra", "cross", "overall")
+		for _, alg := range evalAlgs {
+			r := res[alg]
+			ai, _ := r.Col.Avg(stats.Intra)
+			ac, _ := r.Col.Avg(stats.Cross)
+			ao, _ := r.Col.Avg(nil)
+			tbl.AddRow(alg, msOf(ai), msOf(ac), msOf(ao))
+			if r.Unfinished > 0 {
+				rep.AddNote("%s/%s: %d of %d flows unfinished at deadline", alg, cdf, r.Unfinished, r.Flows)
+			}
+		}
+		rep.Tables = append(rep.Tables, tbl)
+		// The paper reports MLCC's reduction vs each baseline.
+		red := NewTable("MLCC avg-FCT reduction vs baseline, "+cdf, "%", "intra", "cross")
+		mi, _ := res[topo.AlgMLCC].Col.Avg(stats.Intra)
+		mc, _ := res[topo.AlgMLCC].Col.Avg(stats.Cross)
+		for _, alg := range evalAlgs[1:] {
+			bi, _ := res[alg].Col.Avg(stats.Intra)
+			bc, _ := res[alg].Col.Avg(stats.Cross)
+			red.AddRow(alg, pctReduction(mi, bi), pctReduction(mc, bc))
+		}
+		rep.Tables = append(rep.Tables, red)
+	}
+	return rep, nil
+}
+
+// pctReduction returns how much smaller mlcc is than base, in percent.
+func pctReduction(mlcc, base sim.Time) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return 100 * (1 - float64(mlcc)/float64(base))
+}
+
+// tailFCTReport builds a Fig. 13/14-style report: 99.9th-percentile FCT per
+// flow-size bucket, intra and cross tables per traffic pattern.
+func tailFCTReport(id, title string, cfg Config, intra, cross float64) (*Report, error) {
+	rep := &Report{ID: id, Title: title}
+	buckets := stats.DefaultBuckets()
+	cols := make([]string, len(buckets))
+	for i, b := range buckets {
+		cols[i] = b.Label
+	}
+	for _, cdf := range []string{"websearch", "hadoop"} {
+		res, err := fctForAlgs(cfg, evalAlgs, cdf, intra, cross, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, scope := range []struct {
+			name   string
+			filter stats.Filter
+		}{{"intra", stats.Intra}, {"cross", stats.Cross}} {
+			tbl := NewTable("99.9% FCT, "+cdf+" "+scope.name, "ms", cols...)
+			for _, alg := range evalAlgs {
+				rows := res[alg].Col.ByBucket(scope.filter, buckets)
+				vals := make([]float64, len(rows))
+				for i, r := range rows {
+					vals[i] = msOf(r.P999)
+				}
+				tbl.AddRow(alg, vals...)
+			}
+			rep.Tables = append(rep.Tables, tbl)
+		}
+	}
+	return rep, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Avg FCT, heavy load (intra 50% + cross 20%)",
+		Run: func(cfg Config) (*Report, error) {
+			return avgFCTReport("fig11", "Avg FCT, heavy load (intra 50% + cross 20%)", cfg, 0.5, 0.2, 0)
+		},
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Avg FCT, light load (intra 30% + cross 10%)",
+		Run: func(cfg Config) (*Report, error) {
+			return avgFCTReport("fig12", "Avg FCT, light load (intra 30% + cross 10%)", cfg, 0.3, 0.1, 0)
+		},
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "99.9% FCT by flow size, heavy load",
+		Run: func(cfg Config) (*Report, error) {
+			return tailFCTReport("fig13", "99.9% FCT by flow size, heavy load", cfg, 0.5, 0.2)
+		},
+	})
+	register(Experiment{
+		ID:    "fig14",
+		Title: "99.9% FCT by flow size, light load",
+		Run: func(cfg Config) (*Report, error) {
+			return tailFCTReport("fig14", "99.9% FCT by flow size, light load", cfg, 0.3, 0.1)
+		},
+	})
+	register(Experiment{
+		ID:    "fig15",
+		Title: "Avg FCT, heavy load, 1 ms cross-DC link delay",
+		Run: func(cfg Config) (*Report, error) {
+			return avgFCTReport("fig15", "Avg FCT, heavy load, 1 ms cross-DC link delay", cfg, 0.5, 0.2, sim.Millisecond)
+		},
+	})
+	register(Experiment{
+		ID:    "fig16",
+		Title: "Testbed dumbbell, Hadoop traffic: DCQCN vs MLCC",
+		Run:   runFig16,
+	})
+}
+
+// runFig16 reproduces the §4.6 testbed comparison on the simulated dumbbell.
+func runFig16(cfg Config) (*Report, error) {
+	rep := &Report{ID: "fig16", Title: "Testbed dumbbell, Hadoop traffic: DCQCN vs MLCC"}
+	algs := []string{topo.AlgMLCC, topo.AlgDCQCN}
+	// The 4-server dumbbell needs substantial load before queues form;
+	// the paper's testbed runs its Hadoop mix near saturation.
+	res, err := fctForAlgs(cfg, algs, "hadoop", 0.7, 0.5, 0, true)
+	if err != nil {
+		return nil, err
+	}
+	tbl := NewTable("Avg FCT, dumbbell testbed (hadoop)", "ms", "intra", "cross", "overall")
+	for _, alg := range algs {
+		ai, _ := res[alg].Col.Avg(stats.Intra)
+		ac, _ := res[alg].Col.Avg(stats.Cross)
+		ao, _ := res[alg].Col.Avg(nil)
+		tbl.AddRow(alg, msOf(ai), msOf(ac), msOf(ao))
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	mo, _ := res[topo.AlgMLCC].Col.Avg(nil)
+	do, _ := res[topo.AlgDCQCN].Col.Avg(nil)
+	rep.AddNote("MLCC improves overall avg FCT by %.1f%% vs DCQCN (paper: 19.3%%)", pctReduction(mo, do))
+	return rep, nil
+}

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"mlcc/internal/stats"
+	"mlcc/internal/topo"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "loadsweep",
+		Title: "Extension: avg FCT vs intra-DC load (MLCC vs DCQCN vs HPCC)",
+		Run:   runLoadSweep,
+	})
+}
+
+// runLoadSweep extends the evaluation with the load-response curve the paper
+// omits: average FCT as the intra-DC load grows with cross-DC load fixed at
+// 20%. The interesting property is where each algorithm's curve knees.
+func runLoadSweep(cfg Config) (*Report, error) {
+	rep := &Report{ID: "loadsweep", Title: "Extension: avg FCT vs intra-DC load"}
+	algs := []string{topo.AlgMLCC, topo.AlgDCQCN, topo.AlgHPCC}
+	loads := []float64{0.3, 0.5, 0.7, 0.9}
+
+	type key struct {
+		alg  string
+		load float64
+	}
+	results := map[key]*fctResult{}
+	errs := map[key]error{}
+	var mu sync.Mutex
+	var jobs []func()
+	for _, alg := range algs {
+		for _, load := range loads {
+			alg, load := alg, load
+			jobs = append(jobs, func() {
+				res, err := runFCT(fctKey{
+					alg: alg, cdf: "websearch", intra: load, cross: 0.2,
+					scale: cfg.Scale, seed: cfg.Seed,
+				})
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					errs[key{alg, load}] = err
+					return
+				}
+				results[key{alg, load}] = res
+			})
+		}
+	}
+	parallel(cfg.Workers, jobs)
+	for _, err := range errs {
+		return nil, err
+	}
+
+	cols := make([]string, len(loads))
+	for i, l := range loads {
+		cols[i] = fmt.Sprintf("%.0f%%", l*100)
+	}
+	intra := NewTable("Avg intra-DC FCT vs load (websearch, cross 20%)", "ms", cols...)
+	unfinished := NewTable("Unfinished flows at deadline", "count", cols...)
+	for _, alg := range algs {
+		vi := make([]float64, len(loads))
+		vu := make([]float64, len(loads))
+		for i, load := range loads {
+			r := results[key{alg, load}]
+			a, _ := r.Col.Avg(stats.Intra)
+			vi[i] = msOf(a)
+			vu[i] = float64(r.Unfinished)
+		}
+		intra.AddRow(alg, vi...)
+		unfinished.AddRow(alg, vu...)
+	}
+	rep.Tables = append(rep.Tables, intra, unfinished)
+	rep.AddNote("expected shape: all curves rise with load; MLCC/HPCC knee later than DCQCN")
+	return rep, nil
+}

@@ -1,0 +1,39 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallel runs jobs concurrently on a bounded worker pool and returns when
+// all have finished. Jobs must be independent (each owns its own engine).
+func parallel(workers int, jobs []func()) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			j()
+		}
+		return
+	}
+	ch := make(chan func())
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				j()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}

@@ -1,0 +1,37 @@
+package fabric
+
+import "mlcc/internal/pkt"
+
+// FIFO is the default egress discipline: a strict-priority pair of FIFOs,
+// control class first (congestion signals must not queue behind data).
+type FIFO struct {
+	q [pkt.NumClasses]pkt.Ring
+}
+
+// NewFIFO returns an empty FIFO discipline.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Enqueue implements Discipline.
+func (f *FIFO) Enqueue(p *pkt.Packet) { f.q[p.Pri].Push(p) }
+
+// Next implements link.Source: strict priority, honouring pause state.
+func (f *FIFO) Next(paused *[pkt.NumClasses]bool) *pkt.Packet {
+	for class := pkt.NumClasses - 1; class >= 0; class-- {
+		if paused[class] {
+			continue
+		}
+		if p := f.q[class].Pop(); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// DataBytes implements Discipline.
+func (f *FIFO) DataBytes() int64 { return f.q[pkt.ClassData].Bytes() }
+
+// ControlLen reports queued control frames (for tests).
+func (f *FIFO) ControlLen() int { return f.q[pkt.ClassControl].Len() }
+
+// DataLen reports queued data frames (for tests).
+func (f *FIFO) DataLen() int { return f.q[pkt.ClassData].Len() }

@@ -1,0 +1,280 @@
+// Package fabric models lossless-Ethernet datacenter switches: a shared
+// packet buffer with per-ingress-port PFC accounting (IEEE 802.1Qbb Xoff/Xon
+// thresholds), WRED ECN marking, per-hop INT telemetry stamping, static ECMP
+// routing, and a pluggable per-port queue discipline so that DCI switches
+// (package dci) can substitute per-flow queuing on selected ports.
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlcc/internal/link"
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+)
+
+// Config parameterizes a switch.
+type Config struct {
+	ID          pkt.NodeID
+	BufferBytes int64 // shared data buffer capacity
+
+	// WRED ECN marking thresholds on egress data queue length.
+	ECNKmin int64
+	ECNKmax int64
+	ECNPmax float64
+
+	// PFC per-ingress-port thresholds (bytes). PFCEnabled gates the whole
+	// mechanism.
+	PFCEnabled bool
+	PFCXoff    int64
+	PFCXon     int64
+
+	// INTEnabled stamps per-hop telemetry onto data packets at dequeue.
+	INTEnabled bool
+
+	// Seed for the marking RNG; runs are deterministic per (ID, Seed).
+	Seed int64
+}
+
+// Hooks let a wrapper (the DCI switch) observe and rewrite traffic.
+type Hooks interface {
+	// OnIngress runs after routing and before enqueue. It may mutate the
+	// packet (e.g. rewrite ACK rate fields) or consume it entirely (near-
+	// source INT reflection consumes nothing, PFQ redirection does).
+	// Returning true means the hook took ownership of the packet.
+	OnIngress(p *pkt.Packet, inPort, outPort int) bool
+}
+
+// Discipline is a per-port egress queue. Implementations must be
+// single-goroutine like everything else in the simulator.
+type Discipline interface {
+	link.Source
+	// Enqueue stores p for transmission. It never rejects: admission
+	// (shared-buffer) control happens in the switch before Enqueue.
+	Enqueue(p *pkt.Packet)
+	// DataBytes reports the queued data-class backlog in bytes.
+	DataBytes() int64
+}
+
+// Switch is a store-and-forward output-queued switch.
+type Switch struct {
+	Cfg  Config
+	Eng  *sim.Engine
+	Pool *pkt.Pool
+
+	ports  []*link.Port
+	disc   []Discipline
+	routes map[pkt.NodeID][]int // destination host -> ECMP candidate egress ports
+
+	hooks Hooks
+
+	bufferUsed   int64
+	ingressBytes []int64 // per ingress port, data class
+	ingressPause []bool  // whether we have paused that upstream
+
+	rng *rand.Rand
+
+	// Statistics.
+	Drops      int64 // data packets dropped at admission
+	Marked     int64 // CE marks applied
+	PFCPauses  int64 // pause events generated (Xoff crossings)
+	PFCResumes int64
+	RxData     int64 // data packets received
+}
+
+// New constructs a switch with nports ports. Each port must then be
+// configured via AddPort and connected by the topology builder.
+func New(eng *sim.Engine, pool *pkt.Pool, cfg Config) *Switch {
+	if cfg.ECNPmax == 0 {
+		cfg.ECNPmax = 1
+	}
+	return &Switch{
+		Cfg:    cfg,
+		Eng:    eng,
+		Pool:   pool,
+		routes: make(map[pkt.NodeID][]int),
+		rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID)<<17 ^ 0x5eed)),
+	}
+}
+
+// ID returns the switch's node id.
+func (s *Switch) ID() pkt.NodeID { return s.Cfg.ID }
+
+// AddPort creates port i (ports must be added in index order) with the given
+// line rate and propagation delay, using the default two-class FIFO
+// discipline. It returns the new port for the topology builder to Connect.
+func (s *Switch) AddPort(rate sim.Rate, delay sim.Time) *link.Port {
+	idx := len(s.ports)
+	p := link.NewPort(s.Eng, s, idx, rate, delay, s.Pool)
+	s.ports = append(s.ports, p)
+	d := NewFIFO()
+	s.disc = append(s.disc, d)
+	p.SetSource(&portSource{sw: s, port: idx})
+	s.ingressBytes = append(s.ingressBytes, 0)
+	s.ingressPause = append(s.ingressPause, false)
+	return p
+}
+
+// Port returns port i.
+func (s *Switch) Port(i int) *link.Port { return s.ports[i] }
+
+// NumPorts reports the number of ports.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// SetDiscipline replaces the egress discipline of port i (used by the DCI
+// switch to install per-flow queuing).
+func (s *Switch) SetDiscipline(i int, d Discipline) { s.disc[i] = d }
+
+// DisciplineAt returns the egress discipline of port i.
+func (s *Switch) DisciplineAt(i int) Discipline { return s.disc[i] }
+
+// SetHooks installs packet hooks (DCI behaviours).
+func (s *Switch) SetHooks(h Hooks) { s.hooks = h }
+
+// AddRoute registers egress port candidates for a destination host. Called
+// repeatedly it builds the ECMP set.
+func (s *Switch) AddRoute(dst pkt.NodeID, port int) {
+	s.routes[dst] = append(s.routes[dst], port)
+}
+
+// RouteFor returns the egress port for a flow toward dst, hashing the flow
+// id across the ECMP set. It panics on unknown destinations: a routing hole
+// is always a topology bug.
+func (s *Switch) RouteFor(dst pkt.NodeID, flow pkt.FlowID) int {
+	cands := s.routes[dst]
+	if len(cands) == 0 {
+		panic(fmt.Sprintf("fabric: switch %d has no route to %d", s.Cfg.ID, dst))
+	}
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	return cands[ecmpHash(flow, s.Cfg.ID)%uint32(len(cands))]
+}
+
+// ecmpHash mixes the flow id and switch id (fnv-style) so different switches
+// spread the same flows differently.
+func ecmpHash(flow pkt.FlowID, node pkt.NodeID) uint32 {
+	h := uint32(2166136261)
+	h = (h ^ uint32(flow)) * 16777619
+	h = (h ^ uint32(node)) * 16777619
+	h = (h ^ (h >> 13)) * 0x5bd1e995
+	return h ^ (h >> 15)
+}
+
+// BufferUsed reports the shared data buffer occupancy in bytes.
+func (s *Switch) BufferUsed() int64 { return s.bufferUsed }
+
+// EgressQLen reports the data backlog of port i's discipline.
+func (s *Switch) EgressQLen(i int) int64 { return s.disc[i].DataBytes() }
+
+// Receive implements link.Endpoint.
+func (s *Switch) Receive(p *pkt.Packet, on *link.Port) {
+	out := s.RouteFor(p.Dst, p.Flow)
+	if s.hooks != nil && s.hooks.OnIngress(p, on.Index, out) {
+		return
+	}
+	s.ForwardTo(p, on.Index, out)
+}
+
+// ForwardTo runs admission control and enqueues p on egress port out. It is
+// exported for the DCI hook, which re-injects PFQ packets through the normal
+// path. inPort < 0 means "internally generated" (no PFC accounting).
+func (s *Switch) ForwardTo(p *pkt.Packet, inPort, out int) {
+	if p.Kind == pkt.Data {
+		s.RxData++
+		// Shared-buffer admission. Control frames are never dropped: they
+		// are tiny and ride a protected class, as in real RDMA fabrics.
+		if s.bufferUsed+int64(p.Size) > s.Cfg.BufferBytes {
+			s.Drops++
+			s.Pool.Put(p)
+			return
+		}
+		s.bufferUsed += int64(p.Size)
+		p.InPort = inPort
+		if inPort >= 0 {
+			s.ingressBytes[inPort] += int64(p.Size)
+			s.checkXoff(inPort)
+		}
+		s.ecnMark(p, out)
+	}
+	s.disc[out].Enqueue(p)
+	s.ports[out].Kick()
+}
+
+// checkXoff sends a PFC pause upstream when the ingress backlog crosses Xoff.
+func (s *Switch) checkXoff(in int) {
+	if !s.Cfg.PFCEnabled || s.ingressPause[in] {
+		return
+	}
+	if s.ingressBytes[in] >= s.Cfg.PFCXoff {
+		s.ingressPause[in] = true
+		s.PFCPauses++
+		s.ports[in].SendPause(pkt.ClassData, true)
+	}
+}
+
+// ecnMark applies WRED marking based on the egress data backlog.
+func (s *Switch) ecnMark(p *pkt.Packet, out int) {
+	if !p.ECT || s.Cfg.ECNKmax <= 0 {
+		return
+	}
+	q := s.disc[out].DataBytes()
+	switch {
+	case q <= s.Cfg.ECNKmin:
+		return
+	case q >= s.Cfg.ECNKmax:
+		p.CE = true
+	default:
+		prob := s.Cfg.ECNPmax * float64(q-s.Cfg.ECNKmin) / float64(s.Cfg.ECNKmax-s.Cfg.ECNKmin)
+		if s.rng.Float64() < prob {
+			p.CE = true
+		}
+	}
+	if p.CE {
+		s.Marked++
+	}
+}
+
+// afterDequeue performs post-dequeue accounting: shared-buffer release,
+// PFC Xon resume, and INT stamping.
+func (s *Switch) afterDequeue(p *pkt.Packet, out int) {
+	if p.Kind != pkt.Data {
+		return
+	}
+	s.bufferUsed -= int64(p.Size)
+	if in := p.InPort; in >= 0 && in < len(s.ingressBytes) {
+		s.ingressBytes[in] -= int64(p.Size)
+		if s.Cfg.PFCEnabled && s.ingressPause[in] && s.ingressBytes[in] <= s.Cfg.PFCXon {
+			s.ingressPause[in] = false
+			s.PFCResumes++
+			s.ports[in].SendPause(pkt.ClassData, false)
+		}
+	}
+	if s.Cfg.INTEnabled {
+		port := s.ports[out]
+		p.AddHop(pkt.INTHop{
+			Node:    s.Cfg.ID,
+			QLen:    s.disc[out].DataBytes(),
+			TxBytes: port.TxBytes,
+			TS:      s.Eng.Now(),
+			Band:    port.Rate,
+		})
+	}
+}
+
+// portSource adapts a Discipline to link.Source, inserting the switch's
+// post-dequeue accounting between the queue and the wire.
+type portSource struct {
+	sw   *Switch
+	port int
+}
+
+func (ps *portSource) Next(paused *[pkt.NumClasses]bool) *pkt.Packet {
+	p := ps.sw.disc[ps.port].Next(paused)
+	if p == nil {
+		return nil
+	}
+	ps.sw.afterDequeue(p, ps.port)
+	return p
+}

@@ -1,0 +1,412 @@
+// Package host models RDMA-capable servers: per-flow rate-paced queue pairs
+// multiplexed onto one NIC port, per-packet ACK generation with INT echo,
+// DCQCN CNP generation, MLCC credit handling via pluggable receiver logic,
+// go-back-N loss recovery, and flow-completion-time recording.
+package host
+
+import (
+	"fmt"
+
+	"mlcc/internal/cc"
+	"mlcc/internal/link"
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+)
+
+// Flow is one transfer plus its life-cycle record. Flows are registered in a
+// Table shared by sender and receiver hosts and by the stats collectors.
+type Flow struct {
+	Info  cc.FlowInfo
+	Start sim.Time // scheduled start time
+
+	// Filled in as the simulation progresses.
+	Started  bool
+	Done     bool
+	FinishAt sim.Time
+	RxBytes  int64 // payload bytes received (any order), for throughput series
+}
+
+// FCT returns the flow completion time, or 0 if unfinished.
+func (f *Flow) FCT() sim.Time {
+	if !f.Done {
+		return 0
+	}
+	return f.FinishAt - f.Start
+}
+
+// Table is the global flow registry for one simulation.
+type Table struct {
+	flows map[pkt.FlowID]*Flow
+	next  pkt.FlowID
+}
+
+// NewTable returns an empty registry.
+func NewTable() *Table { return &Table{flows: make(map[pkt.FlowID]*Flow)} }
+
+// Add registers a flow, assigning its ID, and returns it.
+func (t *Table) Add(info cc.FlowInfo, start sim.Time) *Flow {
+	t.next++
+	info.ID = t.next
+	f := &Flow{Info: info, Start: start}
+	t.flows[info.ID] = f
+	return f
+}
+
+// Get returns the flow with the given id, or nil.
+func (t *Table) Get(id pkt.FlowID) *Flow { return t.flows[id] }
+
+// All returns every registered flow (map iteration order; callers sort).
+func (t *Table) All() []*Flow {
+	out := make([]*Flow, 0, len(t.flows))
+	for _, f := range t.flows {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Len reports the number of registered flows.
+func (t *Table) Len() int { return len(t.flows) }
+
+// Config parameterizes a host.
+type Config struct {
+	ID          pkt.NodeID
+	Rate        sim.Rate
+	MTU         int
+	CNPInterval sim.Time // min spacing of DCQCN CNPs per flow (0 disables CNPs)
+	RTOMin      sim.Time // floor for the go-back-N retransmission timeout
+}
+
+// Host is one server with a single NIC port.
+type Host struct {
+	Eng  *sim.Engine
+	Pool *pkt.Pool
+	Cfg  Config
+
+	port  *link.Port
+	table *Table
+
+	newSender   cc.SenderFactory
+	newReceiver cc.ReceiverFactory
+
+	// Sender side.
+	sending []*sendState
+	byFlow  map[pkt.FlowID]*sendState
+	rr      int
+	ctl     pkt.Ring // outgoing control frames
+	wakeEv  *sim.Event
+	wakeAt  sim.Time
+
+	// Receiver side.
+	recv map[pkt.FlowID]*recvState
+
+	// OnFlowDone, if set, fires when this host (as receiver) sees a flow's
+	// last in-order byte.
+	OnFlowDone func(f *Flow)
+
+	// Counters.
+	Retransmits int64
+	OutOfOrder  int64
+	SentData    int64
+	RecvData    int64
+}
+
+type sendState struct {
+	flow     *Flow
+	sender   cc.Sender
+	next     int64 // next payload byte to emit
+	acked    int64 // cumulative acknowledged
+	nextTime sim.Time
+	progress sim.Time // last time acked advanced
+	rtoEv    *sim.Event
+	done     bool
+}
+
+type recvState struct {
+	flow    *Flow
+	rcv     cc.Receiver
+	got     int64 // contiguous bytes received
+	lastCNP sim.Time
+	hasCNP  bool
+}
+
+// New constructs a host. Call Port to obtain its NIC port for connecting.
+func New(eng *sim.Engine, pool *pkt.Pool, cfg Config, table *Table,
+	newSender cc.SenderFactory, newReceiver cc.ReceiverFactory, delay sim.Time) *Host {
+	if cfg.MTU <= 0 {
+		cfg.MTU = pkt.DefaultMTU
+	}
+	if cfg.RTOMin <= 0 {
+		cfg.RTOMin = 500 * sim.Microsecond
+	}
+	h := &Host{
+		Eng: eng, Pool: pool, Cfg: cfg, table: table,
+		newSender: newSender, newReceiver: newReceiver,
+		byFlow: make(map[pkt.FlowID]*sendState),
+		recv:   make(map[pkt.FlowID]*recvState),
+	}
+	h.port = link.NewPort(eng, h, 0, cfg.Rate, delay, pool)
+	h.port.SetSource(h)
+	return h
+}
+
+// Port returns the NIC port for topology wiring.
+func (h *Host) Port() *link.Port { return h.port }
+
+// ID returns the host's node id.
+func (h *Host) ID() pkt.NodeID { return h.Cfg.ID }
+
+// StartFlow begins transmitting flow f (which must have Src == this host).
+func (h *Host) StartFlow(f *Flow) {
+	if f.Info.Src != h.Cfg.ID {
+		panic(fmt.Sprintf("host %d: StartFlow for src %d", h.Cfg.ID, f.Info.Src))
+	}
+	f.Started = true
+	s := &sendState{
+		flow:     f,
+		sender:   h.newSender(f.Info),
+		nextTime: h.Eng.Now(),
+		progress: h.Eng.Now(),
+	}
+	h.sending = append(h.sending, s)
+	h.byFlow[f.Info.ID] = s
+	h.armRTO(s)
+	h.port.Kick()
+}
+
+// ActiveSends reports in-progress sender-side flows (for tests).
+func (h *Host) ActiveSends() int { return len(h.sending) }
+
+// FlowRate returns the pacing rate of an active flow, or 0.
+func (h *Host) FlowRate(id pkt.FlowID) sim.Rate {
+	if s, ok := h.byFlow[id]; ok {
+		return s.sender.Rate()
+	}
+	return 0
+}
+
+// Sender exposes the cc.Sender of an active flow (for tests/tracing).
+func (h *Host) Sender(id pkt.FlowID) cc.Sender {
+	if s, ok := h.byFlow[id]; ok {
+		return s.sender
+	}
+	return nil
+}
+
+// Next implements link.Source: control frames first, then round-robin over
+// eligible (pacing-permitted) flows.
+func (h *Host) Next(paused *[pkt.NumClasses]bool) *pkt.Packet {
+	if !paused[pkt.ClassControl] {
+		if p := h.ctl.Pop(); p != nil {
+			return p
+		}
+	}
+	if paused[pkt.ClassData] || len(h.sending) == 0 {
+		return nil
+	}
+	now := h.Eng.Now()
+	n := len(h.sending)
+	var earliest sim.Time = -1
+	for i := 0; i < n; i++ {
+		idx := (h.rr + i) % n
+		s := h.sending[idx]
+		if s.done || s.next >= s.flow.Info.Size {
+			continue
+		}
+		if s.nextTime <= now {
+			h.rr = (idx + 1) % n
+			return h.emit(s, now)
+		}
+		if earliest < 0 || s.nextTime < earliest {
+			earliest = s.nextTime
+		}
+	}
+	if earliest >= 0 {
+		h.scheduleWake(earliest)
+	}
+	return nil
+}
+
+func (h *Host) emit(s *sendState, now sim.Time) *pkt.Packet {
+	size := s.flow.Info.Size - s.next
+	if size > int64(h.Cfg.MTU) {
+		size = int64(h.Cfg.MTU)
+	}
+	p := h.Pool.NewData(s.flow.Info.ID, s.flow.Info.Src, s.flow.Info.Dst, s.next, int(size))
+	p.SendTS = now
+	s.next += size
+	if s.next >= s.flow.Info.Size {
+		p.Last = true
+	}
+	base := s.nextTime
+	if now > base {
+		base = now
+	}
+	s.nextTime = base + sim.TxTime(int(size), s.sender.Rate())
+	h.SentData++
+	return p
+}
+
+func (h *Host) scheduleWake(at sim.Time) {
+	if h.wakeEv != nil && !h.wakeEv.Canceled() && h.wakeAt <= at && h.wakeAt > h.Eng.Now() {
+		return
+	}
+	if h.wakeEv != nil {
+		h.wakeEv.Cancel()
+	}
+	h.wakeAt = at
+	h.wakeEv = h.Eng.At(at, h.port.Kick)
+}
+
+// Receive implements link.Endpoint.
+func (h *Host) Receive(p *pkt.Packet, on *link.Port) {
+	switch p.Kind {
+	case pkt.Data:
+		h.onData(p)
+	case pkt.Ack:
+		h.onAck(p)
+	case pkt.CNP:
+		if s, ok := h.byFlow[p.Flow]; ok {
+			s.sender.OnCNP(h.Eng.Now())
+		}
+		h.Pool.Put(p)
+	case pkt.SwitchINT:
+		if s, ok := h.byFlow[p.Flow]; ok {
+			s.sender.OnSwitchINT(h.Eng.Now(), p)
+		}
+		h.Pool.Put(p)
+	default:
+		h.Pool.Put(p)
+	}
+}
+
+func (h *Host) onData(p *pkt.Packet) {
+	now := h.Eng.Now()
+	h.RecvData++
+	flow := h.table.Get(p.Flow)
+	if flow == nil {
+		panic(fmt.Sprintf("host %d: data for unknown flow %d", h.Cfg.ID, p.Flow))
+	}
+	rs := h.recv[p.Flow]
+	if rs == nil {
+		rs = &recvState{flow: flow}
+		if h.newReceiver != nil {
+			rs.rcv = h.newReceiver(flow.Info)
+		}
+		h.recv[p.Flow] = rs
+	}
+	flow.RxBytes += int64(p.Size)
+
+	switch {
+	case p.Seq == rs.got:
+		rs.got += int64(p.Size)
+	case p.Seq > rs.got:
+		h.OutOfOrder++ // gap: dup-ack below triggers go-back-N at the sender
+	default:
+		// duplicate of already-received data; ack again
+	}
+
+	ack := h.Pool.NewControl(pkt.Ack, p.Flow, h.Cfg.ID, p.Src)
+	ack.Seq = rs.got
+	ack.EchoTS = p.SendTS
+	ack.ECE = p.CE
+	ack.Hops = append(ack.Hops, p.Hops...)
+	if rs.rcv != nil {
+		rs.rcv.OnData(now, p, ack)
+	}
+	if rs.got >= flow.Info.Size && !flow.Done {
+		flow.Done = true
+		flow.FinishAt = now
+		ack.Last = true
+		if h.OnFlowDone != nil {
+			h.OnFlowDone(flow)
+		}
+	}
+	h.ctl.Push(ack)
+
+	// DCQCN: echo CE marks as CNPs, paced per flow.
+	if p.CE && h.Cfg.CNPInterval > 0 && (!rs.hasCNP || now-rs.lastCNP >= h.Cfg.CNPInterval) {
+		rs.lastCNP = now
+		rs.hasCNP = true
+		cnp := h.Pool.NewControl(pkt.CNP, p.Flow, h.Cfg.ID, p.Src)
+		h.ctl.Push(cnp)
+	}
+
+	h.Pool.Put(p)
+	h.port.Kick()
+}
+
+func (h *Host) onAck(p *pkt.Packet) {
+	now := h.Eng.Now()
+	s, ok := h.byFlow[p.Flow]
+	if !ok {
+		h.Pool.Put(p)
+		return
+	}
+	if p.Seq > s.acked {
+		s.acked = p.Seq
+		s.progress = now
+	}
+	s.sender.OnAck(now, p)
+	if s.acked >= s.flow.Info.Size && !s.done {
+		s.done = true
+		h.finishSend(s)
+	}
+	h.Pool.Put(p)
+}
+
+func (h *Host) finishSend(s *sendState) {
+	if closer, ok := s.sender.(interface{ Close() }); ok {
+		closer.Close()
+	}
+	if s.rtoEv != nil {
+		s.rtoEv.Cancel()
+	}
+	delete(h.byFlow, s.flow.Info.ID)
+	for i, x := range h.sending {
+		if x == s {
+			h.sending = append(h.sending[:i], h.sending[i+1:]...)
+			break
+		}
+	}
+	if h.rr >= len(h.sending) {
+		h.rr = 0
+	}
+}
+
+// rto returns the retransmission timeout for a flow.
+func (h *Host) rto(s *sendState) sim.Time {
+	rto := 4 * s.flow.Info.BaseRTT
+	if rto < h.Cfg.RTOMin {
+		rto = h.Cfg.RTOMin
+	}
+	return rto
+}
+
+func (h *Host) armRTO(s *sendState) {
+	s.rtoEv = h.Eng.After(h.rto(s), func() { h.checkRTO(s) })
+}
+
+// checkRTO implements go-back-N: if no cumulative-ack progress for one RTO
+// while data is outstanding, rewind to the last acked byte.
+func (h *Host) checkRTO(s *sendState) {
+	if s.done {
+		return
+	}
+	now := h.Eng.Now()
+	if s.next > s.acked && now-s.progress >= h.rto(s) {
+		s.next = s.acked
+		s.nextTime = now
+		s.progress = now
+		h.Retransmits++
+		h.port.Kick()
+	}
+	h.armRTO(s)
+}
+
+// ReceivedBytes reports contiguous bytes received for a flow (tests).
+func (h *Host) ReceivedBytes(id pkt.FlowID) int64 {
+	if rs, ok := h.recv[id]; ok {
+		return rs.got
+	}
+	return 0
+}

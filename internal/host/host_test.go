@@ -1,0 +1,342 @@
+package host
+
+import (
+	"testing"
+
+	"mlcc/internal/cc"
+	"mlcc/internal/fabric"
+	"mlcc/internal/link"
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+)
+
+// fixedCC paces at a constant rate and records callbacks.
+type fixedCC struct {
+	rate       sim.Rate
+	acks       int
+	cnps       int
+	switchINTs int
+	closed     bool
+}
+
+func (f *fixedCC) OnAck(now sim.Time, ack *pkt.Packet) { f.acks++ }
+func (f *fixedCC) OnCNP(now sim.Time)                  { f.cnps++ }
+func (f *fixedCC) OnSwitchINT(now sim.Time, p *pkt.Packet) {
+	f.switchINTs++
+}
+func (f *fixedCC) Rate() sim.Rate { return f.rate }
+func (f *fixedCC) Close()         { f.closed = true }
+
+// echoReceiver stamps a recognizable credit onto ACKs.
+type echoReceiver struct{ calls int }
+
+func (e *echoReceiver) OnData(now sim.Time, data, ack *pkt.Packet) {
+	e.calls++
+	ack.CR = 42
+}
+
+// rig: two hosts joined by one switch.
+type rig struct {
+	eng    *sim.Engine
+	pool   *pkt.Pool
+	table  *Table
+	a, b   *Host
+	sw     *fabric.Switch
+	ccByID map[pkt.FlowID]*fixedCC
+}
+
+func newRig(t *testing.T, swCfg fabric.Config, hostCfg Config) *rig {
+	return newRigRates(t, swCfg, hostCfg, nil)
+}
+
+// newRigRates lets tests use asymmetric link rates: rates = [2]{a, b}.
+func newRigRates(t *testing.T, swCfg fabric.Config, hostCfg Config, rates *[2]sim.Rate) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	pool := pkt.NewPool()
+	table := NewTable()
+	r := &rig{eng: eng, pool: pool, table: table, ccByID: map[pkt.FlowID]*fixedCC{}}
+
+	newSender := func(f cc.FlowInfo) cc.Sender {
+		s := &fixedCC{rate: f.LinkRate}
+		r.ccByID[f.ID] = s
+		return s
+	}
+	var newReceiver cc.ReceiverFactory
+	if hostCfg.MTU == 1234 { // sentinel: install echo receivers
+		hostCfg.MTU = 1000
+		newReceiver = func(f cc.FlowInfo) cc.Receiver { return &echoReceiver{} }
+	}
+
+	mk := func(id pkt.NodeID, rate sim.Rate) *Host {
+		cfg := hostCfg
+		cfg.ID = id
+		cfg.Rate = rate
+		return New(eng, pool, cfg, table, newSender, newReceiver, sim.Microsecond)
+	}
+	rateA, rateB := hostCfg.Rate, hostCfg.Rate
+	if rates != nil {
+		rateA, rateB = rates[0], rates[1]
+	}
+	r.a = mk(1, rateA)
+	r.b = mk(2, rateB)
+	r.sw = fabric.New(eng, pool, swCfg)
+	pa := r.sw.AddPort(rateA, sim.Microsecond)
+	pb := r.sw.AddPort(rateB, sim.Microsecond)
+	link.Connect(r.a.Port(), pa)
+	link.Connect(r.b.Port(), pb)
+	r.sw.AddRoute(1, 0)
+	r.sw.AddRoute(2, 1)
+	return r
+}
+
+func basicSwitch() fabric.Config {
+	return fabric.Config{ID: 100, BufferBytes: 1 << 20, INTEnabled: true}
+}
+
+func basicHost() Config {
+	return Config{Rate: 25 * sim.Gbps, MTU: 1000}
+}
+
+func (r *rig) addFlow(src, dst pkt.NodeID, size int64, start sim.Time) *Flow {
+	from := r.a
+	if src == 2 {
+		from = r.b
+	}
+	info := cc.FlowInfo{
+		Src: src, Dst: dst, Size: size,
+		LinkRate: from.Cfg.Rate, MTU: 1000, BaseRTT: 10 * sim.Microsecond,
+	}
+	f := r.table.Add(info, start)
+	r.eng.At(start, func() { from.StartFlow(f) })
+	return f
+}
+
+func TestFlowCompletes(t *testing.T) {
+	r := newRig(t, basicSwitch(), basicHost())
+	f := r.addFlow(1, 2, 100_000, sim.Microsecond)
+	r.eng.RunUntil(10 * sim.Millisecond)
+	if !f.Done {
+		t.Fatal("flow incomplete")
+	}
+	// 100 packets at 25G = 32 µs + path latency.
+	if fct := f.FCT(); fct < 32*sim.Microsecond || fct > 100*sim.Microsecond {
+		t.Fatalf("FCT = %v", fct)
+	}
+	if got := r.b.ReceivedBytes(f.Info.ID); got != 100_000 {
+		t.Fatalf("received %d", got)
+	}
+	if f.RxBytes != 100_000 {
+		t.Fatalf("RxBytes = %d", f.RxBytes)
+	}
+}
+
+func TestPerPacketAcksReachSender(t *testing.T) {
+	r := newRig(t, basicSwitch(), basicHost())
+	f := r.addFlow(1, 2, 10_000, 0)
+	r.eng.RunUntil(10 * sim.Millisecond)
+	s := r.ccByID[f.Info.ID]
+	if s.acks != 10 {
+		t.Fatalf("acks = %d, want 10", s.acks)
+	}
+}
+
+func TestSenderClosedOnCompletion(t *testing.T) {
+	r := newRig(t, basicSwitch(), basicHost())
+	f := r.addFlow(1, 2, 10_000, 0)
+	r.eng.RunUntil(10 * sim.Millisecond)
+	if !r.ccByID[f.Info.ID].closed {
+		t.Fatal("sender not closed")
+	}
+	if r.a.ActiveSends() != 0 {
+		t.Fatalf("ActiveSends = %d", r.a.ActiveSends())
+	}
+	if r.a.FlowRate(f.Info.ID) != 0 || r.a.Sender(f.Info.ID) != nil {
+		t.Fatal("finished flow still queryable")
+	}
+}
+
+func TestOnFlowDoneCallback(t *testing.T) {
+	r := newRig(t, basicSwitch(), basicHost())
+	var done []*Flow
+	r.b.OnFlowDone = func(f *Flow) { done = append(done, f) }
+	f := r.addFlow(1, 2, 5_000, 0)
+	r.eng.RunUntil(10 * sim.Millisecond)
+	if len(done) != 1 || done[0] != f {
+		t.Fatalf("OnFlowDone fired %d times", len(done))
+	}
+	if f.FinishAt == 0 || !f.Started {
+		t.Fatalf("lifecycle not recorded: %+v", f)
+	}
+}
+
+func TestPacingHonoursRate(t *testing.T) {
+	r := newRig(t, basicSwitch(), basicHost())
+	f := r.addFlow(1, 2, 10_000, sim.Microsecond)
+	// Pace at 1 Gbps: 8 µs per packet; nine gaps ≈ 72 µs.
+	r.eng.At(0, func() {}) // ensure engine starts at 0
+	r.eng.At(sim.Microsecond, func() { r.ccByID[f.Info.ID].rate = sim.Gbps })
+	r.eng.RunUntil(10 * sim.Millisecond)
+	if !f.Done {
+		t.Fatal("flow incomplete")
+	}
+	// Packet 1 leaves before the rate change lands; the remaining eight
+	// gaps are paced at 8 µs each.
+	if fct := f.FCT(); fct < 64*sim.Microsecond {
+		t.Fatalf("FCT %v too fast for 1Gbps pacing", fct)
+	}
+}
+
+func TestRoundRobinSharesNIC(t *testing.T) {
+	r := newRig(t, basicSwitch(), basicHost())
+	f1 := r.addFlow(1, 2, 500_000, 0)
+	f2 := r.addFlow(1, 2, 500_000, 0)
+	r.eng.RunUntil(10 * sim.Millisecond)
+	if !f1.Done || !f2.Done {
+		t.Fatal("flows incomplete")
+	}
+	// Both compete for the same 25G NIC: completion times within 30%.
+	d1, d2 := float64(f1.FCT()), float64(f2.FCT())
+	if d1/d2 > 1.3 || d2/d1 > 1.3 {
+		t.Fatalf("unfair NIC sharing: %v vs %v", f1.FCT(), f2.FCT())
+	}
+}
+
+func TestCNPGeneratedOnCE(t *testing.T) {
+	cfg := basicSwitch()
+	cfg.ECNKmin = 1 // mark aggressively
+	cfg.ECNKmax = 2
+	cfg.ECNPmax = 1
+	h := basicHost()
+	h.CNPInterval = 50 * sim.Microsecond
+	// Fast sender into a slow receiver link so the switch queue builds.
+	r := newRigRates(t, cfg, h, &[2]sim.Rate{100 * sim.Gbps, 25 * sim.Gbps})
+	f := r.addFlow(1, 2, 1_000_000, 0)
+	r.eng.RunUntil(10 * sim.Millisecond)
+	if r.ccByID[f.Info.ID].cnps == 0 {
+		t.Fatal("no CNPs despite CE marks")
+	}
+	// CNPs must be paced: over ~0.3ms of transfer, at most ~8.
+	if got := r.ccByID[f.Info.ID].cnps; got > 20 {
+		t.Fatalf("CNPs not paced: %d", got)
+	}
+}
+
+func TestNoCNPWhenDisabled(t *testing.T) {
+	cfg := basicSwitch()
+	cfg.ECNKmin = 1
+	cfg.ECNKmax = 2
+	cfg.ECNPmax = 1
+	// Same bottleneck as above, but CNP generation disabled.
+	r := newRigRates(t, cfg, basicHost(), &[2]sim.Rate{100 * sim.Gbps, 25 * sim.Gbps})
+	f := r.addFlow(1, 2, 100_000, 0)
+	r.eng.RunUntil(10 * sim.Millisecond)
+	if r.ccByID[f.Info.ID].cnps != 0 {
+		t.Fatal("CNP generated while disabled")
+	}
+}
+
+func TestReceiverLogicStampsAck(t *testing.T) {
+	h := basicHost()
+	h.MTU = 1234 // sentinel enabling echo receivers
+	r := newRig(t, basicSwitch(), h)
+	f := r.addFlow(1, 2, 10_000, 0)
+	r.eng.RunUntil(10 * sim.Millisecond)
+	if !f.Done {
+		t.Fatal("flow incomplete")
+	}
+	_ = f
+}
+
+func TestSwitchINTDispatch(t *testing.T) {
+	r := newRig(t, basicSwitch(), basicHost())
+	f := r.addFlow(1, 2, 10_000, 0)
+	r.eng.At(sim.Microsecond, func() {
+		si := r.pool.NewControl(pkt.SwitchINT, f.Info.ID, 99, 1)
+		r.b.Port() // unused
+		r.sw.Receive(si, r.sw.Port(1))
+	})
+	r.eng.RunUntil(10 * sim.Millisecond)
+	if r.ccByID[f.Info.ID].switchINTs != 1 {
+		t.Fatalf("switchINTs = %d", r.ccByID[f.Info.ID].switchINTs)
+	}
+}
+
+func TestGoBackNRecoversFromDrop(t *testing.T) {
+	cfg := basicSwitch()
+	cfg.BufferBytes = 2500 // forces drops for bursts (no PFC)
+	h := basicHost()
+	h.RTOMin = 200 * sim.Microsecond
+	r := newRig(t, cfg, h)
+	f := r.addFlow(1, 2, 200_000, 0)
+	r.eng.RunUntil(50 * sim.Millisecond)
+	if !f.Done {
+		t.Fatalf("flow incomplete after drops (retransmits=%d, swDrops=%d)",
+			r.a.Retransmits, r.sw.Drops)
+	}
+	if r.sw.Drops == 0 {
+		t.Skip("no drops induced; buffer too large for this rate")
+	}
+	if r.a.Retransmits == 0 {
+		t.Fatal("drops occurred but no retransmission")
+	}
+}
+
+func TestTableBookkeeping(t *testing.T) {
+	table := NewTable()
+	info := cc.FlowInfo{Src: 1, Dst: 2, Size: 1000}
+	f1 := table.Add(info, 0)
+	f2 := table.Add(info, sim.Microsecond)
+	if f1.Info.ID == f2.Info.ID {
+		t.Fatal("duplicate flow ids")
+	}
+	if table.Len() != 2 {
+		t.Fatalf("Len = %d", table.Len())
+	}
+	if table.Get(f1.Info.ID) != f1 || table.Get(999) != nil {
+		t.Fatal("Get broken")
+	}
+	if len(table.All()) != 2 {
+		t.Fatal("All broken")
+	}
+}
+
+func TestStartFlowWrongHostPanics(t *testing.T) {
+	r := newRig(t, basicSwitch(), basicHost())
+	f := r.table.Add(cc.FlowInfo{Src: 2, Dst: 1, Size: 1000, LinkRate: sim.Gbps, MTU: 1000}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.a.StartFlow(f)
+}
+
+func TestFCTZeroWhileUnfinished(t *testing.T) {
+	f := &Flow{}
+	if f.FCT() != 0 {
+		t.Fatal("unfinished flow has nonzero FCT")
+	}
+}
+
+func TestSubMTUFlow(t *testing.T) {
+	r := newRig(t, basicSwitch(), basicHost())
+	f := r.addFlow(1, 2, 100, 0) // single tiny packet
+	r.eng.RunUntil(5 * sim.Millisecond)
+	if !f.Done {
+		t.Fatal("tiny flow incomplete")
+	}
+	if r.a.SentData != 1 {
+		t.Fatalf("SentData = %d", r.a.SentData)
+	}
+}
+
+func TestBidirectionalTraffic(t *testing.T) {
+	r := newRig(t, basicSwitch(), basicHost())
+	f1 := r.addFlow(1, 2, 200_000, 0)
+	f2 := r.addFlow(2, 1, 200_000, 0)
+	r.eng.RunUntil(20 * sim.Millisecond)
+	if !f1.Done || !f2.Done {
+		t.Fatal("bidirectional flows incomplete")
+	}
+}

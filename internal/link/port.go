@@ -1,0 +1,220 @@
+// Package link models full-duplex network links as pairs of ports. Each
+// port serializes frames at line rate, delivers them after the link's
+// propagation delay, and honours per-class PFC pause state.
+//
+// Ports use a pull model: a device registers a Source, and the port asks it
+// for the next frame whenever the transmitter goes idle. Devices call Kick
+// when new work arrives. This lets hosts (rate-paced QPs), switches (shared
+// buffer queues) and DCI switches (per-flow queues with credit-controlled
+// drain rates) share one transmission path.
+package link
+
+import (
+	"fmt"
+
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+)
+
+// Endpoint consumes frames delivered by a port.
+type Endpoint interface {
+	// Receive is invoked when a frame fully arrives on port on.
+	// The endpoint takes ownership of the packet.
+	Receive(p *pkt.Packet, on *Port)
+}
+
+// Source supplies frames to transmit. Next must return nil when nothing is
+// eligible; classes marked true in paused must not be dequeued.
+type Source interface {
+	Next(paused *[pkt.NumClasses]bool) *pkt.Packet
+}
+
+// Port is one direction-pair endpoint of a full-duplex link.
+type Port struct {
+	Eng   *sim.Engine
+	Owner Endpoint
+	Index int // port number within the owning device
+	Rate  sim.Rate
+	Delay sim.Time // propagation delay to the peer
+	Pool  *pkt.Pool
+
+	peer   *Port
+	src    Source
+	busy   bool
+	paused [pkt.NumClasses]bool
+
+	// In-flight frames on the wire toward the peer. Arrival times are
+	// monotone (serialization completes in order, propagation is constant),
+	// so the pipe is a FIFO drained by a single scheduled event — keeping
+	// the engine heap small even when megabytes are in flight on a
+	// long-haul link.
+	pipe   []flight
+	pipeHd int
+	pipeEv *sim.Event
+
+	// Counters (exported for INT stamping and statistics).
+	TxBytes     int64 // cumulative bytes fully serialized
+	TxPackets   int64
+	RxBytes     int64
+	RxPackets   int64
+	PauseRx     int64 // pause frames received (this port was throttled)
+	PauseTx     int64 // pause frames sent from this port
+	PausedSince sim.Time
+	PausedTotal sim.Time // cumulative paused time on the data class
+}
+
+// NewPort constructs an unconnected port. Call SetSource before any traffic
+// can flow, and Connect to join two ports into a link.
+func NewPort(eng *sim.Engine, owner Endpoint, index int, rate sim.Rate, delay sim.Time, pool *pkt.Pool) *Port {
+	if rate <= 0 {
+		panic(fmt.Sprintf("link: port %d with rate %v", index, rate))
+	}
+	return &Port{Eng: eng, Owner: owner, Index: index, Rate: rate, Delay: delay, Pool: pool}
+}
+
+// SetSource registers the frame supplier for this port.
+func (p *Port) SetSource(s Source) { p.src = s }
+
+// Connect joins a and b as the two ends of one link.
+func Connect(a, b *Port) {
+	a.peer = b
+	b.peer = a
+}
+
+// Peer returns the other end of the link, or nil if unconnected.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Busy reports whether the transmitter is mid-frame.
+func (p *Port) Busy() bool { return p.busy }
+
+// Paused reports whether the given class is PFC-paused.
+func (p *Port) Paused(class int) bool { return p.paused[class] }
+
+// Kick prompts the port to pull from its source if idle. Safe to call at any
+// time, including re-entrantly from Source.Next via event callbacks.
+func (p *Port) Kick() {
+	if !p.busy {
+		p.pullNext()
+	}
+}
+
+func (p *Port) pullNext() {
+	if p.src == nil || p.peer == nil {
+		return
+	}
+	frame := p.src.Next(&p.paused)
+	if frame == nil {
+		return
+	}
+	p.busy = true
+	tx := sim.TxTime(frame.Size, p.Rate)
+	p.TxBytes += int64(frame.Size)
+	p.TxPackets++
+	p.Eng.After(tx, func() {
+		p.busy = false
+		p.launch(frame, p.Eng.Now()+p.Delay)
+		p.pullNext()
+	})
+}
+
+// flight is one frame in flight on the wire.
+type flight struct {
+	at sim.Time
+	p  *pkt.Packet
+}
+
+// launch places a frame on the wire, arriving at the peer at time at.
+// Arrival times must be monotone, which serialization order guarantees.
+func (p *Port) launch(frame *pkt.Packet, at sim.Time) {
+	p.pipe = append(p.pipe, flight{at: at, p: frame})
+	if p.pipeEv == nil {
+		p.pipeEv = p.Eng.At(at, p.drainPipe)
+	}
+}
+
+// drainPipe delivers every frame whose arrival time has come and re-arms the
+// single pending event for the next head.
+func (p *Port) drainPipe() {
+	now := p.Eng.Now()
+	for p.pipeHd < len(p.pipe) && p.pipe[p.pipeHd].at <= now {
+		f := p.pipe[p.pipeHd]
+		p.pipe[p.pipeHd] = flight{}
+		p.pipeHd++
+		p.peer.deliver(f.p)
+	}
+	if p.pipeHd == len(p.pipe) {
+		p.pipe = p.pipe[:0]
+		p.pipeHd = 0
+		p.pipeEv = nil
+		return
+	}
+	if p.pipeHd > 4096 && p.pipeHd*2 > len(p.pipe) {
+		n := copy(p.pipe, p.pipe[p.pipeHd:])
+		p.pipe = p.pipe[:n]
+		p.pipeHd = 0
+	}
+	p.pipeEv = p.Eng.At(p.pipe[p.pipeHd].at, p.drainPipe)
+}
+
+// deliver hands an arriving frame to the owner, intercepting PFC frames:
+// a Pause received on a port throttles that port's own transmitter, exactly
+// as IEEE 802.1Qbb pauses the sender at the far end of the link.
+func (p *Port) deliver(frame *pkt.Packet) {
+	p.RxBytes += int64(frame.Size)
+	p.RxPackets++
+	switch frame.Kind {
+	case pkt.Pause:
+		p.PauseRx++
+		p.setPaused(frame.PauseClass, true)
+		p.Pool.Put(frame)
+		return
+	case pkt.Resume:
+		p.setPaused(frame.PauseClass, false)
+		p.Pool.Put(frame)
+		return
+	}
+	p.Owner.Receive(frame, p)
+}
+
+func (p *Port) setPaused(class int, paused bool) {
+	if class < 0 || class >= pkt.NumClasses {
+		return
+	}
+	was := p.paused[class]
+	p.paused[class] = paused
+	if class == pkt.ClassData {
+		if paused && !was {
+			p.PausedSince = p.Eng.Now()
+		} else if !paused && was {
+			p.PausedTotal += p.Eng.Now() - p.PausedSince
+		}
+	}
+	if !paused && was {
+		p.Kick()
+	}
+}
+
+// SendPause emits a PFC pause (or resume) frame for class on this port's
+// reverse direction. The frame is injected directly at the transmitter —
+// PFC frames are generated by the MAC and do not queue behind data.
+func (p *Port) SendPause(class int, pause bool) {
+	if p.peer == nil {
+		return
+	}
+	kind := pkt.Resume
+	if pause {
+		kind = pkt.Pause
+		p.PauseTx++
+	}
+	f := p.Pool.NewControl(kind, 0, 0, 0)
+	f.PauseClass = class
+	// Model MAC-level injection: serialization of the 64B frame at line
+	// rate, then propagation. The frame shares the FIFO pipe, so it cannot
+	// overtake frames already on the wire (links never reorder).
+	tx := sim.TxTime(f.Size, p.Rate)
+	at := p.Eng.Now() + tx + p.Delay
+	if n := len(p.pipe); n > p.pipeHd && p.pipe[n-1].at > at {
+		at = p.pipe[n-1].at
+	}
+	p.launch(f, at)
+}

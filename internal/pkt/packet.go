@@ -1,0 +1,142 @@
+// Package pkt defines the on-wire units of the simulator: data packets,
+// acknowledgements, congestion-notification and Switch-INT control frames,
+// PFC pause/resume frames, the per-hop INT telemetry stack, and the MLCC
+// credit/rate fields carried by data packets and ACKs.
+package pkt
+
+import (
+	"fmt"
+
+	"mlcc/internal/sim"
+)
+
+// Kind identifies the packet type.
+type Kind uint8
+
+// Packet kinds.
+const (
+	Data      Kind = iota // payload-carrying data packet
+	Ack                   // per-packet acknowledgement
+	CNP                   // DCQCN congestion notification packet
+	SwitchINT             // MLCC near-source feedback from the sender-side DCI switch
+	Pause                 // PFC pause frame (hop-by-hop, data class)
+	Resume                // PFC resume frame
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "DATA"
+	case Ack:
+		return "ACK"
+	case CNP:
+		return "CNP"
+	case SwitchINT:
+		return "SINT"
+	case Pause:
+		return "PAUSE"
+	case Resume:
+		return "RESUME"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// FlowID identifies a flow (a five-tuple in a real network).
+type FlowID int32
+
+// NodeID identifies a host or switch in the topology.
+type NodeID int32
+
+// Priority classes. PFC applies to the data class only; control frames
+// (ACK/CNP/SwitchINT) ride the control class and are scheduled strictly
+// first, matching how RDMA deployments protect congestion signals.
+const (
+	ClassData    = 0
+	ClassControl = 1
+	NumClasses   = 2
+)
+
+// INTHop is one hop's in-band network telemetry record, stamped by a switch
+// egress port when the packet is dequeued (HPCC-style).
+type INTHop struct {
+	Node    NodeID   // switch that stamped the record
+	QLen    int64    // egress queue length in bytes at dequeue
+	TxBytes int64    // cumulative bytes transmitted by the egress port
+	TS      sim.Time // stamp time
+	Band    sim.Rate // egress link capacity
+}
+
+// MaxINTHops bounds the telemetry stack, as INT headers do on real hardware.
+const MaxINTHops = 8
+
+// Packet is the unit moved through ports, links and switches. One Packet
+// value represents one frame; it is allocated from a free list (see Pool)
+// and must not be retained after being freed.
+type Packet struct {
+	Kind Kind
+	Flow FlowID
+	Src  NodeID // originating host
+	Dst  NodeID // destination host (for Pause/Resume: the paused neighbor)
+	Seq  int64  // first payload byte offset (Data) or cumulative ack (Ack)
+	Size int    // bytes on the wire, including headers
+	Pri  int    // scheduling class: ClassData or ClassControl
+
+	// ECN state: ECT set by senders on data packets, CE set by a marking
+	// switch. The receiver echoes CE via CNPs (DCQCN) or the ECE bit on ACKs.
+	ECT bool
+	CE  bool
+	ECE bool // echoed CE, on ACKs
+
+	// Last reports that this packet carries the final payload byte of its
+	// flow (Data), or acknowledges it (Ack).
+	Last bool
+
+	// INT telemetry stack. Cleared/reinserted by DCI switches under MLCC.
+	Hops []INTHop
+
+	// Timestamps for RTT measurement (Timely) and diagnostics.
+	SendTS sim.Time // when the sender emitted the data packet
+	EchoTS sim.Time // on ACKs: SendTS of the acknowledged packet
+
+	// MLCC credit and rate fields (Algorithm 1 / Algorithm 2).
+	CD      uint32   // credit stamped into data packets by the receiver-side DCI switch
+	CR      uint32   // credit echoed in ACKs by the receiver
+	RCredit sim.Rate // PFQ dequeue rate chosen by the receiver (in ACKs); 0 = unset
+	RDQM    sim.Rate // smoothed DQM end-to-end rate (in ACKs); 0 = unset
+
+	// PauseClass is the priority class a Pause/Resume frame applies to.
+	PauseClass int
+
+	// InPort is switch-internal bookkeeping: the ingress port index the
+	// packet arrived on, used for PFC per-ingress accounting while queued.
+	InPort int
+}
+
+// Standard frame sizes (bytes on the wire).
+const (
+	DefaultMTU  = 1000 // data packet size used throughout the evaluation
+	ControlSize = 64   // ACK/CNP/SwitchINT/PFC frame size
+)
+
+// PayloadEnd returns the byte offset just past this data packet's payload.
+func (p *Packet) PayloadEnd() int64 { return p.Seq + int64(p.Size) }
+
+// AddHop appends an INT record, respecting MaxINTHops.
+func (p *Packet) AddHop(h INTHop) {
+	if len(p.Hops) < MaxINTHops {
+		p.Hops = append(p.Hops, h)
+	}
+}
+
+// ClearHops empties the INT stack without releasing its storage.
+func (p *Packet) ClearHops() { p.Hops = p.Hops[:0] }
+
+// IsControl reports whether the packet rides the control class.
+func (p *Packet) IsControl() bool { return p.Pri == ClassControl }
+
+// String renders a compact description for traces and tests.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s flow=%d %d->%d seq=%d size=%d", p.Kind, p.Flow, p.Src, p.Dst, p.Seq, p.Size)
+}

@@ -1,0 +1,64 @@
+package pkt
+
+// Pool is a simple free list of packets. The simulator is single-goroutine
+// per engine, so no locking is needed; each engine owns one Pool. Pooling
+// matters: large-scale FCT runs move tens of millions of frames.
+type Pool struct {
+	free []*Packet
+	// Allocs and Reuses count pool behaviour for tests and diagnostics.
+	Allocs int64
+	Reuses int64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a zeroed packet, reusing a freed one when available. The INT
+// stack's backing array is retained across reuse.
+func (pl *Pool) Get() *Packet {
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		pl.Reuses++
+		hops := p.Hops[:0]
+		*p = Packet{Hops: hops}
+		return p
+	}
+	pl.Allocs++
+	return &Packet{}
+}
+
+// Put returns p to the free list. p must not be used afterwards.
+func (pl *Pool) Put(p *Packet) {
+	if p == nil {
+		return
+	}
+	pl.free = append(pl.free, p)
+}
+
+// NewData builds a data packet.
+func (pl *Pool) NewData(flow FlowID, src, dst NodeID, seq int64, size int) *Packet {
+	p := pl.Get()
+	p.Kind = Data
+	p.Flow = flow
+	p.Src = src
+	p.Dst = dst
+	p.Seq = seq
+	p.Size = size
+	p.Pri = ClassData
+	p.ECT = true
+	return p
+}
+
+// NewControl builds a control frame of the given kind addressed src → dst.
+func (pl *Pool) NewControl(kind Kind, flow FlowID, src, dst NodeID) *Packet {
+	p := pl.Get()
+	p.Kind = kind
+	p.Flow = flow
+	p.Src = src
+	p.Dst = dst
+	p.Size = ControlSize
+	p.Pri = ClassControl
+	return p
+}

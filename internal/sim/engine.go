@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are created by Engine.At/After and
+// may be cancelled before they fire.
+type Event struct {
+	at       Time
+	seq      uint64 // tie-break so equal-time events fire in schedule order
+	fn       func()
+	index    int // heap index, -1 once popped
+	canceled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel is O(1): the event stays in the
+// heap and is discarded when popped.
+func (ev *Event) Cancel() {
+	if ev != nil {
+		ev.canceled = true
+		ev.fn = nil // release captured state early
+	}
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (ev *Event) Canceled() bool { return ev != nil && ev.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. It is not safe for
+// concurrent use: all scheduling must happen from the engine goroutine
+// (i.e. from within event callbacks or before Run).
+type Engine struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed, for diagnostics and tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of events still scheduled (including
+// cancelled-but-unpopped events).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// causality violations are always bugs in the caller.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: schedule after negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run/RunUntil return after the currently executing event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty or Stop is
+// called.
+func (e *Engine) Run() {
+	e.RunUntil(Time(1)<<62 - 1)
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline (if the queue drained earlier). It returns early if Stop
+// is called.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		next := e.heap[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.heap)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		fn := next.fn
+		next.fn = nil
+		e.fired++
+		fn()
+	}
+	if !e.stopped && e.now < deadline && deadline < Time(1)<<62-1 {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1e12 {
+		t.Fatalf("Second = %d, want 1e12", int64(Second))
+	}
+	if Millisecond*1000 != Second || Microsecond*1000 != Millisecond || Nanosecond*1000 != Microsecond {
+		t.Fatal("unit ladder broken")
+	}
+	if got := (3 * Millisecond).Seconds(); got != 0.003 {
+		t.Fatalf("Seconds() = %v, want 0.003", got)
+	}
+	if got := (250 * Microsecond).Millis(); got != 0.25 {
+		t.Fatalf("Millis() = %v, want 0.25", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0s"},
+		{Second, "1s"},
+		{3 * Millisecond, "3.000ms"},
+		{5 * Microsecond, "5.000us"},
+		{80 * Nanosecond, "80.000ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFromSeconds(t *testing.T) {
+	if got := FromSeconds(0.003); got != 3*Millisecond {
+		t.Fatalf("FromSeconds(0.003) = %v", got)
+	}
+	if got := FromSeconds(-1e-6); got != -Microsecond {
+		t.Fatalf("FromSeconds(-1e-6) = %v", got)
+	}
+}
+
+func TestTxTimeExact(t *testing.T) {
+	// 1000 B at 100 Gbps is exactly 80 ns.
+	if got := TxTime(1000, 100*Gbps); got != 80*Nanosecond {
+		t.Fatalf("TxTime(1000, 100G) = %v, want 80ns", got)
+	}
+	// 1000 B at 25 Gbps is exactly 320 ns.
+	if got := TxTime(1000, 25*Gbps); got != 320*Nanosecond {
+		t.Fatalf("TxTime(1000, 25G) = %v, want 320ns", got)
+	}
+	// 64 B at 100 Gbps is 5.12 ns.
+	if got := TxTime(64, 100*Gbps); got != Time(5120) {
+		t.Fatalf("TxTime(64, 100G) = %v ps, want 5120 ps", int64(got))
+	}
+}
+
+func TestTxTimePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TxTime(100, 0)
+}
+
+func TestRateHelpers(t *testing.T) {
+	if got := BDPBytes(100*Gbps, 6*Millisecond); got != 75_000_000 {
+		t.Fatalf("BDP(100G, 6ms) = %d, want 75e6", got)
+	}
+	if got := RateOf(12_500_000, Millisecond); got != 100*Gbps {
+		t.Fatalf("RateOf = %v, want 100Gbps", got)
+	}
+	if got := BytesOver(8*Gbps, Millisecond); got != 1_000_000 {
+		t.Fatalf("BytesOver = %d, want 1e6", got)
+	}
+	if got := ClampRate(5*Gbps, 10*Gbps, 20*Gbps); got != 10*Gbps {
+		t.Fatalf("ClampRate low = %v", got)
+	}
+	if got := ClampRate(50*Gbps, 10*Gbps, 20*Gbps); got != 20*Gbps {
+		t.Fatalf("ClampRate high = %v", got)
+	}
+	if got := ClampRate(15*Gbps, 10*Gbps, 20*Gbps); got != 15*Gbps {
+		t.Fatalf("ClampRate mid = %v", got)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	if got := (25 * Gbps).String(); got != "25Gbps" {
+		t.Fatalf("got %q", got)
+	}
+	if got := (5 * Mbps).String(); got != "5Mbps" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30*Nanosecond, func() { got = append(got, 3) })
+	e.At(10*Nanosecond, func() { got = append(got, 1) })
+	e.At(20*Nanosecond, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if e.Now() != 30*Nanosecond {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Microsecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of schedule order: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits int
+	e.At(Microsecond, func() {
+		hits++
+		e.After(Microsecond, func() {
+			hits++
+			e.After(Microsecond, func() { hits++ })
+		})
+	})
+	e.Run()
+	if hits != 3 {
+		t.Fatalf("hits = %d, want 3", hits)
+	}
+	if e.Now() != 3*Microsecond {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(Microsecond, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false")
+	}
+	// Cancelling again (and cancelling nil) must be safe.
+	ev.Cancel()
+	var nilEv *Event
+	nilEv.Cancel()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, d := range []Time{Microsecond, 2 * Microsecond, 3 * Microsecond} {
+		d := d
+		e.At(d, func() { got = append(got, d) })
+	}
+	e.RunUntil(2 * Microsecond)
+	if len(got) != 2 {
+		t.Fatalf("got %d events, want 2", len(got))
+	}
+	if e.Now() != 2*Microsecond {
+		t.Fatalf("Now = %v, want 2us", e.Now())
+	}
+	e.RunUntil(10 * Microsecond)
+	if len(got) != 3 {
+		t.Fatalf("got %d events, want 3", len(got))
+	}
+	// Clock advances to the deadline even after the queue drains.
+	if e.Now() != 10*Microsecond {
+		t.Fatalf("Now = %v, want 10us", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(Microsecond, func() { count++; e.Stop() })
+	e.At(2*Microsecond, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	// Resuming picks up the remaining event.
+	e.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(Microsecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	e.Run()
+}
+
+// Property: events always fire in nondecreasing timestamp order, regardless
+// of insertion order.
+func TestEngineHeapProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			at := Time(d) * Nanosecond
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving cancels preserves ordering of survivors and never
+// fires a cancelled event.
+func TestEngineCancelProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		type rec struct {
+			ev       *Event
+			at       Time
+			canceled bool
+		}
+		n := 1 + rng.Intn(100)
+		recs := make([]*rec, n)
+		var fired []Time
+		for i := range recs {
+			r := &rec{at: Time(rng.Intn(1000)) * Nanosecond}
+			r.ev = e.At(r.at, func() { fired = append(fired, r.at) })
+			recs[i] = r
+		}
+		want := 0
+		for _, r := range recs {
+			if rng.Intn(2) == 0 {
+				r.ev.Cancel()
+				r.canceled = true
+			} else {
+				want++
+			}
+		}
+		e.Run()
+		if len(fired) != want {
+			t.Fatalf("trial %d: fired %d, want %d", trial, len(fired), want)
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			t.Fatalf("trial %d: out of order: %v", trial, fired)
+		}
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.After(Nanosecond, func() {})
+		if e.Pending() > 1024 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,82 @@
+package sim
+
+import "fmt"
+
+// Rate is a transmission or drain rate in bits per second.
+type Rate int64
+
+// Convenient rate units.
+const (
+	Bps  Rate = 1
+	Kbps Rate = 1000 * Bps
+	Mbps Rate = 1000 * Kbps
+	Gbps Rate = 1000 * Mbps
+)
+
+// String formats r with an adaptive unit.
+func (r Rate) String() string {
+	switch {
+	case r >= Gbps:
+		return fmt.Sprintf("%.3gGbps", float64(r)/float64(Gbps))
+	case r >= Mbps:
+		return fmt.Sprintf("%.3gMbps", float64(r)/float64(Mbps))
+	case r >= Kbps:
+		return fmt.Sprintf("%.3gKbps", float64(r)/float64(Kbps))
+	default:
+		return fmt.Sprintf("%dbps", int64(r))
+	}
+}
+
+// TxTime is the serialization delay of size bytes at rate r.
+// TxTime panics if r is not positive: transmitting at zero rate never
+// completes and indicates a configuration bug.
+func TxTime(size int, r Rate) Time {
+	if r <= 0 {
+		panic(fmt.Sprintf("sim: TxTime with non-positive rate %d", r))
+	}
+	bits := int64(size) * 8
+	// Exact integer math while bits*Second fits int64 (covers every real
+	// frame); fall back to float64 for large aggregate transfers, where
+	// picosecond exactness no longer matters.
+	const maxExactBits = int64(^uint64(0)>>1) / int64(Second)
+	if bits <= maxExactBits {
+		return Time(bits * int64(Second) / int64(r))
+	}
+	return Time(float64(bits) * float64(Second) / float64(r))
+}
+
+// BytesOver reports how many whole bytes rate r delivers during d.
+func BytesOver(r Rate, d Time) int64 {
+	if d <= 0 || r <= 0 {
+		return 0
+	}
+	// bytes = r/8 * seconds. Compute as (r * d) / (8 * Second) using
+	// float64 to avoid int64 overflow for long windows; exactness does not
+	// matter for measurement windows.
+	return int64(float64(r) * d.Seconds() / 8)
+}
+
+// RateOf reports the average rate that moves bytes in d, in bits per second.
+func RateOf(bytes int64, d Time) Rate {
+	if d <= 0 {
+		return 0
+	}
+	return Rate(float64(bytes) * 8 / d.Seconds())
+}
+
+// BDPBytes is the bandwidth-delay product of rate r over round-trip rtt,
+// in bytes.
+func BDPBytes(r Rate, rtt Time) int64 {
+	return int64(float64(r) / 8 * rtt.Seconds())
+}
+
+// ClampRate bounds r to [lo, hi].
+func ClampRate(r, lo, hi Rate) Rate {
+	if r < lo {
+		return lo
+	}
+	if r > hi {
+		return hi
+	}
+	return r
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"mlcc/internal/sim"
+)
+
+// Series is a sampled time series (queue length in bytes, throughput in
+// bits/s, …).
+type Series struct {
+	Name string
+	T    []sim.Time
+	V    []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(t sim.Time, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len reports the number of points.
+func (s *Series) Len() int { return len(s.T) }
+
+// Max returns the maximum value, or 0 when empty.
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, v := range s.V {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Last returns the final value, or 0 when empty.
+func (s *Series) Last() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	return s.V[len(s.V)-1]
+}
+
+// AvgAfter averages values with timestamps >= t (steady-state summaries).
+func (s *Series) AvgAfter(t sim.Time) float64 {
+	var sum float64
+	n := 0
+	for i, ts := range s.T {
+		if ts >= t {
+			sum += s.V[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MaxAfter returns the maximum value with timestamps >= t.
+func (s *Series) MaxAfter(t sim.Time) float64 {
+	m := 0.0
+	for i, ts := range s.T {
+		if ts >= t && s.V[i] > m {
+			m = s.V[i]
+		}
+	}
+	return m
+}
+
+// CSV renders "time_ms,value" lines for external plotting.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", s.Name)
+	for i := range s.T {
+		fmt.Fprintf(&b, "%.4f,%.4f\n", s.T[i].Millis(), s.V[i])
+	}
+	return b.String()
+}
+
+// Sampler drives periodic sampling callbacks on a simulation engine.
+type Sampler struct {
+	eng      *sim.Engine
+	interval sim.Time
+	stop     sim.Time
+	fns      []func(now sim.Time)
+}
+
+// NewSampler creates a sampler ticking every interval until stop.
+func NewSampler(eng *sim.Engine, interval, stop sim.Time) *Sampler {
+	if interval <= 0 {
+		panic("stats: sampler interval must be positive")
+	}
+	return &Sampler{eng: eng, interval: interval, stop: stop}
+}
+
+// Observe registers a callback run on every tick.
+func (s *Sampler) Observe(fn func(now sim.Time)) { s.fns = append(s.fns, fn) }
+
+// TrackRate samples a monotone byte counter as a rate (bits/s) into series.
+func (s *Sampler) TrackRate(series *Series, counter func() int64) {
+	last := counter()
+	s.Observe(func(now sim.Time) {
+		cur := counter()
+		rate := float64(cur-last) * 8 / s.interval.Seconds()
+		last = cur
+		series.Add(now, rate)
+	})
+}
+
+// TrackGauge samples an instantaneous value into series.
+func (s *Sampler) TrackGauge(series *Series, gauge func() float64) {
+	s.Observe(func(now sim.Time) { series.Add(now, gauge()) })
+}
+
+// Start begins ticking (call after all Observe/Track registrations).
+func (s *Sampler) Start() {
+	var tick func()
+	tick = func() {
+		now := s.eng.Now()
+		for _, fn := range s.fns {
+			fn(now)
+		}
+		if now+s.interval <= s.stop {
+			s.eng.After(s.interval, tick)
+		}
+	}
+	s.eng.After(s.interval, tick)
+}

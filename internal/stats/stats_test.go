@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mlcc/internal/sim"
+)
+
+func sample(size int64, fct sim.Time, cross bool) FCTSample {
+	return FCTSample{Size: size, FCT: fct, Cross: cross}
+}
+
+func TestAvgAndFilters(t *testing.T) {
+	c := NewFCTCollector()
+	c.Add(sample(1000, 10*sim.Microsecond, false))
+	c.Add(sample(1000, 20*sim.Microsecond, false))
+	c.Add(sample(1000, 90*sim.Microsecond, true))
+
+	if avg, ok := c.Avg(Intra); !ok || avg != 15*sim.Microsecond {
+		t.Fatalf("intra avg = %v ok=%v", avg, ok)
+	}
+	if avg, ok := c.Avg(Cross); !ok || avg != 90*sim.Microsecond {
+		t.Fatalf("cross avg = %v ok=%v", avg, ok)
+	}
+	if avg, ok := c.Avg(nil); !ok || avg != 40*sim.Microsecond {
+		t.Fatalf("overall avg = %v", avg)
+	}
+	if _, ok := c.Avg(SizeRange(1<<20, 2<<20)); ok {
+		t.Fatal("empty selection reported ok")
+	}
+	if c.Count(And(Intra, SizeRange(0, 2000))) != 2 {
+		t.Fatal("And filter broken")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	c := NewFCTCollector()
+	for i := 1; i <= 100; i++ {
+		c.Add(sample(100, sim.Time(i)*sim.Microsecond, false))
+	}
+	if p, _ := c.Percentile(nil, 0.5); p != 50*sim.Microsecond {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p, _ := c.Percentile(nil, 0.999); p != 100*sim.Microsecond {
+		t.Fatalf("p99.9 = %v", p)
+	}
+	if p, _ := c.Percentile(nil, 0.01); p != sim.Microsecond {
+		t.Fatalf("p1 = %v", p)
+	}
+}
+
+func TestPercentileProperty(t *testing.T) {
+	f := func(raw []uint32, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := (float64(pRaw%100) + 1) / 100
+		c := NewFCTCollector()
+		var vals []int64
+		for _, v := range raw {
+			c.Add(sample(1, sim.Time(v), false))
+			vals = append(vals, int64(v))
+		}
+		got, ok := c.Percentile(nil, p)
+		if !ok {
+			return false
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		// Nearest-rank: value at ceil(p*n)-1.
+		idx := int(math.Ceil(p*float64(len(vals)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return int64(got) == vals[idx]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlowdown(t *testing.T) {
+	s := sample(25000, 16*sim.Microsecond, false)
+	// Ideal at 25 Gbps: 25000*8/25e9 = 8 µs → slowdown 2.
+	if got := s.Slowdown(25 * sim.Gbps); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("slowdown = %v", got)
+	}
+	c := NewFCTCollector()
+	c.Add(s)
+	if sd, ok := c.AvgSlowdown(nil, 25*sim.Gbps); !ok || math.Abs(sd-2) > 1e-9 {
+		t.Fatalf("avg slowdown = %v", sd)
+	}
+}
+
+func TestByBucket(t *testing.T) {
+	c := NewFCTCollector()
+	c.Add(sample(5<<10, 10*sim.Microsecond, true))
+	c.Add(sample(50<<10, 100*sim.Microsecond, true))
+	c.Add(sample(10<<20, 10*sim.Millisecond, true))
+	rows := c.ByBucket(Cross, DefaultBuckets())
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Count != 1 || rows[1].Count != 1 || rows[4].Count != 1 {
+		t.Fatalf("bucket counts: %+v", rows)
+	}
+	if rows[2].Count != 0 || rows[3].Count != 0 {
+		t.Fatal("phantom samples in empty buckets")
+	}
+	if rows[4].Avg != 10*sim.Millisecond {
+		t.Fatalf("big-bucket avg = %v", rows[4].Avg)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{10, 10, 10, 10}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal rates: %v", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("single hog: %v", got)
+	}
+	if got := JainIndex(nil); got != 0 {
+		t.Fatalf("empty: %v", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 0 {
+		t.Fatalf("all zero: %v", got)
+	}
+}
+
+func TestJainIndexBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		rates := make([]float64, len(raw))
+		nonzero := false
+		for i, v := range raw {
+			rates[i] = float64(v)
+			if v != 0 {
+				nonzero = true
+			}
+		}
+		got := JainIndex(rates)
+		if !nonzero {
+			return got == 0
+		}
+		return got >= 1/float64(len(rates))-1e-12 && got <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesSummaries(t *testing.T) {
+	var s Series
+	s.Name = "q"
+	s.Add(sim.Millisecond, 10)
+	s.Add(2*sim.Millisecond, 30)
+	s.Add(3*sim.Millisecond, 20)
+	if s.Max() != 30 || s.Last() != 20 || s.Len() != 3 {
+		t.Fatalf("summaries: max=%v last=%v len=%d", s.Max(), s.Last(), s.Len())
+	}
+	if got := s.AvgAfter(2 * sim.Millisecond); got != 25 {
+		t.Fatalf("AvgAfter = %v", got)
+	}
+	if got := s.MaxAfter(3 * sim.Millisecond); got != 20 {
+		t.Fatalf("MaxAfter = %v", got)
+	}
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "# q\n") || !strings.Contains(csv, "1.0000,10.0000") {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestSamplerTicks(t *testing.T) {
+	eng := sim.NewEngine()
+	sampler := NewSampler(eng, sim.Millisecond, 10*sim.Millisecond)
+	var gauge Series
+	v := 0.0
+	sampler.TrackGauge(&gauge, func() float64 { v++; return v })
+
+	var rate Series
+	bytes := int64(0)
+	sampler.TrackRate(&rate, func() int64 { return bytes })
+	eng.At(0, func() {}) // ensure engine has an initial event
+	sampler.Start()
+	// Grow the counter by 1 MB per ms → 8 Gbps.
+	for i := 1; i <= 10; i++ {
+		eng.At(sim.Time(i)*sim.Millisecond-sim.Nanosecond, func() { bytes += 1 << 20 })
+	}
+	eng.Run()
+	if gauge.Len() != 10 {
+		t.Fatalf("gauge samples = %d", gauge.Len())
+	}
+	if rate.Len() != 10 {
+		t.Fatalf("rate samples = %d", rate.Len())
+	}
+	want := float64(1<<20) * 8 / 0.001
+	for i, r := range rate.V {
+		if math.Abs(r-want)/want > 0.01 {
+			t.Fatalf("rate[%d] = %v, want %v", i, r, want)
+		}
+	}
+}
+
+func TestSamplerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSampler(sim.NewEngine(), 0, sim.Second)
+}
+
+func TestCollectorString(t *testing.T) {
+	c := NewFCTCollector()
+	c.Add(sample(1000, 10*sim.Microsecond, false))
+	if got := c.String(); !strings.Contains(got, "flows=1") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestFilterRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewFCTCollector()
+	nIntra, nCross := 0, 0
+	for i := 0; i < 1000; i++ {
+		cross := rng.Intn(2) == 0
+		if cross {
+			nCross++
+		} else {
+			nIntra++
+		}
+		c.Add(sample(int64(rng.Intn(1<<20)+1), sim.Time(rng.Intn(1000)+1), cross))
+	}
+	if c.Count(Intra) != nIntra || c.Count(Cross) != nCross {
+		t.Fatal("filter counts mismatch")
+	}
+	if c.Count(Intra)+c.Count(Cross) != c.Len() {
+		t.Fatal("partition broken")
+	}
+}

@@ -1,0 +1,242 @@
+package topo
+
+import (
+	"mlcc/internal/dci"
+	"mlcc/internal/fabric"
+	"mlcc/internal/host"
+	"mlcc/internal/link"
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+)
+
+// Node id blocks: hosts get 1+index, switches live in high ranges so a
+// trace is easy to read.
+const (
+	leafIDBase  = 100
+	spineIDBase = 200
+	dciIDBase   = 300
+)
+
+// TwoDC builds the paper's two-datacenter spine-leaf network (Fig. 1).
+func TwoDC(p Params) *Network {
+	n := newNetwork(p, 2*p.LeavesPerDC*p.HostsPerLeaf, false)
+
+	leavesTotal := 2 * p.LeavesPerDC
+	spinesTotal := 2 * p.SpinesPerDC
+
+	// Create switches.
+	for i := 0; i < leavesTotal; i++ {
+		n.Leaves = append(n.Leaves, fabric.New(n.Eng, n.Pool, n.dcSwitchCfg(pkt.NodeID(leafIDBase+i))))
+	}
+	for i := 0; i < spinesTotal; i++ {
+		n.Spines = append(n.Spines, fabric.New(n.Eng, n.Pool, n.dcSwitchCfg(pkt.NodeID(spineIDBase+i))))
+	}
+	for d := 0; d < 2; d++ {
+		n.DCIs = append(n.DCIs, dci.New(n.Eng, n.Pool, n.dciCfg(pkt.NodeID(dciIDBase+d), p.SpinesPerDC)))
+	}
+
+	// Create hosts and host↔leaf links.
+	for h := 0; h < n.NumHosts(); h++ {
+		hh := n.newHost(h, p.HostLinkDelay)
+		leaf := n.Leaves[n.Rack(h)]
+		lp := leaf.AddPort(p.HostRate, p.HostLinkDelay)
+		link.Connect(hh.Port(), lp)
+	}
+
+	// Leaf↔spine links (full mesh within each DC). Leaf ports
+	// [HostsPerLeaf, HostsPerLeaf+SpinesPerDC) are the uplinks; spine ports
+	// [0, LeavesPerDC) are the downlinks, in leaf order.
+	for d := 0; d < 2; d++ {
+		for li := 0; li < p.LeavesPerDC; li++ {
+			leaf := n.Leaves[d*p.LeavesPerDC+li]
+			for si := 0; si < p.SpinesPerDC; si++ {
+				spine := n.Spines[d*p.SpinesPerDC+si]
+				up := leaf.AddPort(p.FabricRate, p.FabricDelay)
+				down := spine.AddPort(p.FabricRate, p.FabricDelay)
+				link.Connect(up, down)
+			}
+		}
+	}
+
+	// Spine↔DCI links: spine port LeavesPerDC; DCI ports [0, SpinesPerDC).
+	for d := 0; d < 2; d++ {
+		for si := 0; si < p.SpinesPerDC; si++ {
+			spine := n.Spines[d*p.SpinesPerDC+si]
+			up := spine.AddPort(p.FabricRate, p.FabricDelay)
+			down := n.DCIs[d].AddPort(p.FabricRate, p.FabricDelay)
+			link.Connect(up, down)
+		}
+	}
+
+	// Long-haul link: DCI port SpinesPerDC on each side.
+	lh0 := n.DCIs[0].AddPort(p.FabricRate, p.LongHaulDelay)
+	lh1 := n.DCIs[1].AddPort(p.FabricRate, p.LongHaulDelay)
+	link.Connect(lh0, lh1)
+
+	// Routes.
+	for h := 0; h < n.NumHosts(); h++ {
+		id := n.HostID(h)
+		hd := n.DC(h)
+		rack := n.Rack(h)
+		localRack := rack % p.LeavesPerDC
+
+		for d := 0; d < 2; d++ {
+			for li := 0; li < p.LeavesPerDC; li++ {
+				leaf := n.Leaves[d*p.LeavesPerDC+li]
+				if d == hd && li == localRack {
+					leaf.AddRoute(id, h%p.HostsPerLeaf)
+				} else {
+					for si := 0; si < p.SpinesPerDC; si++ {
+						leaf.AddRoute(id, p.HostsPerLeaf+si)
+					}
+				}
+			}
+			for si := 0; si < p.SpinesPerDC; si++ {
+				spine := n.Spines[d*p.SpinesPerDC+si]
+				if d == hd {
+					spine.AddRoute(id, localRack)
+				} else {
+					spine.AddRoute(id, p.LeavesPerDC)
+				}
+			}
+			dciSw := n.DCIs[d]
+			if d == hd {
+				for si := 0; si < p.SpinesPerDC; si++ {
+					dciSw.AddRoute(id, si)
+				}
+			} else {
+				dciSw.AddRoute(id, p.SpinesPerDC)
+			}
+		}
+	}
+
+	for _, d := range n.DCIs {
+		d.Finalize()
+	}
+	return n
+}
+
+// Dumbbell builds the §4.6 testbed shape: two servers per ToR, one ToR per
+// DC, DCI switches joined by the long-haul link. Host indices 0,1 are DC 0.
+func Dumbbell(p Params) *Network {
+	if p.HostsPerLeaf < 2 {
+		p.HostsPerLeaf = 2
+	}
+	p.LeavesPerDC = 1
+	p.SpinesPerDC = 0
+	n := newNetwork(p, 2*p.HostsPerLeaf, true)
+
+	for i := 0; i < 2; i++ {
+		n.Leaves = append(n.Leaves, fabric.New(n.Eng, n.Pool, n.dcSwitchCfg(pkt.NodeID(leafIDBase+i))))
+		n.DCIs = append(n.DCIs, dci.New(n.Eng, n.Pool, n.dciCfg(pkt.NodeID(dciIDBase+i), 1)))
+	}
+
+	for h := 0; h < n.NumHosts(); h++ {
+		hh := n.newHost(h, p.HostLinkDelay)
+		tor := n.Leaves[n.DC(h)]
+		tp := tor.AddPort(p.HostRate, p.HostLinkDelay)
+		link.Connect(hh.Port(), tp)
+	}
+
+	for d := 0; d < 2; d++ {
+		up := n.Leaves[d].AddPort(p.FabricRate, p.FabricDelay)
+		down := n.DCIs[d].AddPort(p.FabricRate, p.FabricDelay)
+		link.Connect(up, down)
+	}
+	lh0 := n.DCIs[0].AddPort(p.FabricRate, p.LongHaulDelay)
+	lh1 := n.DCIs[1].AddPort(p.FabricRate, p.LongHaulDelay)
+	link.Connect(lh0, lh1)
+
+	for h := 0; h < n.NumHosts(); h++ {
+		id := n.HostID(h)
+		hd := n.DC(h)
+		for d := 0; d < 2; d++ {
+			if d == hd {
+				n.Leaves[d].AddRoute(id, h%p.HostsPerLeaf)
+				n.DCIs[d].AddRoute(id, 0)
+			} else {
+				n.Leaves[d].AddRoute(id, p.HostsPerLeaf)
+				n.DCIs[d].AddRoute(id, 1)
+			}
+		}
+	}
+
+	for _, d := range n.DCIs {
+		d.Finalize()
+	}
+	return n
+}
+
+func newNetwork(p Params, numHosts int, dumbbell bool) *Network {
+	eng := sim.NewEngine()
+	pool := pkt.NewPool()
+	n := &Network{
+		P:          p,
+		Eng:        eng,
+		Pool:       pool,
+		Table:      host.NewTable(),
+		HostsPerDC: numHosts / 2,
+		Dumbbell:   dumbbell,
+		numHosts:   numHosts,
+	}
+	if p.Alg == nil {
+		panic("topo: Params.Alg is required")
+	}
+	n.Alg = p.Alg(eng)
+	// Fill topology-dependent DQM parameters.
+	n.P.DQM.RTTc = n.CrossRTT()
+	n.P.DQM.RTTd = n.FarRTT(0)
+	n.P.DQM.MTU = p.MTU
+	n.P.DQM.MaxRate = p.HostRate
+	return n
+}
+
+func (n *Network) newHost(h int, delay sim.Time) *host.Host {
+	cfg := host.Config{
+		ID:          n.HostID(h),
+		Rate:        n.P.HostRate,
+		MTU:         n.P.MTU,
+		CNPInterval: n.P.CNPInterval,
+	}
+	hh := host.New(n.Eng, n.Pool, cfg, n.Table, n.Alg.NewSender, n.Alg.NewReceiver, delay)
+	n.Hosts = append(n.Hosts, hh)
+	return hh
+}
+
+func (n *Network) dcSwitchCfg(id pkt.NodeID) fabric.Config {
+	return fabric.Config{
+		ID:          id,
+		BufferBytes: n.P.DCBuffer,
+		ECNKmin:     n.P.DCKmin,
+		ECNKmax:     n.P.DCKmax,
+		ECNPmax:     n.P.ECNPmax,
+		PFCEnabled:  n.P.PFCEnabled,
+		PFCXoff:     n.P.DCXoff,
+		PFCXon:      n.P.DCXon,
+		INTEnabled:  n.P.INTEnabled,
+		Seed:        n.P.Seed,
+	}
+}
+
+func (n *Network) dciCfg(id pkt.NodeID, spines int) dci.Config {
+	mlcc := n.Alg.UseMLCCDCI
+	return dci.Config{
+		Fabric: fabric.Config{
+			ID:          id,
+			BufferBytes: n.P.DCIBuffer,
+			ECNKmin:     n.P.DCIKmin,
+			ECNKmax:     n.P.DCIKmax,
+			ECNPmax:     n.P.ECNPmax,
+			PFCEnabled:  n.P.PFCEnabled,
+			PFCXoff:     n.P.DCIXoff,
+			PFCXon:      n.P.DCIXon,
+			// Under MLCC the DCI clears/reinserts INT itself.
+			INTEnabled: n.P.INTEnabled && !mlcc,
+			Seed:       n.P.Seed,
+		},
+		LongHaulPort: spines,
+		MLCC:         mlcc,
+		DQM:          n.P.DQM,
+		InitRate:     n.P.HostRate,
+	}
+}

@@ -1,0 +1,240 @@
+// Package topo builds the simulated networks of the paper's evaluation: the
+// two-datacenter spine-leaf topology of Fig. 1 (2 spines + 4 leaves + 4
+// servers/leaf per DC, 4:1 oversubscription, DCI switches joined by a
+// long-haul fiber) and the dumbbell testbed of §4.6. It owns all wiring:
+// ports, links, static ECMP routes, per-algorithm switch features (ECN, INT,
+// PFC, MLCC DCI behaviours) and base-RTT bookkeeping.
+package topo
+
+import (
+	"fmt"
+
+	"mlcc/internal/cc"
+	"mlcc/internal/core"
+	"mlcc/internal/dci"
+	"mlcc/internal/fabric"
+	"mlcc/internal/host"
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+)
+
+// AlgFactory builds the congestion-control bundle for a network; it receives
+// the engine because some algorithms (DCQCN) run timers.
+type AlgFactory func(eng *sim.Engine) cc.Algorithm
+
+// Params describes a network build.
+type Params struct {
+	// Shape (defaults follow §4.1).
+	SpinesPerDC  int
+	LeavesPerDC  int
+	HostsPerLeaf int
+
+	// Link speeds and delays.
+	HostRate      sim.Rate // server NIC / server-leaf links
+	FabricRate    sim.Rate // switch-switch links
+	HostLinkDelay sim.Time
+	FabricDelay   sim.Time
+	LongHaulDelay sim.Time
+
+	// Buffers.
+	DCBuffer  int64
+	DCIBuffer int64
+
+	// PFC thresholds.
+	PFCEnabled bool
+	DCXoff     int64
+	DCXon      int64
+	DCIXoff    int64
+	DCIXon     int64
+
+	// ECN (WRED) marking; zero Kmax disables.
+	DCKmin, DCKmax   int64
+	DCIKmin, DCIKmax int64
+	ECNPmax          float64
+
+	// Telemetry.
+	INTEnabled bool
+
+	MTU         int
+	CNPInterval sim.Time // host CNP pacing (DCQCN); 0 disables CNP generation
+
+	// Congestion control.
+	Alg AlgFactory
+
+	// MLCC DQM parameters (credit/queue management at receiver-side DCIs).
+	DQM core.DQMParams
+
+	Seed int64
+}
+
+// DefaultParams returns the paper's simulation setup (§4.1) without an
+// algorithm bound; callers must set Alg.
+func DefaultParams() Params {
+	return Params{
+		SpinesPerDC:   2,
+		LeavesPerDC:   4,
+		HostsPerLeaf:  4,
+		HostRate:      25 * sim.Gbps,
+		FabricRate:    100 * sim.Gbps,
+		HostLinkDelay: sim.Microsecond,
+		FabricDelay:   5 * sim.Microsecond,
+		LongHaulDelay: 3 * sim.Millisecond,
+		DCBuffer:      22 << 20,
+		DCIBuffer:     128 << 20,
+		PFCEnabled:    true,
+		DCXoff:        512 << 10,
+		DCXon:         256 << 10,
+		DCIXoff:       32 << 20,
+		DCIXon:        16 << 20,
+		ECNPmax:       0.2,
+		INTEnabled:    true,
+		MTU:           pkt.DefaultMTU,
+		DQM:           core.DefaultDQMParams(),
+	}
+}
+
+// Network is a built simulation: engine, hosts, switches and metadata.
+type Network struct {
+	P    Params
+	Eng  *sim.Engine
+	Pool *pkt.Pool
+
+	Table *host.Table
+	Alg   cc.Algorithm
+
+	Hosts  []*host.Host // global index; [0, HostsPerDC) = DC 0
+	Leaves []*fabric.Switch
+	Spines []*fabric.Switch
+	DCIs   []*dci.Switch
+
+	HostsPerDC int
+	Dumbbell   bool
+
+	numHosts int
+}
+
+// NumHosts reports the total host count.
+func (n *Network) NumHosts() int { return n.numHosts }
+
+// DC returns the datacenter index (0 or 1) of host h.
+func (n *Network) DC(h int) int { return h / n.HostsPerDC }
+
+// Rack returns the global rack (leaf) index of host h, numbered from 0.
+// The paper numbers racks from 1; rack "1" is index 0, rack "5" is index 4.
+func (n *Network) Rack(h int) int { return h / n.P.HostsPerLeaf }
+
+// HostID converts a host index to its NodeID.
+func (n *Network) HostID(h int) pkt.NodeID { return pkt.NodeID(1 + h) }
+
+// HostIndex converts a NodeID back to a host index.
+func (n *Network) HostIndex(id pkt.NodeID) int { return int(id) - 1 }
+
+// RackHost returns the host index of server i (0-based) in paper rack r
+// (1-based), e.g. RackHost(5, 0) is the first server of Rack 5.
+func (n *Network) RackHost(r, i int) int { return (r-1)*n.P.HostsPerLeaf + i }
+
+// CrossDC reports whether a src→dst host pair crosses datacenters.
+func (n *Network) CrossDC(src, dst int) bool { return n.DC(src) != n.DC(dst) }
+
+// mtuSer is the serialization time of one MTU at rate r.
+func (n *Network) mtuSer(r sim.Rate) sim.Time { return sim.TxTime(n.P.MTU, r) }
+
+// BaseRTT returns the unloaded RTT between two hosts: twice the propagation
+// plus one MTU serialization per forward hop (ACK serialization is
+// negligible and folded in as one control frame per hop).
+func (n *Network) BaseRTT(src, dst int) sim.Time {
+	ctl := func(hops int) sim.Time {
+		return sim.Time(hops) * sim.TxTime(pkt.ControlSize, n.P.FabricRate)
+	}
+	hostSer := n.mtuSer(n.P.HostRate)
+	fabSer := n.mtuSer(n.P.FabricRate)
+	if n.Dumbbell {
+		// host→ToR→DCI→DCI→ToR→host
+		prop := n.P.HostLinkDelay + n.P.FabricDelay + n.P.LongHaulDelay + n.P.FabricDelay + n.P.HostLinkDelay
+		ser := hostSer + 3*fabSer + hostSer
+		return 2*prop + ser + ctl(5)
+	}
+	switch {
+	case src == dst:
+		return 0
+	case n.Rack(src) == n.Rack(dst):
+		prop := 2 * n.P.HostLinkDelay
+		return 2*prop + 2*hostSer + ctl(2)
+	case n.DC(src) == n.DC(dst):
+		prop := 2*n.P.HostLinkDelay + 2*n.P.FabricDelay
+		return 2*prop + 2*hostSer + 2*fabSer + ctl(4)
+	default:
+		prop := 2*n.P.HostLinkDelay + 4*n.P.FabricDelay + n.P.LongHaulDelay
+		return 2*prop + 2*hostSer + 5*fabSer + ctl(7)
+	}
+}
+
+// NearRTT returns the sender ↔ sender-side DCI loop RTT for host h.
+func (n *Network) NearRTT(h int) sim.Time {
+	if n.Dumbbell {
+		prop := n.P.HostLinkDelay + n.P.FabricDelay
+		return 2*prop + n.mtuSer(n.P.HostRate) + n.mtuSer(n.P.FabricRate) +
+			2*sim.TxTime(pkt.ControlSize, n.P.FabricRate)
+	}
+	prop := n.P.HostLinkDelay + 2*n.P.FabricDelay
+	return 2*prop + n.mtuSer(n.P.HostRate) + 2*n.mtuSer(n.P.FabricRate) +
+		3*sim.TxTime(pkt.ControlSize, n.P.FabricRate)
+}
+
+// FarRTT returns the receiver ↔ receiver-side DCI loop RTT for host h (the
+// credit loop's RTT_D). Symmetric topology makes it equal to NearRTT.
+func (n *Network) FarRTT(h int) sim.Time { return n.NearRTT(h) }
+
+// IntraRTT returns the representative intra-DC RTT (different racks).
+func (n *Network) IntraRTT() sim.Time {
+	if n.Dumbbell {
+		return n.NearRTT(0)
+	}
+	return n.BaseRTT(0, n.P.HostsPerLeaf) // hosts in racks 0 and 1
+}
+
+// PerHostBisection returns each host's share of its leaf's uplink capacity,
+// capped at the NIC rate — the capacity the evaluation's intra-DC "load"
+// percentages are measured against in oversubscribed fabrics.
+func (n *Network) PerHostBisection() sim.Rate {
+	if n.Dumbbell || n.P.HostsPerLeaf == 0 {
+		return n.P.HostRate
+	}
+	share := sim.Rate(int64(n.P.FabricRate) * int64(n.P.SpinesPerDC) / int64(n.P.HostsPerLeaf))
+	if share > n.P.HostRate {
+		share = n.P.HostRate
+	}
+	return share
+}
+
+// CrossRTT returns the representative cross-DC RTT.
+func (n *Network) CrossRTT() sim.Time { return n.BaseRTT(0, n.HostsPerDC) }
+
+// FlowInfo assembles the cc.FlowInfo for a src→dst transfer.
+func (n *Network) FlowInfo(src, dst int, size int64) cc.FlowInfo {
+	if src == dst {
+		panic(fmt.Sprintf("topo: flow to self (host %d)", src))
+	}
+	return cc.FlowInfo{
+		Src:      n.HostID(src),
+		Dst:      n.HostID(dst),
+		Size:     size,
+		LinkRate: n.P.HostRate,
+		MTU:      n.P.MTU,
+		BaseRTT:  n.BaseRTT(src, dst),
+		NearRTT:  n.NearRTT(src),
+		FarRTT:   n.FarRTT(dst),
+		CrossDC:  n.CrossDC(src, dst),
+	}
+}
+
+// AddFlow registers a flow starting at time start and schedules its launch.
+func (n *Network) AddFlow(src, dst int, size int64, start sim.Time) *host.Flow {
+	f := n.Table.Add(n.FlowInfo(src, dst, size), start)
+	h := n.Hosts[src]
+	n.Eng.At(start, func() { h.StartFlow(f) })
+	return f
+}
+
+// Run advances the simulation to the given time.
+func (n *Network) Run(until sim.Time) { n.Eng.RunUntil(until) }

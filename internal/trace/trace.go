@@ -1,0 +1,142 @@
+// Package trace records simulation events for offline analysis: per-flow
+// rate/progress samples and per-queue occupancy samples, exportable as CSV
+// for plotting the paper's time-series figures. Tracing is opt-in and adds
+// no overhead when unused.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"mlcc/internal/sim"
+)
+
+// Kind labels a traced sample stream.
+type Kind uint8
+
+// Trace kinds.
+const (
+	FlowRate  Kind = iota // bits/s
+	FlowBytes             // cumulative payload bytes received
+	QueueLen              // bytes
+	RateLimit             // bits/s (e.g. R_credit, R̄_DQM)
+	Counter               // unitless cumulative counter (PFC pauses, drops)
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case FlowRate:
+		return "flow_rate"
+	case FlowBytes:
+		return "flow_bytes"
+	case QueueLen:
+		return "queue_len"
+	case RateLimit:
+		return "rate_limit"
+	case Counter:
+		return "counter"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Sample is one traced point.
+type Sample struct {
+	T sim.Time
+	V float64
+}
+
+// Stream is one named series of samples.
+type Stream struct {
+	Name    string
+	Kind    Kind
+	Samples []Sample
+}
+
+// Add appends one point. Timestamps must be non-decreasing.
+func (s *Stream) Add(t sim.Time, v float64) {
+	s.Samples = append(s.Samples, Sample{T: t, V: v})
+}
+
+// Len reports the number of samples.
+func (s *Stream) Len() int { return len(s.Samples) }
+
+// At returns the most recent value at or before t (step interpolation), or
+// 0 when no sample precedes t.
+func (s *Stream) At(t sim.Time) float64 {
+	i := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return s.Samples[i-1].V
+}
+
+// Tracer collects streams for one simulation. It is safe for use from a
+// single engine goroutine; Export may be called after the run from anywhere.
+type Tracer struct {
+	mu      sync.Mutex
+	streams map[string]*Stream
+	order   []string
+}
+
+// New returns an empty tracer.
+func New() *Tracer {
+	return &Tracer{streams: make(map[string]*Stream)}
+}
+
+// Stream returns (creating if needed) the named stream.
+func (tr *Tracer) Stream(name string, kind Kind) *Stream {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if s, ok := tr.streams[name]; ok {
+		return s
+	}
+	s := &Stream{Name: name, Kind: kind}
+	tr.streams[name] = s
+	tr.order = append(tr.order, name)
+	return s
+}
+
+// Get returns the named stream, or nil.
+func (tr *Tracer) Get(name string) *Stream {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.streams[name]
+}
+
+// Names lists stream names in creation order.
+func (tr *Tracer) Names() []string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]string(nil), tr.order...)
+}
+
+// WriteCSV emits all streams in long form: stream,kind,time_ms,value.
+func (tr *Tracer) WriteCSV(w io.Writer) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if _, err := fmt.Fprintln(w, "stream,kind,time_ms,value"); err != nil {
+		return err
+	}
+	for _, name := range tr.order {
+		s := tr.streams[name]
+		for _, smp := range s.Samples {
+			if _, err := fmt.Fprintf(w, "%s,%s,%.6f,%.6f\n", csvEscape(name), s.Kind, smp.T.Millis(), smp.V); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// csvEscape guards stream names containing commas or quotes.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

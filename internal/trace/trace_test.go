@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mlcc/internal/sim"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		FlowRate: "flow_rate", FlowBytes: "flow_bytes", QueueLen: "queue_len",
+		RateLimit: "rate_limit", Counter: "counter", Kind(42): "kind(42)",
+	}
+	for k, s := range want {
+		if got := k.String(); got != s {
+			t.Errorf("Kind(%d) = %q, want %q", k, got, s)
+		}
+	}
+}
+
+func TestStreamIdentity(t *testing.T) {
+	tr := New()
+	a := tr.Stream("q", QueueLen)
+	b := tr.Stream("q", QueueLen)
+	if a != b {
+		t.Fatal("duplicate stream created")
+	}
+	if tr.Get("q") != a || tr.Get("missing") != nil {
+		t.Fatal("Get broken")
+	}
+	tr.Stream("r", FlowRate)
+	if names := tr.Names(); len(names) != 2 || names[0] != "q" || names[1] != "r" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestStreamAt(t *testing.T) {
+	s := &Stream{Name: "x"}
+	s.Add(sim.Millisecond, 10)
+	s.Add(2*sim.Millisecond, 20)
+	s.Add(3*sim.Millisecond, 30)
+	cases := []struct {
+		t    sim.Time
+		want float64
+	}{
+		{0, 0},
+		{sim.Millisecond, 10},
+		{1500 * sim.Microsecond, 10},
+		{2 * sim.Millisecond, 20},
+		{10 * sim.Millisecond, 30},
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := New()
+	q := tr.Stream("dci,1", QueueLen) // comma needs escaping
+	q.Add(sim.Millisecond, 1024)
+	r := tr.Stream("flow1", FlowRate)
+	r.Add(2*sim.Millisecond, 1e9)
+
+	var b strings.Builder
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "stream,kind,time_ms,value\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, `"dci,1",queue_len,1.000000,1024.000000`) {
+		t.Fatalf("escaped row missing: %q", out)
+	}
+	if !strings.Contains(out, "flow1,flow_rate,2.000000,1000000000.000000") {
+		t.Fatalf("rate row missing: %q", out)
+	}
+}
+
+// Property: At is consistent with a linear scan for sorted inputs.
+func TestStreamAtProperty(t *testing.T) {
+	f := func(raw []uint16, probe uint16) bool {
+		ts := append([]uint16(nil), raw...)
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		s := &Stream{Name: "p"}
+		for i, v := range ts {
+			s.Add(sim.Time(v)*sim.Microsecond, float64(i))
+		}
+		at := sim.Time(probe) * sim.Microsecond
+		got := s.At(at)
+		want := 0.0
+		for i, v := range ts {
+			if sim.Time(v)*sim.Microsecond <= at {
+				want = float64(i)
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

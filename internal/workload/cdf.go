@@ -1,0 +1,113 @@
+// Package workload generates the evaluation traffic: flow sizes drawn from
+// the published Websearch (DCTCP) and Hadoop (Facebook) distributions and
+// open-loop Poisson arrivals that hit a configured fraction of each server's
+// line rate, split between intra- and cross-datacenter destinations.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CDF is a piecewise-linear flow-size distribution: P(size <= Sizes[i]) =
+// Probs[i]. Sampling uses inverse-transform with linear interpolation
+// between points, the same scheme as the HPCC/ns-3 traffic generators.
+type CDF struct {
+	Name  string
+	Sizes []int64   // bytes, ascending
+	Probs []float64 // cumulative probability, ascending, ending at 1
+}
+
+// Validate checks monotonicity; builders panic on malformed tables.
+func (c *CDF) Validate() error {
+	if len(c.Sizes) != len(c.Probs) || len(c.Sizes) < 2 {
+		return fmt.Errorf("workload: CDF %q needs matching sizes/probs (≥2 points)", c.Name)
+	}
+	for i := 1; i < len(c.Sizes); i++ {
+		if c.Sizes[i] < c.Sizes[i-1] || c.Probs[i] < c.Probs[i-1] {
+			return fmt.Errorf("workload: CDF %q not monotone at %d", c.Name, i)
+		}
+	}
+	if c.Probs[len(c.Probs)-1] != 1 {
+		return fmt.Errorf("workload: CDF %q does not end at probability 1", c.Name)
+	}
+	return nil
+}
+
+// Sample draws one flow size.
+func (c *CDF) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(c.Probs, u)
+	if i == 0 {
+		return c.Sizes[0]
+	}
+	if i >= len(c.Probs) {
+		return c.Sizes[len(c.Sizes)-1]
+	}
+	p0, p1 := c.Probs[i-1], c.Probs[i]
+	s0, s1 := c.Sizes[i-1], c.Sizes[i]
+	if p1 == p0 {
+		return s1
+	}
+	frac := (u - p0) / (p1 - p0)
+	size := s0 + int64(frac*float64(s1-s0))
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// Mean returns the distribution's expected flow size in bytes, integrating
+// the piecewise-linear segments.
+func (c *CDF) Mean() float64 {
+	var mean float64
+	for i := 1; i < len(c.Sizes); i++ {
+		dp := c.Probs[i] - c.Probs[i-1]
+		mean += dp * float64(c.Sizes[i-1]+c.Sizes[i]) / 2
+	}
+	return mean
+}
+
+// Websearch returns the DCTCP web-search flow-size distribution
+// (Alizadeh et al., SIGCOMM 2010), as distributed with the HPCC simulator.
+func Websearch() *CDF {
+	c := &CDF{
+		Name:  "websearch",
+		Sizes: []int64{1, 10_000, 20_000, 30_000, 50_000, 80_000, 200_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000, 30_000_000},
+		Probs: []float64{0, 0.15, 0.20, 0.30, 0.40, 0.53, 0.60, 0.70, 0.80, 0.90, 0.97, 1},
+	}
+	mustValid(c)
+	return c
+}
+
+// Hadoop returns the Facebook Hadoop flow-size distribution
+// (Roy et al., SIGCOMM 2015), as distributed with the HPCC simulator:
+// dominated by sub-4KB flows with a heavy tail to 10 MB.
+func Hadoop() *CDF {
+	c := &CDF{
+		Name:  "hadoop",
+		Sizes: []int64{1, 180, 216, 560, 900, 1_100, 1_870, 3_160, 10_000, 30_000, 100_000, 1_000_000, 10_000_000},
+		Probs: []float64{0, 0.10, 0.15, 0.20, 0.30, 0.40, 0.53, 0.60, 0.70, 0.80, 0.90, 0.95, 1},
+	}
+	mustValid(c)
+	return c
+}
+
+// ByName returns a distribution by name ("websearch" or "hadoop").
+func ByName(name string) (*CDF, error) {
+	switch name {
+	case "websearch":
+		return Websearch(), nil
+	case "hadoop":
+		return Hadoop(), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown distribution %q", name)
+	}
+}
+
+func mustValid(c *CDF) {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+}

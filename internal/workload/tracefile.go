@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mlcc/internal/sim"
+)
+
+// Flow trace files let workloads be replayed across runs and tools (and
+// imported from external generators). The format is CSV with a header:
+//
+//	src,dst,size_bytes,start_us
+//	0,16,125000,43.125
+//
+// Hosts are global indices (first half = DC 0); Cross is derived by the
+// loader from the host count.
+
+// WriteFlows emits flows as a trace file.
+func WriteFlows(w io.Writer, flows []FlowSpec) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "src,dst,size_bytes,start_us"); err != nil {
+		return err
+	}
+	for _, f := range flows {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%.6f\n", f.Src, f.Dst, f.Size, f.Start.Micros()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFlows parses a trace file. hosts is the total host count of the
+// target topology, used to validate indices and derive the Cross flag.
+func ReadFlows(r io.Reader, hosts int) ([]FlowSpec, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []FlowSpec
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if line == 1 && strings.HasPrefix(text, "src,") {
+			continue // header
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("workload: trace line %d: want 4 fields, got %d", line, len(parts))
+		}
+		src, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: src: %v", line, err)
+		}
+		dst, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: dst: %v", line, err)
+		}
+		size, err := strconv.ParseInt(strings.TrimSpace(parts[2]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: size: %v", line, err)
+		}
+		us, err := strconv.ParseFloat(strings.TrimSpace(parts[3]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: start: %v", line, err)
+		}
+		if src < 0 || src >= hosts || dst < 0 || dst >= hosts {
+			return nil, fmt.Errorf("workload: trace line %d: host out of range [0,%d)", line, hosts)
+		}
+		if src == dst {
+			return nil, fmt.Errorf("workload: trace line %d: self flow", line)
+		}
+		if size <= 0 || us < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: non-positive size or negative start", line)
+		}
+		perDC := hosts / 2
+		out = append(out, FlowSpec{
+			Src:   src,
+			Dst:   dst,
+			Size:  size,
+			Start: sim.FromSeconds(us / 1e6),
+			Cross: (src < perDC) != (dst < perDC),
+		})
+	}
+	return out, sc.Err()
+}

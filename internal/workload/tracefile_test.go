@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"mlcc/internal/sim"
+)
+
+func TestFlowTraceRoundTrip(t *testing.T) {
+	spec := testSpec(0.4, 0.15)
+	flows := Generate(spec)
+	if len(flows) == 0 {
+		t.Fatal("no flows")
+	}
+	var b strings.Builder
+	if err := WriteFlows(&b, flows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFlows(strings.NewReader(b.String()), spec.Hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(flows) {
+		t.Fatalf("round trip %d -> %d flows", len(flows), len(got))
+	}
+	for i := range flows {
+		f, g := flows[i], got[i]
+		if f.Src != g.Src || f.Dst != g.Dst || f.Size != g.Size || f.Cross != g.Cross {
+			t.Fatalf("flow %d mismatch: %+v vs %+v", i, f, g)
+		}
+		// Start survives to sub-microsecond precision.
+		d := f.Start - g.Start
+		if d < 0 {
+			d = -d
+		}
+		if d > sim.Microsecond {
+			t.Fatalf("flow %d start drift %v", i, d)
+		}
+	}
+}
+
+func TestReadFlowsValidation(t *testing.T) {
+	cases := map[string]string{
+		"field count": "src,dst,size_bytes,start_us\n1,2,3\n",
+		"bad src":     "x,2,1000,0\n",
+		"bad dst":     "1,y,1000,0\n",
+		"bad size":    "1,2,z,0\n",
+		"bad start":   "1,2,1000,q\n",
+		"range":       "1,99,1000,0\n",
+		"self":        "3,3,1000,0\n",
+		"neg size":    "1,2,-5,0\n",
+		"neg start":   "1,2,1000,-1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadFlows(strings.NewReader(in), 32); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestReadFlowsSkipsCommentsAndBlanks(t *testing.T) {
+	in := "src,dst,size_bytes,start_us\n# comment\n\n0,16,5000,12.5\n"
+	flows, err := ReadFlows(strings.NewReader(in), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 1 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	f := flows[0]
+	if !f.Cross || f.Size != 5000 || f.Start != 12500*sim.Nanosecond {
+		t.Fatalf("parsed %+v", f)
+	}
+}
+
+func TestReadFlowsNoHeader(t *testing.T) {
+	// A file without the canonical header still parses (first line data).
+	flows, err := ReadFlows(strings.NewReader("0,1,1000,0\n"), 4)
+	if err != nil || len(flows) != 1 {
+		t.Fatalf("flows=%v err=%v", flows, err)
+	}
+	if flows[0].Cross {
+		t.Fatal("same-DC flow marked cross")
+	}
+}

@@ -1,0 +1,265 @@
+// Package mlcc is the public API of this repository: a from-scratch Go
+// reproduction of "Efficient Cross-Datacenter Congestion Control with Fast
+// Control Loops" (ICPP 2025).
+//
+// MLCC (Micro Loop Congestion Control) splits the long cross-datacenter
+// control loop into three fast loops — a near-source loop fed by Switch-INT
+// reflection at the sender-side DCI switch, a receiver-driven credit loop
+// controlling per-flow queue (PFQ) dequeue rates at the receiver-side DCI
+// switch, and an end-to-end loop carrying the DQM queue-management rate —
+// and paces each flow at R_MLCC = min(R_NS, R̄_DQM).
+//
+// The package wraps a deterministic packet-level network simulator
+// (internal/sim, internal/fabric, internal/host, internal/dci) providing the
+// substrate the paper evaluates on: a two-datacenter spine-leaf fabric with
+// PFC, ECN, INT telemetry and deep-buffered DCI switches, plus the DCQCN,
+// Timely, HPCC and PowerTCP baselines.
+//
+// Quick start:
+//
+//	res, err := mlcc.Run(mlcc.Config{
+//		Algorithm: "mlcc",
+//		Workload:  "websearch",
+//		IntraLoad: 0.5,
+//		CrossLoad: 0.2,
+//		Duration:  5 * mlcc.Millisecond,
+//	})
+//	fmt.Println(res.AvgFCTIntra, res.AvgFCTCross)
+//
+// For scripted reproduction of every figure in the paper's evaluation see
+// cmd/mlccfig and the Experiments function.
+package mlcc
+
+import (
+	"fmt"
+	"io"
+
+	"mlcc/internal/exp"
+	"mlcc/internal/host"
+	"mlcc/internal/sim"
+	"mlcc/internal/stats"
+	"mlcc/internal/topo"
+	"mlcc/internal/workload"
+)
+
+// Time re-exports the simulator's picosecond time type.
+type Time = sim.Time
+
+// Rate re-exports the simulator's bits-per-second rate type.
+type Rate = sim.Rate
+
+// Convenient units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+
+	Kbps = sim.Kbps
+	Mbps = sim.Mbps
+	Gbps = sim.Gbps
+)
+
+// FlowSpec is one transfer of a replayable workload trace.
+type FlowSpec = workload.FlowSpec
+
+// ReadFlows parses a flow trace file (CSV: src,dst,size_bytes,start_us);
+// hosts is the host count of the target topology.
+func ReadFlows(r io.Reader, hosts int) ([]FlowSpec, error) {
+	return workload.ReadFlows(r, hosts)
+}
+
+// WriteFlows emits flows as a trace file for later replay.
+func WriteFlows(w io.Writer, flows []FlowSpec) error {
+	return workload.WriteFlows(w, flows)
+}
+
+// Algorithms lists the supported congestion-control algorithms.
+func Algorithms() []string { return topo.Algorithms() }
+
+// Workloads lists the supported flow-size distributions.
+func Workloads() []string { return []string{"websearch", "hadoop"} }
+
+// Config describes one workload simulation on the two-DC topology.
+type Config struct {
+	// Algorithm is one of Algorithms(); default "mlcc".
+	Algorithm string
+	// Workload is one of Workloads(); default "websearch".
+	Workload string
+
+	// IntraLoad is the intra-DC offered load as a fraction of per-host
+	// bisection capacity; CrossLoad is the cross-DC offered load as a
+	// fraction of the long-haul link capacity.
+	IntraLoad float64
+	CrossLoad float64
+
+	// Duration is the arrival window; the simulation then drains until
+	// Deadline (default 20× Duration + 100 ms).
+	Duration Time
+	Deadline Time
+
+	// HostsPerLeaf scales the topology (default 8; the paper's 4:1
+	// oversubscribed setup uses 32). Other shape parameters follow §4.1.
+	HostsPerLeaf int
+
+	// LongHaulDelay overrides the 3 ms inter-DC propagation delay.
+	LongHaulDelay Time
+
+	// Dumbbell selects the §4.6 testbed shape instead of two-DC spine-leaf.
+	Dumbbell bool
+
+	// Flows, when non-empty, replays an explicit trace instead of
+	// generating Poisson arrivals from Workload/IntraLoad/CrossLoad.
+	Flows []FlowSpec
+
+	Seed int64
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Flows      int
+	Completed  int
+	Unfinished int
+
+	AvgFCTIntra Time
+	AvgFCTCross Time
+	AvgFCT      Time
+	P999Intra   Time
+	P999Cross   Time
+
+	PFCPauses int64
+	Drops     int64
+
+	// FCT gives access to the full completion-time distribution.
+	FCT *stats.FCTCollector
+
+	// Trace is the workload that was run (generated or replayed), suitable
+	// for WriteFlows so a run can be replayed exactly.
+	Trace []FlowSpec
+}
+
+// Run executes one workload simulation and returns its summary.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = "mlcc"
+	}
+	if cfg.Workload == "" {
+		cfg.Workload = "websearch"
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * Millisecond
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 20*cfg.Duration + 100*Millisecond
+	}
+	cdf, err := workload.ByName(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+
+	p := topo.DefaultParams()
+	if cfg.HostsPerLeaf > 0 {
+		p.HostsPerLeaf = cfg.HostsPerLeaf
+	} else if !cfg.Dumbbell {
+		p.HostsPerLeaf = 8
+	}
+	if cfg.LongHaulDelay > 0 {
+		p.LongHaulDelay = cfg.LongHaulDelay
+	}
+	p.Seed = cfg.Seed
+	found := false
+	for _, a := range topo.Algorithms() {
+		if a == cfg.Algorithm {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("mlcc: unknown algorithm %q (have %v)", cfg.Algorithm, topo.Algorithms())
+	}
+	p = p.WithAlgorithm(cfg.Algorithm)
+
+	var n *topo.Network
+	if cfg.Dumbbell {
+		if cfg.HostsPerLeaf == 0 {
+			p.HostsPerLeaf = 2
+		}
+		p.HostRate = 100 * Gbps
+		n = topo.Dumbbell(p)
+	} else {
+		n = topo.TwoDC(p)
+	}
+
+	flows := cfg.Flows
+	if len(flows) == 0 {
+		flows = workload.Generate(workload.Spec{
+			CDF:       cdf,
+			IntraLoad: cfg.IntraLoad,
+			CrossLoad: cfg.CrossLoad,
+			HostRate:  n.P.HostRate,
+			IntraRate: n.PerHostBisection(),
+			CrossRate: n.P.FabricRate,
+			Hosts:     n.NumHosts(),
+			Duration:  cfg.Duration,
+			Seed:      cfg.Seed,
+		})
+	} else {
+		for _, f := range flows {
+			if f.Src >= n.NumHosts() || f.Dst >= n.NumHosts() {
+				return nil, fmt.Errorf("mlcc: trace flow %d->%d outside the %d-host topology", f.Src, f.Dst, n.NumHosts())
+			}
+		}
+	}
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("mlcc: zero offered load (intra=%v cross=%v)", cfg.IntraLoad, cfg.CrossLoad)
+	}
+
+	col := stats.NewFCTCollector()
+	for _, h := range n.Hosts {
+		h.OnFlowDone = func(f *host.Flow) {
+			col.Add(stats.FCTSample{Size: f.Info.Size, FCT: f.FCT(), Cross: f.Info.CrossDC, Start: f.Start})
+		}
+	}
+	for _, fs := range flows {
+		n.AddFlow(fs.Src, fs.Dst, fs.Size, fs.Start)
+	}
+	n.Run(cfg.Deadline)
+
+	res := &Result{Flows: len(flows), FCT: col, Completed: col.Len(), Trace: flows}
+	res.Unfinished = res.Flows - res.Completed
+	res.AvgFCTIntra, _ = col.Avg(stats.Intra)
+	res.AvgFCTCross, _ = col.Avg(stats.Cross)
+	res.AvgFCT, _ = col.Avg(nil)
+	res.P999Intra, _ = col.Percentile(stats.Intra, 0.999)
+	res.P999Cross, _ = col.Percentile(stats.Cross, 0.999)
+	for _, sw := range n.Leaves {
+		res.PFCPauses += sw.PFCPauses
+		res.Drops += sw.Drops
+	}
+	for _, sw := range n.Spines {
+		res.PFCPauses += sw.PFCPauses
+		res.Drops += sw.Drops
+	}
+	for _, sw := range n.DCIs {
+		res.PFCPauses += sw.PFCPauses
+		res.Drops += sw.Drops
+	}
+	return res, nil
+}
+
+// Experiment re-exports the figure-regeneration harness: id is one of
+// ExperimentIDs(); full selects the paper-scale topology.
+func Experiment(id string, full bool, seed int64) (*exp.Report, error) {
+	e, ok := exp.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("mlcc: unknown experiment %q (have %v)", id, exp.IDs())
+	}
+	scale := exp.Quick
+	if full {
+		scale = exp.Full
+	}
+	return e.Run(exp.Config{Scale: scale, Seed: seed})
+}
+
+// ExperimentIDs lists the reproducible paper figures.
+func ExperimentIDs() []string { return exp.IDs() }

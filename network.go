@@ -1,0 +1,169 @@
+package mlcc
+
+import (
+	"fmt"
+
+	"mlcc/internal/host"
+	"mlcc/internal/topo"
+)
+
+// NetworkConfig parameterizes a hand-built scenario network.
+type NetworkConfig struct {
+	// Algorithm is one of Algorithms(); default "mlcc".
+	Algorithm string
+
+	// Topology shape; zero values use the paper's §4.1 defaults
+	// (2 spines, 4 leaves, 4 servers per leaf, per DC).
+	SpinesPerDC  int
+	LeavesPerDC  int
+	HostsPerLeaf int
+
+	// LongHaulDelay overrides the 3 ms inter-DC propagation delay.
+	LongHaulDelay Time
+
+	// Theta and TargetDelay override the DQM parameters θ and D_t.
+	Theta       Time
+	TargetDelay Time
+
+	// Dumbbell selects the §4.6 testbed shape.
+	Dumbbell bool
+
+	Seed int64
+}
+
+// Network is a simulation a caller drives flow-by-flow: place transfers,
+// advance virtual time, observe throughput and switch queues.
+type Network struct {
+	n *topo.Network
+}
+
+// Flow is a transfer placed on a Network.
+type Flow struct {
+	f *host.Flow
+	n *topo.Network
+}
+
+// NewNetwork builds a two-DC (or dumbbell) network running the given
+// congestion-control algorithm.
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = "mlcc"
+	}
+	ok := false
+	for _, a := range topo.Algorithms() {
+		if a == cfg.Algorithm {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("mlcc: unknown algorithm %q (have %v)", cfg.Algorithm, topo.Algorithms())
+	}
+	p := topo.DefaultParams()
+	if cfg.SpinesPerDC > 0 {
+		p.SpinesPerDC = cfg.SpinesPerDC
+	}
+	if cfg.LeavesPerDC > 0 {
+		p.LeavesPerDC = cfg.LeavesPerDC
+	}
+	if cfg.HostsPerLeaf > 0 {
+		p.HostsPerLeaf = cfg.HostsPerLeaf
+	}
+	if cfg.LongHaulDelay > 0 {
+		p.LongHaulDelay = cfg.LongHaulDelay
+	}
+	if cfg.Theta > 0 {
+		p.DQM.Theta = cfg.Theta
+	}
+	if cfg.TargetDelay > 0 {
+		p.DQM.Dt = cfg.TargetDelay
+	}
+	p.Seed = cfg.Seed
+	p = p.WithAlgorithm(cfg.Algorithm)
+	var n *topo.Network
+	if cfg.Dumbbell {
+		if cfg.HostsPerLeaf == 0 {
+			p.HostsPerLeaf = 2
+		}
+		p.HostRate = 100 * Gbps
+		n = topo.Dumbbell(p)
+	} else {
+		n = topo.TwoDC(p)
+	}
+	return &Network{n: n}, nil
+}
+
+// NumHosts reports the total number of servers.
+func (nw *Network) NumHosts() int { return nw.n.NumHosts() }
+
+// HostsPerDC reports the servers per datacenter.
+func (nw *Network) HostsPerDC() int { return nw.n.HostsPerDC }
+
+// RackHost returns the host index of server i (0-based) in paper rack r
+// (1-based); racks 1–4 are DC 0, racks 5–8 are DC 1.
+func (nw *Network) RackHost(r, i int) int { return nw.n.RackHost(r, i) }
+
+// CrossDC reports whether src→dst crosses datacenters.
+func (nw *Network) CrossDC(src, dst int) bool { return nw.n.CrossDC(src, dst) }
+
+// IntraRTT returns the base intra-DC (different-rack) round-trip time.
+func (nw *Network) IntraRTT() Time { return nw.n.IntraRTT() }
+
+// CrossRTT returns the base cross-DC round-trip time.
+func (nw *Network) CrossRTT() Time { return nw.n.CrossRTT() }
+
+// Now returns the current simulation time.
+func (nw *Network) Now() Time { return nw.n.Eng.Now() }
+
+// AddFlow schedules a transfer of size bytes from host src to host dst
+// starting at the given simulation time.
+func (nw *Network) AddFlow(src, dst int, size int64, start Time) *Flow {
+	return &Flow{f: nw.n.AddFlow(src, dst, size, start), n: nw.n}
+}
+
+// At schedules fn to run at simulation time t (observation hooks).
+func (nw *Network) At(t Time, fn func()) {
+	nw.n.Eng.At(t, fn)
+}
+
+// RunUntil advances the simulation to time t.
+func (nw *Network) RunUntil(t Time) { nw.n.Run(t) }
+
+// DCIQueueBytes reports the buffered bytes at datacenter dc's DCI switch
+// (including MLCC per-flow queues).
+func (nw *Network) DCIQueueBytes(dc int) int64 {
+	return nw.n.DCIs[dc].BufferUsed()
+}
+
+// LeafQueueBytes reports the buffered bytes at the leaf switch of the given
+// paper rack (1-based).
+func (nw *Network) LeafQueueBytes(rack int) int64 {
+	return nw.n.Leaves[rack-1].BufferUsed()
+}
+
+// PFCPauses reports the total PFC pause events generated so far.
+func (nw *Network) PFCPauses() int64 {
+	var sum int64
+	for _, sw := range nw.n.Leaves {
+		sum += sw.PFCPauses
+	}
+	for _, sw := range nw.n.Spines {
+		sum += sw.PFCPauses
+	}
+	for _, sw := range nw.n.DCIs {
+		sum += sw.PFCPauses
+	}
+	return sum
+}
+
+// Done reports whether the flow's last byte has been received.
+func (fl *Flow) Done() bool { return fl.f.Done }
+
+// FCT returns the flow completion time (0 while unfinished).
+func (fl *Flow) FCT() Time { return fl.f.FCT() }
+
+// ReceivedBytes reports payload bytes delivered so far.
+func (fl *Flow) ReceivedBytes() int64 { return fl.f.RxBytes }
+
+// Size returns the flow's payload size in bytes.
+func (fl *Flow) Size() int64 { return fl.f.Info.Size }
