@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test check bench figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-merge gate: static analysis, race-enabled tests on the
+# determinism-sensitive packages, and a one-shot benchmark smoke run.
+check: build
+	$(GO) vet ./...
+	$(GO) test -race ./internal/sim/... ./internal/exp/...
+	$(GO) test -run '^$$' -bench 'BenchmarkFig02' -benchtime=1x .
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x .
+
+figures:
+	$(GO) run ./cmd/mlccfig -fig all

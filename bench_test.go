@@ -15,6 +15,9 @@ import (
 	"testing"
 
 	"mlcc/internal/exp"
+	"mlcc/internal/fabric"
+	"mlcc/internal/link"
+	"mlcc/internal/pkt"
 	"mlcc/internal/sim"
 	"mlcc/internal/stats"
 	"mlcc/internal/topo"
@@ -179,6 +182,121 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 		if len(flows) == 0 {
 			b.Fatal("no flows")
 		}
+	}
+}
+
+// BenchmarkEngineSchedule measures the cost of scheduling and firing one
+// event — the innermost operation of every simulation.
+func BenchmarkEngineSchedule(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(sim.Nanosecond, fn)
+		if e.Pending() > 1024 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkEngineCancelReschedule measures the pacing/timeout pattern used by
+// hosts and PFQ disciplines: arm a timer, cancel it, arm a tighter one.
+func BenchmarkEngineCancelReschedule(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := e.After(2*sim.Nanosecond, fn)
+		t.Cancel()
+		e.After(sim.Nanosecond, fn)
+		if e.PendingRaw() > 1024 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// benchSink counts and frees every delivered frame.
+type benchSink struct {
+	pool *pkt.Pool
+	got  int64
+}
+
+func (s *benchSink) Receive(p *pkt.Packet, on *link.Port) {
+	s.got++
+	s.pool.Put(p)
+}
+
+// benchFeed emits a fixed number of MTU-sized data frames.
+type benchFeed struct {
+	pool      *pkt.Pool
+	remaining int
+}
+
+func (f *benchFeed) Next(paused *[pkt.NumClasses]bool) *pkt.Packet {
+	if f.remaining == 0 {
+		return nil
+	}
+	f.remaining--
+	return f.pool.NewData(1, 1, 2, 0, pkt.DefaultMTU)
+}
+
+// BenchmarkLinkTransfer measures the per-packet cost of the link layer:
+// serialization event, wire pipe, delivery. One op = one frame end to end.
+func BenchmarkLinkTransfer(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	pool := pkt.NewPool()
+	sink := &benchSink{pool: pool}
+	feed := &benchFeed{pool: pool}
+	a := link.NewPort(e, sink, 0, 100*sim.Gbps, sim.Microsecond, pool)
+	z := link.NewPort(e, sink, 0, 100*sim.Gbps, sim.Microsecond, pool)
+	link.Connect(a, z)
+	a.SetSource(feed)
+	z.SetSource(&benchFeed{pool: pool})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feed.remaining = 1
+		a.Kick()
+		e.Run()
+	}
+	if sink.got != int64(b.N) {
+		b.Fatalf("delivered %d frames, want %d", sink.got, b.N)
+	}
+}
+
+// BenchmarkSwitchForward measures the per-packet cost of the fabric switch:
+// admission, ECN, FIFO enqueue/dequeue, INT stamping, link transmission.
+func BenchmarkSwitchForward(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	pool := pkt.NewPool()
+	sw := fabric.New(e, pool, fabric.Config{
+		ID: 100, BufferBytes: 22 << 20,
+		ECNKmin: 100 << 10, ECNKmax: 400 << 10, ECNPmax: 0.2,
+		INTEnabled: true, Seed: 1,
+	})
+	sink := &benchSink{pool: pool}
+	idle := &benchFeed{pool: pool}
+	p0 := sw.AddPort(100*sim.Gbps, sim.Microsecond)
+	p1 := sw.AddPort(100*sim.Gbps, sim.Microsecond)
+	e0 := link.NewPort(e, sink, 0, 100*sim.Gbps, sim.Microsecond, pool)
+	e1 := link.NewPort(e, sink, 0, 100*sim.Gbps, sim.Microsecond, pool)
+	e0.SetSource(idle)
+	e1.SetSource(idle)
+	link.Connect(p0, e0)
+	link.Connect(p1, e1)
+	sw.AddRoute(2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.Receive(pool.NewData(1, 1, 2, 0, pkt.DefaultMTU), sw.Port(0))
+		e.Run()
+	}
+	if sink.got != int64(b.N) {
+		b.Fatalf("delivered %d frames, want %d", sink.got, b.N)
 	}
 }
 

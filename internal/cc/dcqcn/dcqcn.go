@@ -45,8 +45,13 @@ func New(eng *sim.Engine, p Params) cc.SenderFactory {
 		s := &sender{eng: eng, p: p, flow: f,
 			rc: f.LinkRate, rt: f.LinkRate, alpha: 1,
 		}
-		s.alphaEv = eng.After(p.AlphaTimer, s.alphaTick)
-		s.rateEv = eng.After(p.RateTimer, s.rateTick)
+		// Bind the tick callbacks once: both timers re-arm on every period
+		// (and the rate timer restarts on every CNP), so per-arm method
+		// values would allocate on the per-packet path.
+		s.alphaFn = s.alphaTick
+		s.rateFn = s.rateTick
+		s.alphaEv = eng.After(p.AlphaTimer, s.alphaFn)
+		s.rateEv = eng.After(p.RateTimer, s.rateFn)
 		return s
 	}
 }
@@ -65,8 +70,10 @@ type sender struct {
 	bytesAcked int64 // since last byte-counter stage
 	cnpSeen    bool  // CNP within the current α window
 
-	alphaEv *sim.Event
-	rateEv  *sim.Event
+	alphaEv sim.Timer
+	rateEv  sim.Timer
+	alphaFn func()
+	rateFn  func()
 	closed  bool
 }
 
@@ -90,7 +97,7 @@ func (s *sender) OnCNP(now sim.Time) {
 	// Restart the rate timer so the first recovery step is a full period
 	// after the decrease.
 	s.rateEv.Cancel()
-	s.rateEv = s.eng.After(s.p.RateTimer, s.rateTick)
+	s.rateEv = s.eng.After(s.p.RateTimer, s.rateFn)
 }
 
 // OnAck advances the byte counter; DCQCN ignores INT and RTT signals.
@@ -124,7 +131,7 @@ func (s *sender) alphaTick() {
 		s.alpha = (1 - s.p.G) * s.alpha
 	}
 	s.cnpSeen = false
-	s.alphaEv = s.eng.After(s.p.AlphaTimer, s.alphaTick)
+	s.alphaEv = s.eng.After(s.p.AlphaTimer, s.alphaFn)
 }
 
 func (s *sender) rateTick() {
@@ -133,7 +140,7 @@ func (s *sender) rateTick() {
 	}
 	s.timerStage++
 	s.increase()
-	s.rateEv = s.eng.After(s.p.RateTimer, s.rateTick)
+	s.rateEv = s.eng.After(s.p.RateTimer, s.rateFn)
 }
 
 // increase runs one step of the DCQCN increase state machine.

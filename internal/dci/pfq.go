@@ -34,8 +34,9 @@ type PFQDisc struct {
 
 	dataBytes int64
 
-	wakeEv *sim.Event
+	wakeEv sim.Timer
 	wakeAt sim.Time
+	kick   func() // bound port.Kick, so pacing wake-ups don't allocate
 }
 
 // Enqueue implements fabric.Discipline: control frames go to the priority
@@ -127,15 +128,15 @@ func (d *PFQDisc) kickSoon() { d.sw.Port(d.port).Kick() }
 // scheduleWake arms (or tightens) the single pending wake-up for pacing.
 func (d *PFQDisc) scheduleWake(at sim.Time) {
 	now := d.sw.Eng.Now()
-	if d.wakeEv != nil && !d.wakeEv.Canceled() && d.wakeAt <= at && d.wakeAt > now {
+	if d.wakeEv.Active() && d.wakeAt <= at && d.wakeAt > now {
 		return
 	}
-	if d.wakeEv != nil {
-		d.wakeEv.Cancel()
-	}
+	d.wakeEv.Cancel()
 	d.wakeAt = at
-	port := d.sw.Port(d.port)
-	d.wakeEv = d.sw.Eng.At(at, port.Kick)
+	if d.kick == nil {
+		d.kick = d.sw.Port(d.port).Kick
+	}
+	d.wakeEv = d.sw.Eng.At(at, d.kick)
 }
 
 // maybeRemove garbage-collects a finished flow once its queue drained.

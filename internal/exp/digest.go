@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+	"mlcc/internal/topo"
+	"mlcc/internal/workload"
+)
+
+// DeterminismDigest runs a fixed-seed medium two-DC workload under the named
+// algorithm and returns an FNV-1a hash over (fired event count, final clock,
+// per-flow completion records in flow-ID order). The digest pins the exact
+// event ordering of the simulator: any change to scheduling, packet pooling
+// or queue mechanics that alters behaviour — even a one-event reorder —
+// changes the hash. Performance rewrites of the hot path must keep it
+// bit-identical (see the "Performance model" section of DESIGN.md).
+func DeterminismDigest(alg string, seed int64) uint64 {
+	p := scaleTopo(Quick)
+	p.Seed = seed
+	n := topo.TwoDC(p.WithAlgorithm(alg))
+
+	flows := workload.Generate(workload.Spec{
+		CDF:       workload.Websearch(),
+		IntraLoad: 0.5,
+		CrossLoad: 0.2,
+		HostRate:  n.P.HostRate,
+		IntraRate: n.PerHostBisection(),
+		CrossRate: n.P.FabricRate,
+		Hosts:     n.NumHosts(),
+		Duration:  2 * sim.Millisecond,
+		Seed:      seed,
+	})
+	for _, fs := range flows {
+		n.AddFlow(fs.Src, fs.Dst, fs.Size, fs.Start)
+	}
+	n.Run(60 * sim.Millisecond)
+
+	d := NewDigest()
+	d.Add(n.Eng.Fired())
+	d.Add(uint64(n.Eng.Now()))
+	d.Add(uint64(n.Table.Len()))
+	for id := 1; id <= n.Table.Len(); id++ {
+		f := n.Table.Get(pkt.FlowID(id))
+		d.Add(uint64(f.Info.ID))
+		if f.Done {
+			d.Add(1)
+		} else {
+			d.Add(0)
+		}
+		d.Add(uint64(f.FinishAt))
+		d.Add(uint64(f.RxBytes))
+	}
+	return d.Sum()
+}
+
+// Digest is an incremental FNV-1a hash over a sequence of uint64 words.
+type Digest struct{ h uint64 }
+
+// NewDigest returns a Digest at the FNV-1a offset basis.
+func NewDigest() *Digest { return &Digest{h: 14695981039346656037} }
+
+// Add mixes one word into the digest, little-endian byte by byte.
+func (d *Digest) Add(v uint64) {
+	const prime = 1099511628211
+	for i := 0; i < 8; i++ {
+		d.h = (d.h ^ (v & 0xff)) * prime
+		v >>= 8
+	}
+}
+
+// Sum returns the current hash value.
+func (d *Digest) Sum() uint64 { return d.h }

@@ -1,0 +1,49 @@
+package exp
+
+import "testing"
+
+// Golden digests for the Quick-scale TwoDC websearch scenario at seed 1.
+// These were recorded on the pre-optimization engine (closure-per-event,
+// allocation-per-event) and must stay byte-identical under the pooled
+// engine and the exact-integer rate math: any drift means the hot-path
+// rewrite changed simulation behavior, not just its cost.
+var goldenDigests = map[string]uint64{
+	"mlcc":     0x09637aee4f197d1d,
+	"dcqcn":    0x31c58b9691e02e33,
+	"timely":   0xae754158f99ff098,
+	"hpcc":     0x340e25fff57fa2f6,
+	"powertcp": 0xe0361237786393b0,
+}
+
+// TestDeterminismDigestGolden pins the end-to-end simulation outcome per
+// algorithm. mlcc and dcqcn always run; the remaining algorithms are
+// skipped under -short to keep the quick loop fast.
+func TestDeterminismDigestGolden(t *testing.T) {
+	algs := []string{"mlcc", "dcqcn"}
+	if !testing.Short() {
+		algs = append(algs, "timely", "hpcc", "powertcp")
+	}
+	for _, alg := range algs {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			t.Parallel()
+			if got, want := DeterminismDigest(alg, 1), goldenDigests[alg]; got != want {
+				t.Errorf("digest(%s, seed=1) = %#016x, want %#016x", alg, got, want)
+			}
+		})
+	}
+}
+
+// TestDeterminismDigestStable runs the same scenario twice in one process:
+// identical seeds must give identical digests, or event ordering leaked
+// nondeterminism (map iteration, pooled-object aliasing, ...).
+func TestDeterminismDigestStable(t *testing.T) {
+	a := DeterminismDigest("mlcc", 7)
+	b := DeterminismDigest("mlcc", 7)
+	if a != b {
+		t.Fatalf("same-seed digests differ: %#016x vs %#016x", a, b)
+	}
+	if c := DeterminismDigest("mlcc", 8); c == a {
+		t.Errorf("different seeds collided: %#016x", a)
+	}
+}

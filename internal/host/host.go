@@ -93,8 +93,9 @@ type Host struct {
 	byFlow  map[pkt.FlowID]*sendState
 	rr      int
 	ctl     pkt.Ring // outgoing control frames
-	wakeEv  *sim.Event
+	wakeEv  sim.Timer
 	wakeAt  sim.Time
+	kick    func() // bound port.Kick, so pacing wake-ups don't allocate
 
 	// Receiver side.
 	recv map[pkt.FlowID]*recvState
@@ -117,7 +118,8 @@ type sendState struct {
 	acked    int64 // cumulative acknowledged
 	nextTime sim.Time
 	progress sim.Time // last time acked advanced
-	rtoEv    *sim.Event
+	rtoEv    sim.Timer
+	rtoFn    func() // bound checkRTO closure, one per flow (not per re-arm)
 	done     bool
 }
 
@@ -146,6 +148,7 @@ func New(eng *sim.Engine, pool *pkt.Pool, cfg Config, table *Table,
 	}
 	h.port = link.NewPort(eng, h, 0, cfg.Rate, delay, pool)
 	h.port.SetSource(h)
+	h.kick = h.port.Kick
 	return h
 }
 
@@ -167,6 +170,7 @@ func (h *Host) StartFlow(f *Flow) {
 		nextTime: h.Eng.Now(),
 		progress: h.Eng.Now(),
 	}
+	s.rtoFn = func() { h.checkRTO(s) }
 	h.sending = append(h.sending, s)
 	h.byFlow[f.Info.ID] = s
 	h.armRTO(s)
@@ -247,14 +251,12 @@ func (h *Host) emit(s *sendState, now sim.Time) *pkt.Packet {
 }
 
 func (h *Host) scheduleWake(at sim.Time) {
-	if h.wakeEv != nil && !h.wakeEv.Canceled() && h.wakeAt <= at && h.wakeAt > h.Eng.Now() {
+	if h.wakeEv.Active() && h.wakeAt <= at && h.wakeAt > h.Eng.Now() {
 		return
 	}
-	if h.wakeEv != nil {
-		h.wakeEv.Cancel()
-	}
+	h.wakeEv.Cancel()
 	h.wakeAt = at
-	h.wakeEv = h.Eng.At(at, h.port.Kick)
+	h.wakeEv = h.Eng.At(at, h.kick)
 }
 
 // Receive implements link.Endpoint.
@@ -358,9 +360,7 @@ func (h *Host) finishSend(s *sendState) {
 	if closer, ok := s.sender.(interface{ Close() }); ok {
 		closer.Close()
 	}
-	if s.rtoEv != nil {
-		s.rtoEv.Cancel()
-	}
+	s.rtoEv.Cancel()
 	delete(h.byFlow, s.flow.Info.ID)
 	for i, x := range h.sending {
 		if x == s {
@@ -383,7 +383,7 @@ func (h *Host) rto(s *sendState) sim.Time {
 }
 
 func (h *Host) armRTO(s *sendState) {
-	s.rtoEv = h.Eng.After(h.rto(s), func() { h.checkRTO(s) })
+	s.rtoEv = h.Eng.After(h.rto(s), s.rtoFn)
 }
 
 // checkRTO implements go-back-N: if no cumulative-ack progress for one RTO

@@ -43,14 +43,24 @@ type Port struct {
 	busy   bool
 	paused [pkt.NumClasses]bool
 
+	// txFrame is the frame currently serializing; txDone is its completion
+	// callback, bound once at construction so transmitting a frame does not
+	// allocate a closure per packet.
+	txFrame *pkt.Packet
+	txDone  func()
+
 	// In-flight frames on the wire toward the peer. Arrival times are
 	// monotone (serialization completes in order, propagation is constant),
 	// so the pipe is a FIFO drained by a single scheduled event — keeping
 	// the engine heap small even when megabytes are in flight on a
-	// long-haul link.
-	pipe   []flight
-	pipeHd int
-	pipeEv *sim.Event
+	// long-haul link. pipeArmed covers both a pending drain event and a
+	// drain in progress, so launches from within the drain never double-arm.
+	// drain is the bound drainPipe callback (one closure per port, not per
+	// arm).
+	pipe      []flight
+	pipeHd    int
+	pipeArmed bool
+	drain     func()
 
 	// Counters (exported for INT stamping and statistics).
 	TxBytes     int64 // cumulative bytes fully serialized
@@ -69,7 +79,10 @@ func NewPort(eng *sim.Engine, owner Endpoint, index int, rate sim.Rate, delay si
 	if rate <= 0 {
 		panic(fmt.Sprintf("link: port %d with rate %v", index, rate))
 	}
-	return &Port{Eng: eng, Owner: owner, Index: index, Rate: rate, Delay: delay, Pool: pool}
+	p := &Port{Eng: eng, Owner: owner, Index: index, Rate: rate, Delay: delay, Pool: pool}
+	p.txDone = p.finishTx
+	p.drain = p.drainPipe
+	return p
 }
 
 // SetSource registers the frame supplier for this port.
@@ -107,14 +120,21 @@ func (p *Port) pullNext() {
 		return
 	}
 	p.busy = true
+	p.txFrame = frame
 	tx := sim.TxTime(frame.Size, p.Rate)
 	p.TxBytes += int64(frame.Size)
 	p.TxPackets++
-	p.Eng.After(tx, func() {
-		p.busy = false
-		p.launch(frame, p.Eng.Now()+p.Delay)
-		p.pullNext()
-	})
+	p.Eng.After(tx, p.txDone)
+}
+
+// finishTx completes the serialization of txFrame: the frame leaves the
+// transmitter onto the wire and the port pulls its next frame.
+func (p *Port) finishTx() {
+	frame := p.txFrame
+	p.txFrame = nil
+	p.busy = false
+	p.launch(frame, p.Eng.Now()+p.Delay)
+	p.pullNext()
 }
 
 // flight is one frame in flight on the wire.
@@ -127,8 +147,9 @@ type flight struct {
 // Arrival times must be monotone, which serialization order guarantees.
 func (p *Port) launch(frame *pkt.Packet, at sim.Time) {
 	p.pipe = append(p.pipe, flight{at: at, p: frame})
-	if p.pipeEv == nil {
-		p.pipeEv = p.Eng.At(at, p.drainPipe)
+	if !p.pipeArmed {
+		p.pipeArmed = true
+		p.Eng.At(at, p.drain)
 	}
 }
 
@@ -145,7 +166,7 @@ func (p *Port) drainPipe() {
 	if p.pipeHd == len(p.pipe) {
 		p.pipe = p.pipe[:0]
 		p.pipeHd = 0
-		p.pipeEv = nil
+		p.pipeArmed = false
 		return
 	}
 	if p.pipeHd > 4096 && p.pipeHd*2 > len(p.pipe) {
@@ -153,7 +174,7 @@ func (p *Port) drainPipe() {
 		p.pipe = p.pipe[:n]
 		p.pipeHd = 0
 	}
-	p.pipeEv = p.Eng.At(p.pipe[p.pipeHd].at, p.drainPipe)
+	p.Eng.At(p.pipe[p.pipeHd].at, p.drain)
 }
 
 // deliver hands an arriving frame to the owner, intercepting PFC frames:

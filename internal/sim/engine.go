@@ -5,28 +5,65 @@ import (
 	"fmt"
 )
 
-// Event is a scheduled callback. Events are created by Engine.At/After and
-// may be cancelled before they fire.
+// Event is a scheduled callback owned by an Engine. Events are pooled: once
+// an event fires, is compacted away, or is popped after cancellation, its
+// struct is recycled for a future At/After call. User code therefore never
+// holds an *Event; it holds a Timer handle whose generation check makes
+// stale handles inert (see the "Performance model" section of DESIGN.md).
 type Event struct {
 	at       Time
 	seq      uint64 // tie-break so equal-time events fire in schedule order
+	gen      uint32 // bumped on recycle; stale Timer handles no-op
+	canceled bool
 	fn       func()
-	index    int // heap index, -1 once popped
+	eng      *Engine
+}
+
+// Timer is a cancellable handle to a scheduled event. The zero Timer is
+// inert: Cancel is a no-op, Active and Canceled report false. Timers are
+// small values and stay safe after the underlying event fires and its struct
+// is recycled — the generation check rejects stale handles, so cancelling a
+// long-gone timer can never disturb an unrelated event that reuses the same
+// storage.
+type Timer struct {
+	ev       *Event
+	gen      uint32
 	canceled bool
 }
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op. Cancel is O(1): the event stays in the
-// heap and is discarded when popped.
-func (ev *Event) Cancel() {
-	if ev != nil {
-		ev.canceled = true
-		ev.fn = nil // release captured state early
+// Cancel prevents the event from firing. Cancelling an already-fired,
+// already-cancelled or zero Timer is a no-op. Cancel is O(1) amortized: the
+// event stays in the heap and is discarded when popped, unless cancelled
+// events come to dominate the heap, in which case they are compacted out in
+// one O(n) pass (so cancel-heavy pacing workloads keep the heap proportional
+// to the number of live timers).
+func (t *Timer) Cancel() {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.canceled {
+		return
+	}
+	t.canceled = true
+	ev.canceled = true
+	ev.fn = nil // release captured state early
+	e := ev.eng
+	e.live--
+	e.canceledN++
+	if e.canceledN >= compactMin && e.canceledN*2 > len(e.heap) {
+		e.compact()
 	}
 }
 
-// Canceled reports whether Cancel was called on the event.
-func (ev *Event) Canceled() bool { return ev != nil && ev.canceled }
+// Canceled reports whether Cancel was called through this handle.
+func (t *Timer) Canceled() bool { return t.canceled }
+
+// Active reports whether the event is still scheduled and uncancelled.
+func (t *Timer) Active() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.canceled
+}
+
+// compactMin is the minimum number of cancelled events before a compaction
+// pass is considered; below it the lazy pop-time discard is cheaper.
+const compactMin = 64
 
 type eventHeap []*Event
 
@@ -37,25 +74,21 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+	*h = append(*h, x.(*Event))
 }
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
-	ev.index = -1
 	*h = old[:n-1]
 	return ev
 }
+
+// maxTime is the sentinel deadline used by Run: beyond any schedulable time.
+const maxTime = Time(1)<<62 - 1
 
 // Engine is a discrete-event simulation engine. It is not safe for
 // concurrent use: all scheduling must happen from the engine goroutine
@@ -66,6 +99,13 @@ type Engine struct {
 	seq     uint64
 	stopped bool
 	fired   uint64
+
+	live      int // scheduled and not cancelled
+	canceledN int // cancelled but still in the heap
+
+	free     []*Event // recycled event structs
+	allocs   uint64   // events allocated from the Go heap
+	recycles uint64   // events served from the free list
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -79,60 +119,128 @@ func (e *Engine) Now() Time { return e.now }
 // Fired reports how many events have executed, for diagnostics and tests.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports the number of events still scheduled (including
-// cancelled-but-unpopped events).
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending reports the number of live events: scheduled and not cancelled.
+func (e *Engine) Pending() int { return e.live }
+
+// PendingRaw reports the scheduler heap size, including cancelled-but-
+// unpopped events — the quantity that bounds heap memory and pop cost.
+func (e *Engine) PendingRaw() int { return len(e.heap) }
+
+// EventAllocs reports how many Event structs were heap-allocated (vs served
+// from the free list), for allocation tests and diagnostics.
+func (e *Engine) EventAllocs() uint64 { return e.allocs }
+
+// EventRecycles reports how many schedules reused a recycled Event struct.
+func (e *Engine) EventRecycles() uint64 { return e.recycles }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // causality violations are always bugs in the caller.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		e.recycles++
+	} else {
+		ev = &Event{eng: e}
+		e.allocs++
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
 	heap.Push(&e.heap, ev)
-	return ev
+	e.live++
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: schedule after negative delay %v", d))
 	}
 	return e.At(e.now+d, fn)
 }
 
-// Stop makes Run/RunUntil return after the currently executing event.
+// Stop makes Run/RunUntil return after the currently executing event. A Stop
+// issued while no run is in progress is honored by the next Run/RunUntil,
+// which returns immediately (consuming the stop) without executing events.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events in timestamp order until the queue is empty or Stop is
 // called.
 func (e *Engine) Run() {
-	e.RunUntil(Time(1)<<62 - 1)
+	e.RunUntil(maxTime)
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to deadline (if the queue drained earlier). It returns early if Stop
-// is called.
+// is called; each Run/RunUntil return consumes at most one Stop, so a
+// stopped run can be resumed by calling Run/RunUntil again.
 func (e *Engine) RunUntil(deadline Time) {
-	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped {
+	if e.stopped {
+		e.stopped = false
+		return
+	}
+	for len(e.heap) > 0 {
 		next := e.heap[0]
 		if next.at > deadline {
 			break
 		}
 		heap.Pop(&e.heap)
 		if next.canceled {
+			e.canceledN--
+			e.recycle(next)
 			continue
 		}
 		e.now = next.at
 		fn := next.fn
-		next.fn = nil
+		e.live--
+		// Recycle before calling fn: the callback may schedule new events,
+		// which can then reuse this struct immediately. The generation bump
+		// inside recycle makes any handle to the firing event stale first.
+		e.recycle(next)
 		e.fired++
 		fn()
+		if e.stopped {
+			e.stopped = false
+			return
+		}
 	}
-	if !e.stopped && e.now < deadline && deadline < Time(1)<<62-1 {
+	if e.now < deadline && deadline < maxTime {
 		e.now = deadline
 	}
+}
+
+// recycle returns an event struct to the free list. The generation bump
+// invalidates every outstanding Timer handle to it.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.canceled = false
+	e.free = append(e.free, ev)
+}
+
+// compact removes cancelled events from the heap in one pass and restores
+// the heap invariant. Relative order of survivors is preserved because the
+// (at, seq) comparison is untouched.
+func (e *Engine) compact() {
+	dst := e.heap[:0]
+	for _, ev := range e.heap {
+		if ev.canceled {
+			e.recycle(ev)
+		} else {
+			dst = append(dst, ev)
+		}
+	}
+	for i := len(dst); i < len(e.heap); i++ {
+		e.heap[i] = nil
+	}
+	e.heap = dst
+	heap.Init(&e.heap)
+	e.canceledN = 0
 }

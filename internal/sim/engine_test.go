@@ -164,10 +164,36 @@ func TestEngineCancel(t *testing.T) {
 	if !ev.Canceled() {
 		t.Fatal("Canceled() = false")
 	}
-	// Cancelling again (and cancelling nil) must be safe.
+	// Cancelling again (and cancelling a zero Timer) must be safe.
 	ev.Cancel()
-	var nilEv *Event
-	nilEv.Cancel()
+	var zero Timer
+	zero.Cancel()
+	if zero.Active() || zero.Canceled() {
+		t.Fatal("zero Timer must be inert")
+	}
+}
+
+// A Timer handle must go inert once its event fires: cancelling it afterwards
+// may not disturb an unrelated event that recycled the same Event struct.
+func TestEngineStaleTimerIsInert(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	ev := e.At(Microsecond, func() { fired++ })
+	e.Run()
+	if ev.Active() {
+		t.Fatal("fired timer still active")
+	}
+	// Schedule a new event; with a recycled struct this would be corrupted
+	// by a stale Cancel if generations were not checked.
+	e.At(2*Microsecond, func() { fired++ })
+	ev.Cancel()
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (stale Cancel must not kill the new event)", fired)
+	}
+	if ev.Canceled() {
+		t.Fatal("stale Cancel must not report Canceled")
+	}
 }
 
 func TestEngineRunUntil(t *testing.T) {
@@ -251,7 +277,7 @@ func TestEngineCancelProperty(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		e := NewEngine()
 		type rec struct {
-			ev       *Event
+			ev       Timer
 			at       Time
 			canceled bool
 		}
@@ -279,6 +305,123 @@ func TestEngineCancelProperty(t *testing.T) {
 		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
 			t.Fatalf("trial %d: out of order: %v", trial, fired)
 		}
+	}
+}
+
+func TestEngineStopBeforeRunIsHonored(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(Microsecond, func() { count++ })
+	// A Stop issued before the run starts (e.g. setup code aborting) must
+	// make the next run return immediately instead of being swallowed.
+	e.Stop()
+	e.RunUntil(10 * Microsecond)
+	if count != 0 {
+		t.Fatalf("count = %d, want 0: pre-set Stop was swallowed", count)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("Now = %v, want 0 (stopped run must not advance the clock)", e.Now())
+	}
+	// The stop is consumed: the next run executes normally.
+	e.RunUntil(10 * Microsecond)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 after resuming", count)
+	}
+	if e.Now() != 10*Microsecond {
+		t.Fatalf("Now = %v, want 10us", e.Now())
+	}
+}
+
+func TestEnginePendingExcludesCancelled(t *testing.T) {
+	e := NewEngine()
+	timers := make([]Timer, 10)
+	for i := range timers {
+		timers[i] = e.At(Microsecond, func() {})
+	}
+	if e.Pending() != 10 || e.PendingRaw() != 10 {
+		t.Fatalf("Pending = %d, PendingRaw = %d, want 10, 10", e.Pending(), e.PendingRaw())
+	}
+	for i := 0; i < 4; i++ {
+		timers[i].Cancel()
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending = %d, want 6 (cancelled events must not count)", e.Pending())
+	}
+	if e.PendingRaw() != 10 {
+		t.Fatalf("PendingRaw = %d, want 10 (heap still holds cancelled events)", e.PendingRaw())
+	}
+	e.Run()
+	if e.Pending() != 0 || e.PendingRaw() != 0 {
+		t.Fatalf("after Run: Pending = %d, PendingRaw = %d, want 0, 0", e.Pending(), e.PendingRaw())
+	}
+}
+
+// Cancel-heavy pacing workloads (one cancel+reschedule per packet) must not
+// grow the heap with cancelled corpses, and the engine must serve the churn
+// from its free list rather than the Go heap.
+func TestEngineCancelHeavyHeapBounded(t *testing.T) {
+	e := NewEngine()
+	const n = 1_000_000
+	var live Timer
+	peakRaw := 0
+	for i := 0; i < n; i++ {
+		live.Cancel()
+		live = e.After(Time(i%100+1)*Nanosecond, func() {})
+		if raw := e.PendingRaw(); raw > peakRaw {
+			peakRaw = raw
+		}
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	// Compaction keeps the heap proportional to live timers (1 here), far
+	// below the 1e6 cancelled events pushed through it.
+	if peakRaw > 4*compactMin {
+		t.Fatalf("peak heap size %d: compaction failed to bound cancelled events", peakRaw)
+	}
+	if e.EventAllocs() > uint64(4*compactMin) {
+		t.Fatalf("%d event allocations for %d schedules: free list not reused", e.EventAllocs(), n)
+	}
+	if e.EventRecycles() < n/2 {
+		t.Fatalf("only %d recycles for %d schedules", e.EventRecycles(), n)
+	}
+	e.Run()
+}
+
+// Two identical cancel-heavy runs must produce bit-identical engine state:
+// compaction and recycling may not perturb firing order.
+func TestEngineCancelHeavyDeterminism(t *testing.T) {
+	run := func() (uint64, Time, uint64) {
+		e := NewEngine()
+		var digest uint64 = 14695981039346656037
+		mix := func(v uint64) {
+			const prime = 1099511628211
+			for i := 0; i < 8; i++ {
+				digest = (digest ^ (v & 0xff)) * prime
+				v >>= 8
+			}
+		}
+		rng := rand.New(rand.NewSource(42))
+		var pacers [8]Timer
+		for i := 0; i < 200_000; i++ {
+			i := i
+			slot := rng.Intn(len(pacers))
+			pacers[slot].Cancel()
+			pacers[slot] = e.After(Time(rng.Intn(500)+1)*Nanosecond, func() {
+				mix(uint64(i))
+				mix(uint64(e.Now()))
+			})
+			if i%17 == 0 {
+				e.RunUntil(e.Now() + 100*Nanosecond)
+			}
+		}
+		e.Run()
+		return e.Fired(), e.Now(), digest
+	}
+	f1, n1, d1 := run()
+	f2, n2, d2 := run()
+	if f1 != f2 || n1 != n2 || d1 != d2 {
+		t.Fatalf("nondeterministic: run1=(%d,%v,%#x) run2=(%d,%v,%#x)", f1, n1, d1, f2, n2, d2)
 	}
 }
 

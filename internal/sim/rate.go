@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
 
 // Rate is a transmission or drain rate in bits per second.
 type Rate int64
@@ -27,6 +31,31 @@ func (r Rate) String() string {
 	}
 }
 
+// mulDiv computes a*b/div exactly through a 128-bit intermediate product.
+// Inputs must be non-negative and div positive. ok is false when the
+// quotient does not fit in int64; callers fall back to float64 then (the
+// result is astronomically large, so picosecond/byte exactness is moot).
+func mulDiv(a, b, div int64) (v int64, ok bool) {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	if hi >= uint64(div) {
+		return 0, false // quotient would overflow uint64
+	}
+	q, _ := bits.Div64(hi, lo, uint64(div))
+	if q > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(q), true
+}
+
+// satInt64 converts a non-negative float to int64, saturating at MaxInt64
+// instead of the platform-dependent wrap of an overflowing conversion.
+func satInt64(f float64) int64 {
+	if f >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(f)
+}
+
 // TxTime is the serialization delay of size bytes at rate r.
 // TxTime panics if r is not positive: transmitting at zero rate never
 // completes and indicates a configuration bug.
@@ -34,40 +63,45 @@ func TxTime(size int, r Rate) Time {
 	if r <= 0 {
 		panic(fmt.Sprintf("sim: TxTime with non-positive rate %d", r))
 	}
-	bits := int64(size) * 8
-	// Exact integer math while bits*Second fits int64 (covers every real
-	// frame); fall back to float64 for large aggregate transfers, where
-	// picosecond exactness no longer matters.
-	const maxExactBits = int64(^uint64(0)>>1) / int64(Second)
-	if bits <= maxExactBits {
-		return Time(bits * int64(Second) / int64(r))
+	// Exact integer math (128-bit intermediate) covers every real transfer;
+	// the float fallback only triggers when the delay itself overflows Time.
+	if v, ok := mulDiv(int64(size)*8, int64(Second), int64(r)); ok {
+		return Time(v)
 	}
-	return Time(float64(bits) * float64(Second) / float64(r))
+	return Time(satInt64(float64(size) * 8 * float64(Second) / float64(r)))
 }
 
-// BytesOver reports how many whole bytes rate r delivers during d.
+// BytesOver reports how many whole bytes rate r delivers during d:
+// r/8 bits per second over d, computed as r*d / (8*Second) with exact
+// integer math so token buckets and INT utilization estimates never see
+// float truncation off-by-ones.
 func BytesOver(r Rate, d Time) int64 {
 	if d <= 0 || r <= 0 {
 		return 0
 	}
-	// bytes = r/8 * seconds. Compute as (r * d) / (8 * Second) using
-	// float64 to avoid int64 overflow for long windows; exactness does not
-	// matter for measurement windows.
-	return int64(float64(r) * d.Seconds() / 8)
+	if v, ok := mulDiv(int64(r), int64(d), 8*int64(Second)); ok {
+		return v
+	}
+	return satInt64(float64(r) * d.Seconds() / 8)
 }
 
 // RateOf reports the average rate that moves bytes in d, in bits per second.
 func RateOf(bytes int64, d Time) Rate {
-	if d <= 0 {
+	if d <= 0 || bytes <= 0 {
 		return 0
 	}
-	return Rate(float64(bytes) * 8 / d.Seconds())
+	if bytes <= math.MaxInt64/8 {
+		if v, ok := mulDiv(bytes*8, int64(Second), int64(d)); ok {
+			return Rate(v)
+		}
+	}
+	return Rate(satInt64(float64(bytes) * 8 / d.Seconds()))
 }
 
 // BDPBytes is the bandwidth-delay product of rate r over round-trip rtt,
 // in bytes.
 func BDPBytes(r Rate, rtt Time) int64 {
-	return int64(float64(r) / 8 * rtt.Seconds())
+	return BytesOver(r, rtt)
 }
 
 // ClampRate bounds r to [lo, hi].

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// exactRatio computes a*b/div with arbitrary precision, the reference for
+// the integer fast paths in rate.go.
+func exactRatio(a, b, div int64) int64 {
+	v := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+	v.Div(v, big.NewInt(div))
+	return v.Int64()
+}
+
+// The old float64 implementation of RateOf truncated one bit low or high on
+// perfectly ordinary inputs; these are recorded regressions.
+func TestRateOfExactRegressions(t *testing.T) {
+	cases := []struct {
+		bytes int64
+		d     Time
+	}{
+		{2125000, 1000 * Picosecond},
+		{2125000, 3 * Nanosecond},
+		{2450000, 9 * Nanosecond},
+		{3425000, 3 * Nanosecond},
+	}
+	for _, c := range cases {
+		want := Rate(exactRatio(c.bytes*8, int64(Second), int64(c.d)))
+		if got := RateOf(c.bytes, c.d); got != want {
+			t.Errorf("RateOf(%d, %v) = %d, want exact %d", c.bytes, c.d, got, want)
+		}
+	}
+}
+
+// Property: BytesOver, RateOf, BDPBytes and TxTime are exact integer
+// arithmetic for every input whose result fits int64.
+func TestRateMathExactProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200_000; i++ {
+		r := rng.Int63n(400*int64(Gbps)) + 1
+		d := Time(rng.Int63n(int64(100 * Millisecond)))
+		if got, want := BytesOver(Rate(r), d), exactRatio(r, int64(d), 8*int64(Second)); got != want {
+			t.Fatalf("BytesOver(%d, %d) = %d, want %d", r, d, got, want)
+		}
+		if got, want := BDPBytes(Rate(r), d), exactRatio(r, int64(d), 8*int64(Second)); got != want {
+			t.Fatalf("BDPBytes(%d, %d) = %d, want %d", r, d, got, want)
+		}
+		bytes := rng.Int63n(1 << 40)
+		if d > 0 {
+			exact := new(big.Int).Mul(big.NewInt(bytes*8), big.NewInt(int64(Second)))
+			exact.Div(exact, big.NewInt(int64(d)))
+			if exact.IsInt64() {
+				if got, want := RateOf(bytes, d), Rate(exact.Int64()); got != want {
+					t.Fatalf("RateOf(%d, %d) = %d, want %d", bytes, d, got, want)
+				}
+			} else if got := RateOf(bytes, d); got <= 0 {
+				t.Fatalf("RateOf(%d, %d) = %d, want saturated positive", bytes, d, got)
+			}
+		}
+		size := int(rng.Int63n(64 << 10))
+		if got, want := TxTime(size, Rate(r)), Time(exactRatio(int64(size)*8, int64(Second), r)); got != want {
+			t.Fatalf("TxTime(%d, %d) = %d, want %d", size, r, got, want)
+		}
+	}
+}
+
+// The float fallback still engages when the exact quotient overflows int64.
+func TestRateMathOverflowFallback(t *testing.T) {
+	// ~9.2e18 bytes over 1 ps is far beyond int64 bits/sec; just require no
+	// panic and a positive saturating answer.
+	if got := RateOf(1<<62, Picosecond); got <= 0 {
+		t.Fatalf("RateOf overflow fallback = %d, want positive", got)
+	}
+	if got := TxTime(1<<40, 1); got <= 0 {
+		t.Fatalf("TxTime(huge, 1bps) = %d, want positive", got)
+	}
+}
+
+func TestBytesOverZeroAndNegative(t *testing.T) {
+	if got := BytesOver(Gbps, 0); got != 0 {
+		t.Fatalf("BytesOver(_, 0) = %d", got)
+	}
+	if got := BytesOver(Gbps, -Millisecond); got != 0 {
+		t.Fatalf("BytesOver(_, <0) = %d", got)
+	}
+	if got := BytesOver(0, Millisecond); got != 0 {
+		t.Fatalf("BytesOver(0, _) = %d", got)
+	}
+	if got := RateOf(0, Millisecond); got != 0 {
+		t.Fatalf("RateOf(0, _) = %d", got)
+	}
+	if got := RateOf(100, 0); got != 0 {
+		t.Fatalf("RateOf(_, 0) = %d", got)
+	}
+}
