@@ -9,11 +9,16 @@ test:
 	$(GO) test ./...
 
 # check is the pre-merge gate: static analysis, race-enabled tests on the
-# determinism-sensitive packages, and a one-shot benchmark smoke run.
+# determinism-sensitive packages, a one-shot benchmark smoke run, the
+# telemetry-overhead proof (disabled-path hot loops must stay at 0 allocs/op)
+# and the telemetry determinism invariant (golden digests identical with the
+# metrics registry and flight recorder attached).
 check: build
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim/... ./internal/exp/...
+	$(GO) test -race ./internal/sim/... ./internal/exp/... ./internal/metrics/...
 	$(GO) test -run '^$$' -bench 'BenchmarkFig02' -benchtime=1x .
+	$(GO) test -run 'TestTelemetryDisabledPathAllocFree' -count=1 .
+	$(GO) test -run 'TestDigestTelemetryInvariant' -short -count=1 ./internal/exp/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x .

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		fig     = flag.String("fig", "", "experiment id (fig2..fig16, ablation) or 'all'")
 		csvDir  = flag.String("csv", "", "directory to write per-figure time-series CSVs")
+		manDir  = flag.String("manifests", "", "directory to write per-figure run manifests (JSON)")
 	)
 	flag.Parse()
 	if *list {
@@ -61,7 +63,29 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if *manDir != "" {
+			if err := writeManifests(*manDir, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: manifests: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// writeManifests exports the report's run manifests as
+// <dir>/<figid>.manifests.json (one JSON array per figure).
+func writeManifests(dir string, rep *exp.Report) error {
+	if len(rep.Manifests) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(rep.Manifests, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, rep.ID+".manifests.json"), append(raw, '\n'), 0o644)
 }
 
 // writeCSV exports a report's time series as <dir>/<figid>.csv in long form.

@@ -31,6 +31,11 @@ func main() {
 		flowsIn  = flag.String("flows", "", "replay a flow trace file instead of generating traffic")
 		flowsOut = flag.String("save-flows", "", "write the generated workload to a trace file")
 		fctOut   = flag.String("fct", "", "write per-flow completion times to a CSV file")
+
+		useMetrics = flag.Bool("metrics", false, "enable the telemetry metrics registry")
+		flightN    = flag.Int("flight-recorder", 0, "keep the last N packet-lifecycle events in a flight recorder")
+		telOut     = flag.String("telemetry-out", "", "write manifest.json/series.csv/flight.log to this directory (implies -metrics)")
+		sampleIvl  = flag.Duration("sample", 0, "telemetry time-series sampling interval (default 100µs when -telemetry-out is set)")
 	)
 	flag.Parse()
 
@@ -44,6 +49,20 @@ func main() {
 		LongHaulDelay: mlcc.Time(longhaul.Nanoseconds()) * mlcc.Nanosecond,
 		Dumbbell:      *dumbbell,
 		Seed:          *seed,
+	}
+	if *telOut != "" {
+		*useMetrics = true
+		if *sampleIvl == 0 {
+			*sampleIvl = 100 * time.Microsecond
+		}
+	}
+	if *useMetrics || *flightN > 0 {
+		cfg.Telemetry = mlcc.NewTelemetry(mlcc.TelemetryOptions{
+			Metrics:            *useMetrics,
+			FlightRecorderSize: *flightN,
+			SampleInterval:     mlcc.Time(sampleIvl.Nanoseconds()) * mlcc.Nanosecond,
+			SampleAll:          true,
+		})
 	}
 	if *flowsIn != "" {
 		f, err := os.Open(*flowsIn)
@@ -91,6 +110,12 @@ func main() {
 			os.Exit(1)
 		}
 		f.Close()
+	}
+	if *telOut != "" {
+		if err := cfg.Telemetry.WriteDir(*telOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mlccsim:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("algorithm      %s\n", *alg)
 	fmt.Printf("workload       %s (intra %.0f%%, cross %.0f%%)\n", *wl, *intra*100, *cross*100)

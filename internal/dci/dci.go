@@ -23,6 +23,7 @@ import (
 	"mlcc/internal/cc"
 	"mlcc/internal/core"
 	"mlcc/internal/fabric"
+	"mlcc/internal/metrics"
 	"mlcc/internal/pkt"
 	"mlcc/internal/sim"
 )
@@ -109,6 +110,20 @@ func (s *Switch) PFQTotalBacklog() int64 {
 // ActivePFQs reports currently allocated per-flow queues.
 func (s *Switch) ActivePFQs() int { return len(s.pfq) }
 
+// RegisterMetrics registers the embedded fabric instruments plus the DCI's
+// MLCC counters and PFQ gauges under prefix (e.g. "dci.dci0").
+func (s *Switch) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	s.Switch.RegisterMetrics(reg, prefix)
+	reg.CounterFunc(prefix+".switch_int_sent", func() int64 { return s.SwitchINTSent })
+	reg.CounterFunc(prefix+".pfq_flows", func() int64 { return s.PFQFlows })
+	reg.CounterFunc(prefix+".dqm_updates", func() int64 { return s.DQMUpdates })
+	reg.GaugeFunc(prefix+".active_pfqs", func() float64 { return float64(s.ActivePFQs()) })
+	reg.GaugeFunc(prefix+".pfq_backlog_bytes", func() float64 { return float64(s.PFQTotalBacklog()) })
+}
+
 // OnIngress implements fabric.Hooks.
 func (s *Switch) OnIngress(p *pkt.Packet, in, out int) bool {
 	if out == s.cfg.LongHaulPort {
@@ -156,6 +171,10 @@ func (s *Switch) applyAck(p *pkt.Packet) {
 		f.rate = sim.ClampRate(p.RCredit, cc.MinRate, f.disc.portRate())
 		f.dqm.OnCreditRound(p.RCredit, f.q.Bytes())
 		s.DQMUpdates++
+		if fr := s.Recorder(); fr != nil {
+			fr.Record(metrics.Event{T: s.Eng.Now(), Kind: metrics.EvRateUpdate,
+				Node: int32(s.ID()), Port: -1, Flow: int32(p.Flow), Val: int64(f.rate)})
+		}
 		f.disc.kickSoon()
 	}
 	p.RDQM = f.dqm.Smoothed()

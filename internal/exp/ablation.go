@@ -3,6 +3,7 @@ package exp
 import (
 	"sync"
 
+	"mlcc/internal/metrics"
 	"mlcc/internal/sim"
 	"mlcc/internal/topo"
 )
@@ -38,6 +39,7 @@ func runAblation(cfg Config) (*Report, error) {
 		jainSend, meanSend float64 // sender-side scenario
 		qRecvMB            float64 // receiver-side scenario steady queue
 		jainRecv           float64
+		mans               []*metrics.Manifest
 	}
 	results := map[string]*out{}
 	var mu sync.Mutex
@@ -69,6 +71,7 @@ func runAblation(cfg Config) (*Report, error) {
 			}
 			o.jainSend = res.jain
 			o.meanSend = mean / 1e9
+			o.mans = append(o.mans, res.man)
 			mu.Unlock()
 		})
 		jobs = append(jobs, func() {
@@ -93,6 +96,7 @@ func runAblation(cfg Config) (*Report, error) {
 			}
 			o.qRecvMB = res.dciQ.AvgAfter(steady) / (1 << 20)
 			o.jainRecv = res.jain
+			o.mans = append(o.mans, res.man)
 			mu.Unlock()
 		})
 	}
@@ -102,6 +106,7 @@ func runAblation(cfg Config) (*Report, error) {
 	for _, alg := range variants {
 		o := results[alg]
 		tbl.AddRow(alg, o.jainSend, o.meanSend, o.jainRecv, o.qRecvMB)
+		rep.Manifests = append(rep.Manifests, o.mans...)
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.AddNote("mlcc-nons must show degraded sender-side convergence; mlcc-nodqm must show a much larger standing receiver-side DCI queue")

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"mlcc/internal/metrics"
 	"mlcc/internal/sim"
 	"mlcc/internal/stats"
 	"mlcc/internal/topo"
@@ -47,15 +48,14 @@ type convergenceResult struct {
 	jain  float64
 	dciQ  *stats.Series
 	flows []*stats.Series
+	man   *metrics.Manifest
 }
 
 func runConvergence(cfg Config, p topo.Params, pairs [][2]int, starts []sim.Time, window, steadyFrom sim.Time) *convergenceResult {
 	sc := newScenario(p, window, 200*sim.Microsecond)
 	for i, pr := range pairs {
 		f := sc.addGroupFlow("flows", pr[0], pr[1], 1<<30, starts[i])
-		ser := &stats.Series{Name: fmt.Sprintf("flow%d", i)}
-		sc.series[ser.Name] = ser
-		sc.sampler.TrackRate(ser, func() int64 { return f.RxBytes })
+		sc.trackRate(fmt.Sprintf("flow%d", i), func() int64 { return f.RxBytes })
 	}
 	dci1 := sc.n.DCIs[1]
 	dciQ := sc.trackGauge("dciQ", func() float64 {
@@ -66,7 +66,7 @@ func runConvergence(cfg Config, p topo.Params, pairs [][2]int, starts []sim.Time
 	sc.n.Eng.At(steadyFrom, func() { snap = sc.snapshot("flows") })
 	sc.run(window)
 
-	res := &convergenceResult{dciQ: dciQ}
+	res := &convergenceResult{dciQ: dciQ, man: sc.manifest()}
 	res.rates = sc.ratesSince("flows", snap, steadyFrom)
 	res.jain = stats.JainIndex(res.rates)
 	for i := range pairs {
@@ -114,6 +114,7 @@ func runFig7(cfg Config) (*Report, error) {
 		lo, hi, mean := summarize(res.rates)
 		tbl.AddRow(mode, lo/1e9, hi/1e9, mean/1e9, res.jain)
 		rep.Series = append(rep.Series, res.flows...)
+		rep.Manifests = append(rep.Manifests, res.man)
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.AddNote("fair share is 12.5 Gbps (8×25G offered into one 100G uplink); jain≈1 means converged")
@@ -154,6 +155,7 @@ func runFig8(cfg Config) (*Report, error) {
 		tbl.AddRow(mode, lo/1e9, hi/1e9, mean/1e9, res.jain, res.dciQ.AvgAfter(steady)/(1<<20))
 		rep.Series = append(rep.Series, res.flows...)
 		rep.Series = append(rep.Series, res.dciQ)
+		rep.Manifests = append(rep.Manifests, res.man)
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.AddNote("fair share is 6.25 Gbps (4 flows into one 25G server link); DQM holds the DCI queue near R·D_t after convergence")

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"mlcc/internal/metrics"
 	"mlcc/internal/pkt"
 	"mlcc/internal/sim"
 	"mlcc/internal/topo"
@@ -15,8 +16,22 @@ import (
 // changes the hash. Performance rewrites of the hot path must keep it
 // bit-identical (see the "Performance model" section of DESIGN.md).
 func DeterminismDigest(alg string, seed int64) uint64 {
+	return determinismDigest(alg, seed, nil)
+}
+
+// DeterminismDigestTel is DeterminismDigest with a telemetry layer attached
+// to the build. Passive telemetry (registry + flight recorder, no time-series
+// sampling) schedules no events and draws no randomness, so the digest must
+// be byte-identical to the telemetry-off run; the digest test enforces this.
+// Sampling intentionally adds engine tick events, so it is excluded here.
+func DeterminismDigestTel(alg string, seed int64, tel *metrics.Telemetry) uint64 {
+	return determinismDigest(alg, seed, tel)
+}
+
+func determinismDigest(alg string, seed int64, tel *metrics.Telemetry) uint64 {
 	p := scaleTopo(Quick)
 	p.Seed = seed
+	p.Telemetry = tel
 	n := topo.TwoDC(p.WithAlgorithm(alg))
 
 	flows := workload.Generate(workload.Spec{

@@ -1,6 +1,10 @@
 package exp
 
-import "testing"
+import (
+	"testing"
+
+	"mlcc/internal/metrics"
+)
 
 // Golden digests for the Quick-scale TwoDC websearch scenario at seed 1.
 // These were recorded on the pre-optimization engine (closure-per-event,
@@ -45,5 +49,33 @@ func TestDeterminismDigestStable(t *testing.T) {
 	}
 	if c := DeterminismDigest("mlcc", 8); c == a {
 		t.Errorf("different seeds collided: %#016x", a)
+	}
+}
+
+// TestDigestTelemetryInvariant proves passive telemetry is behaviour-free:
+// running with the registry and flight recorder attached must reproduce the
+// golden digest bit for bit. If a metrics call ever schedules an event,
+// draws randomness, or perturbs packet handling, this fails.
+func TestDigestTelemetryInvariant(t *testing.T) {
+	algs := []string{"mlcc", "dcqcn"}
+	if !testing.Short() {
+		algs = append(algs, "timely", "hpcc", "powertcp")
+	}
+	for _, alg := range algs {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			t.Parallel()
+			tel := metrics.New(metrics.Options{Metrics: true, FlightRecorderSize: 1024})
+			got := DeterminismDigestTel(alg, 1, tel)
+			if want := goldenDigests[alg]; got != want {
+				t.Errorf("digest with telemetry = %#016x, want golden %#016x", got, want)
+			}
+			if tel.Registry().Len() == 0 {
+				t.Error("telemetry registry stayed empty: topology did not register instruments")
+			}
+			if tel.Recorder().Recorded() == 0 {
+				t.Error("flight recorder saw no events despite traffic")
+			}
+		})
 	}
 }

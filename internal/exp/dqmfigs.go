@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mlcc/internal/metrics"
 	"mlcc/internal/sim"
 	"mlcc/internal/stats"
 	"mlcc/internal/topo"
@@ -54,6 +55,7 @@ func runFig9(cfg Config) (*Report, error) {
 		theta sim.Time
 		q     *stats.Series
 		per   float64
+		man   *metrics.Manifest
 	}
 	results := make([]*out, len(thetas))
 	var mu sync.Mutex
@@ -75,7 +77,7 @@ func runFig9(cfg Config) (*Report, error) {
 				per /= float64(live)
 			}
 			mu.Lock()
-			results[i] = &out{theta: th, q: q, per: per / (1 << 20)}
+			results[i] = &out{theta: th, q: q, per: per / (1 << 20), man: sc.manifest()}
 			mu.Unlock()
 		})
 	}
@@ -86,6 +88,7 @@ func runFig9(cfg Config) (*Report, error) {
 			o.q.AvgAfter(window-20*sim.Millisecond)/(1<<20),
 			o.per)
 		rep.Series = append(rep.Series, o.q)
+		rep.Manifests = append(rep.Manifests, o.man)
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.AddNote("expected shape: queue falls from its startup peak to a few MB; θ=6ms is aggressive/jittery, θ=30ms slow, θ=18ms in between")
@@ -112,6 +115,7 @@ func runFig10(cfg Config) (*Report, error) {
 		q.Last()/(1<<20))
 	rep.Tables = append(rep.Tables, tbl)
 	rep.Series = append(rep.Series, q)
+	rep.Manifests = append(rep.Manifests, sc.manifest())
 
 	done := 0
 	for _, f := range sc.groups["flows"] {

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"mlcc/internal/metrics"
 	"mlcc/internal/sim"
 	"mlcc/internal/stats"
 )
@@ -119,6 +120,10 @@ type Report struct {
 	Tables []*Table
 	Series []*stats.Series
 	Notes  []string
+
+	// Manifests records one run manifest (provenance + final counter
+	// snapshot) per underlying simulation, in row order.
+	Manifests []*metrics.Manifest
 }
 
 // AddNote appends a free-form observation line.

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"mlcc/internal/host"
+	"mlcc/internal/metrics"
 	"mlcc/internal/sim"
 	"mlcc/internal/stats"
 	"mlcc/internal/topo"
@@ -31,6 +32,7 @@ type fctResult struct {
 	Unfinished int
 	PFCPauses  int64
 	Drops      int64
+	Manifest   *metrics.Manifest
 }
 
 var fctCache sync.Map // fctKey -> *fctResult
@@ -72,6 +74,10 @@ func runFCT(k fctKey) (*fctResult, error) {
 	}
 	p.Seed = k.seed
 	pa := p.WithAlgorithm(k.alg)
+	// Passive telemetry: registry only, no sampling, so the run's event
+	// sequence — and thus its determinism digest — is unchanged.
+	tel := metrics.New(metrics.Options{Metrics: true})
+	pa.Telemetry = tel
 	if k.dumbbell {
 		pa.HostsPerLeaf = 2
 		pa.HostRate = 100 * sim.Gbps
@@ -111,7 +117,22 @@ func runFCT(k fctKey) (*fctResult, error) {
 	}
 	n.Run(deadline)
 
-	res := &fctResult{Col: col, Flows: len(flows)}
+	man := metrics.NewManifest("mlccfig")
+	man.Algorithm = k.alg
+	man.Workload = k.cdf
+	man.Seed = k.seed
+	man.Flows = len(flows)
+	man.Config = map[string]any{
+		"intra_load":  k.intra,
+		"cross_load":  k.cross,
+		"longhaul_ms": p.LongHaulDelay.Millis(),
+		"dumbbell":    k.dumbbell,
+		"full_scale":  k.scale == Full,
+	}
+	man.FillSim(n.Eng.Now(), n.Eng.Fired())
+	man.AddCounters(tel.Registry())
+
+	res := &fctResult{Col: col, Flows: len(flows), Manifest: man}
 	for _, f := range n.Table.All() {
 		if !f.Done {
 			res.Unfinished++

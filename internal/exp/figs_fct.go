@@ -28,6 +28,7 @@ func avgFCTReport(id, title string, cfg Config, intra, cross float64, longHaul s
 			if r.Unfinished > 0 {
 				rep.AddNote("%s/%s: %d of %d flows unfinished at deadline", alg, cdf, r.Unfinished, r.Flows)
 			}
+			rep.Manifests = append(rep.Manifests, r.Manifest)
 		}
 		rep.Tables = append(rep.Tables, tbl)
 		// The paper reports MLCC's reduction vs each baseline.
@@ -80,6 +81,9 @@ func tailFCTReport(id, title string, cfg Config, intra, cross float64) (*Report,
 				tbl.AddRow(alg, vals...)
 			}
 			rep.Tables = append(rep.Tables, tbl)
+		}
+		for _, alg := range evalAlgs {
+			rep.Manifests = append(rep.Manifests, res[alg].Manifest)
 		}
 	}
 	return rep, nil
@@ -144,6 +148,7 @@ func runFig16(cfg Config) (*Report, error) {
 		ac, _ := res[alg].Col.Avg(stats.Cross)
 		ao, _ := res[alg].Col.Avg(nil)
 		tbl.AddRow(alg, msOf(ai), msOf(ac), msOf(ao))
+		rep.Manifests = append(rep.Manifests, res[alg].Manifest)
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	mo, _ := res[topo.AlgMLCC].Col.Avg(nil)

@@ -72,6 +72,9 @@ func runLoadSweep(cfg Config) (*Report, error) {
 		}
 		intra.AddRow(alg, vi...)
 		unfinished.AddRow(alg, vu...)
+		for _, load := range loads {
+			rep.Manifests = append(rep.Manifests, results[key{alg, load}].Manifest)
+		}
 	}
 	rep.Tables = append(rep.Tables, intra, unfinished)
 	rep.AddNote("expected shape: all curves rise with load; MLCC/HPCC knee later than DCQCN")

@@ -4,31 +4,42 @@ import (
 	"sync"
 
 	"mlcc/internal/host"
+	"mlcc/internal/metrics"
 	"mlcc/internal/sim"
 	"mlcc/internal/stats"
 	"mlcc/internal/topo"
+	"mlcc/internal/trace"
 )
 
 // motivAlgs are the algorithms the paper's motivation experiments examine.
 var motivAlgs = []string{topo.AlgDCQCN, topo.AlgPowerTCP}
 
 // scenario is a hand-built experiment on long-lived flows: explicit flow
-// placement plus periodic sampling of throughput and queue state.
+// placement plus periodic sampling of throughput and queue state. Sampling
+// runs on the unified telemetry layer (internal/metrics): every tracked
+// series registers as an exp.* instrument and is copied back into the
+// *stats.Series the figure code consumes after the run, so each scenario
+// also yields a run manifest with the full counter snapshot.
 type scenario struct {
-	n       *topo.Network
-	sampler *stats.Sampler
-	groups  map[string][]*host.Flow
-	series  map[string]*stats.Series
+	n      *topo.Network
+	tel    *metrics.Telemetry
+	window sim.Time
+	groups map[string][]*host.Flow
+	series map[string]*stats.Series
+	fills  []func()
 }
 
-// newScenario builds a network and a sampler ticking every interval.
+// newScenario builds a network with telemetry sampling every interval.
 func newScenario(p topo.Params, window sim.Time, interval sim.Time) *scenario {
+	tel := metrics.New(metrics.Options{Metrics: true, SampleInterval: interval})
+	p.Telemetry = tel
 	n := topo.TwoDC(p)
 	return &scenario{
-		n:       n,
-		sampler: stats.NewSampler(n.Eng, interval, window),
-		groups:  map[string][]*host.Flow{},
-		series:  map[string]*stats.Series{},
+		n:      n,
+		tel:    tel,
+		window: window,
+		groups: map[string][]*host.Flow{},
+		series: map[string]*stats.Series{},
 	}
 }
 
@@ -39,34 +50,57 @@ func (s *scenario) addGroupFlow(group string, src, dst int, size int64, start si
 	return f
 }
 
+// trackRate samples fn's monotone byte count as a rate (bits/s) into a named
+// series, registered in the telemetry registry as exp.<name>.
+func (s *scenario) trackRate(name string, fn func() int64) *stats.Series {
+	ser := &stats.Series{Name: name}
+	s.series[name] = ser
+	reg := "exp." + name
+	s.tel.SampleCounterRate(reg, 8, fn)
+	s.fills = append(s.fills, func() { ser.T, ser.V = s.tel.Series(reg) })
+	return ser
+}
+
 // trackGroupRate samples the aggregate receive rate of a flow group (bits/s).
 func (s *scenario) trackGroupRate(group string) *stats.Series {
 	flows := s.groups[group]
-	ser := &stats.Series{Name: "rate:" + group}
-	s.series[ser.Name] = ser
-	s.sampler.TrackRate(ser, func() int64 {
+	return s.trackRate("rate:"+group, func() int64 {
 		var sum int64
 		for _, f := range flows {
 			sum += f.RxBytes
 		}
 		return sum
 	})
-	return ser
 }
 
-// trackGauge samples an arbitrary gauge.
+// trackGauge samples an arbitrary gauge, registered as exp.<name>.
 func (s *scenario) trackGauge(name string, fn func() float64) *stats.Series {
 	ser := &stats.Series{Name: name}
-	s.series[ser.Name] = ser
-	s.sampler.TrackGauge(ser, fn)
+	s.series[name] = ser
+	reg := "exp." + name
+	s.tel.SampleGauge(reg, trace.Gauge, fn)
+	s.fills = append(s.fills, func() { ser.T, ser.V = s.tel.Series(reg) })
 	return ser
 }
 
-// run starts sampling and executes the scenario to its window end.
+// run starts sampling, executes the scenario to its window end, copies the
+// sampled streams into the figure-facing series, and fills the run manifest.
 func (s *scenario) run(window sim.Time) {
-	s.sampler.Start()
+	s.tel.StartSampling(s.n.Eng, s.window)
 	s.n.Run(window)
+	for _, fill := range s.fills {
+		fill()
+	}
+	m := metrics.NewManifest("mlccfig")
+	m.Algorithm = s.n.Alg.Name
+	m.Seed = s.n.P.Seed
+	m.FillSim(s.n.Eng.Now(), s.n.Eng.Fired())
+	m.AddCounters(s.tel.Registry())
+	s.tel.Manifest = m
 }
+
+// manifest returns the run manifest (filled by run).
+func (s *scenario) manifest() *metrics.Manifest { return s.tel.Manifest }
 
 // totalPFC sums PFC pause events across all switches.
 func (s *scenario) totalPFC() int64 {
@@ -107,6 +141,7 @@ func runFig2(cfg Config) (*Report, error) {
 		intraG, crossG, qMB   float64
 		pfc                   int64
 		leafQ, intraS, crossS *stats.Series
+		man                   *metrics.Manifest
 	}
 	results := map[string]*out{}
 	for _, alg := range motivAlgs {
@@ -136,6 +171,7 @@ func runFig2(cfg Config) (*Report, error) {
 				qMB:    leafQ.Max() / (1 << 20),
 				pfc:    sc.totalPFC(),
 				leafQ:  leafQ, intraS: intraS, crossS: crossS,
+				man: sc.manifest(),
 			}
 			mu.Lock()
 			results[alg] = o
@@ -147,6 +183,7 @@ func runFig2(cfg Config) (*Report, error) {
 		o := results[alg]
 		tbl.AddRow(alg, o.intraG, o.crossG, o.qMB, float64(o.pfc))
 		rep.Series = append(rep.Series, o.leafQ, o.intraS, o.crossS)
+		rep.Manifests = append(rep.Manifests, o.man)
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.AddNote("expected shape: cross-DC arrival at ~5 ms spikes the leaf queue and PFC pause count jumps above zero")
@@ -171,6 +208,7 @@ func runFig3(cfg Config) (*Report, error) {
 		alg            string
 		intraG, crossG float64
 		intraS, crossS *stats.Series
+		man            *metrics.Manifest
 	}
 	results := map[string]*out{}
 	jobs := make([]func(), 0, len(algs))
@@ -197,7 +235,7 @@ func runFig3(cfg Config) (*Report, error) {
 			o := &out{alg: alg,
 				intraG: intraS.AvgAfter(steady) / 1e9,
 				crossG: crossS.AvgAfter(steady) / 1e9,
-				intraS: intraS, crossS: crossS}
+				intraS: intraS, crossS: crossS, man: sc.manifest()}
 			mu.Lock()
 			results[alg] = o
 			mu.Unlock()
@@ -212,6 +250,7 @@ func runFig3(cfg Config) (*Report, error) {
 		}
 		tbl.AddRow(alg, o.intraG, o.crossG, share)
 		rep.Series = append(rep.Series, o.intraS, o.crossS)
+		rep.Manifests = append(rep.Manifests, o.man)
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.AddNote("expected shape: baselines give intra flows well under the fair 0.5 share; MLCC's near-source loop restores it")
@@ -235,6 +274,7 @@ func runFig4(cfg Config) (*Report, error) {
 		peak, avg, final float64
 		rx               float64
 		q, rate          *stats.Series
+		man              *metrics.Manifest
 	}
 	results := map[string]*out{}
 	algs := motivAlgs
@@ -261,7 +301,7 @@ func runFig4(cfg Config) (*Report, error) {
 				avg:   q.AvgAfter(steady) / (1 << 20),
 				final: q.Last() / (1 << 20),
 				rx:    rate.AvgAfter(steady) / 1e9,
-				q:     q, rate: rate}
+				q:     q, rate: rate, man: sc.manifest()}
 			mu.Lock()
 			results[alg] = o
 			mu.Unlock()
@@ -272,6 +312,7 @@ func runFig4(cfg Config) (*Report, error) {
 		o := results[alg]
 		tbl.AddRow(alg, o.peak, o.avg, o.final, o.rx)
 		rep.Series = append(rep.Series, o.q, o.rate)
+		rep.Manifests = append(rep.Manifests, o.man)
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.AddNote("expected shape: deep-buffer DCI queue builds to tens of MB and oscillates under end-to-end feedback")

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"mlcc/internal/link"
+	"mlcc/internal/metrics"
 	"mlcc/internal/pkt"
 	"mlcc/internal/sim"
 )
@@ -75,12 +76,25 @@ type Switch struct {
 
 	rng *rand.Rand
 
+	fr  *metrics.FlightRecorder
+	pfc []PFCPortStat // per ingress port
+
 	// Statistics.
 	Drops      int64 // data packets dropped at admission
 	Marked     int64 // CE marks applied
 	PFCPauses  int64 // pause events generated (Xoff crossings)
 	PFCResumes int64
 	RxData     int64 // data packets received
+}
+
+// PFCPortStat accounts PFC activity toward one upstream: pause/resume events
+// generated on that ingress port and the cumulative time it was held paused.
+type PFCPortStat struct {
+	Pauses      int64
+	Resumes     int64
+	PausedTotal sim.Time
+
+	pausedAt sim.Time // valid while the upstream is paused
 }
 
 // New constructs a switch with nports ports. Each port must then be
@@ -113,7 +127,52 @@ func (s *Switch) AddPort(rate sim.Rate, delay sim.Time) *link.Port {
 	p.SetSource(&portSource{sw: s, port: idx})
 	s.ingressBytes = append(s.ingressBytes, 0)
 	s.ingressPause = append(s.ingressPause, false)
+	s.pfc = append(s.pfc, PFCPortStat{})
 	return p
+}
+
+// SetRecorder attaches a flight recorder (nil detaches). Hot-path call sites
+// are guarded on the pointer, so a detached recorder costs one branch.
+func (s *Switch) SetRecorder(fr *metrics.FlightRecorder) { s.fr = fr }
+
+// Recorder returns the attached flight recorder (possibly nil).
+func (s *Switch) Recorder() *metrics.FlightRecorder { return s.fr }
+
+// PFCStatAt reports ingress port i's PFC accounting. PausedTotal includes the
+// still-open pause interval when the upstream is currently paused, so it is
+// accurate mid-run.
+func (s *Switch) PFCStatAt(i int) PFCPortStat {
+	st := s.pfc[i]
+	if s.ingressPause[i] {
+		st.PausedTotal += s.Eng.Now() - st.pausedAt
+	}
+	return st
+}
+
+// RegisterMetrics registers the switch's counters and per-port instruments
+// under prefix (e.g. "switch.leaf0"). Call after all ports are added; a nil
+// registry makes this a no-op.
+func (s *Switch) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc(prefix+".rx_data_pkts", func() int64 { return s.RxData })
+	reg.CounterFunc(prefix+".drops", func() int64 { return s.Drops })
+	reg.CounterFunc(prefix+".ecn_marked", func() int64 { return s.Marked })
+	reg.CounterFunc(prefix+".pfc_pauses", func() int64 { return s.PFCPauses })
+	reg.CounterFunc(prefix+".pfc_resumes", func() int64 { return s.PFCResumes })
+	reg.GaugeFunc(prefix+".buffer_bytes", func() float64 { return float64(s.bufferUsed) })
+	for i := range s.ports {
+		i := i
+		q := fmt.Sprintf("%s.q%d", prefix, i)
+		reg.GaugeFunc(q+".qlen_bytes", func() float64 { return float64(s.disc[i].DataBytes()) })
+		reg.CounterFunc(q+".tx_bytes", func() int64 { return s.ports[i].TxBytes })
+		reg.CounterFunc(q+".pfc_pauses", func() int64 { return s.pfc[i].Pauses })
+		reg.CounterFunc(q+".pfc_resumes", func() int64 { return s.pfc[i].Resumes })
+		reg.CounterFunc(q+".pfc_pause_ns", func() int64 {
+			return int64(s.PFCStatAt(i).PausedTotal / sim.Nanosecond)
+		})
+	}
 }
 
 // Port returns port i.
@@ -187,6 +246,10 @@ func (s *Switch) ForwardTo(p *pkt.Packet, inPort, out int) {
 		// are tiny and ride a protected class, as in real RDMA fabrics.
 		if s.bufferUsed+int64(p.Size) > s.Cfg.BufferBytes {
 			s.Drops++
+			if s.fr != nil {
+				s.fr.Record(metrics.Event{T: s.Eng.Now(), Kind: metrics.EvDrop,
+					Node: int32(s.Cfg.ID), Port: int32(out), Flow: int32(p.Flow), Val: int64(p.Size)})
+			}
 			s.Pool.Put(p)
 			return
 		}
@@ -197,6 +260,10 @@ func (s *Switch) ForwardTo(p *pkt.Packet, inPort, out int) {
 			s.checkXoff(inPort)
 		}
 		s.ecnMark(p, out)
+		if s.fr != nil {
+			s.fr.Record(metrics.Event{T: s.Eng.Now(), Kind: metrics.EvEnqueue,
+				Node: int32(s.Cfg.ID), Port: int32(out), Flow: int32(p.Flow), Val: int64(p.Size)})
+		}
 	}
 	s.disc[out].Enqueue(p)
 	s.ports[out].Kick()
@@ -210,6 +277,13 @@ func (s *Switch) checkXoff(in int) {
 	if s.ingressBytes[in] >= s.Cfg.PFCXoff {
 		s.ingressPause[in] = true
 		s.PFCPauses++
+		st := &s.pfc[in]
+		st.Pauses++
+		st.pausedAt = s.Eng.Now()
+		if s.fr != nil {
+			s.fr.Record(metrics.Event{T: s.Eng.Now(), Kind: metrics.EvPFCPause,
+				Node: int32(s.Cfg.ID), Port: int32(in), Val: s.ingressBytes[in]})
+		}
 		s.ports[in].SendPause(pkt.ClassData, true)
 	}
 }
@@ -233,6 +307,10 @@ func (s *Switch) ecnMark(p *pkt.Packet, out int) {
 	}
 	if p.CE {
 		s.Marked++
+		if s.fr != nil {
+			s.fr.Record(metrics.Event{T: s.Eng.Now(), Kind: metrics.EvECNMark,
+				Node: int32(s.Cfg.ID), Port: int32(out), Flow: int32(p.Flow), Val: q})
+		}
 	}
 }
 
@@ -243,13 +321,30 @@ func (s *Switch) afterDequeue(p *pkt.Packet, out int) {
 		return
 	}
 	s.bufferUsed -= int64(p.Size)
+	if s.bufferUsed < 0 {
+		s.violatef("shared buffer underflow: %d bytes after dequeue of flow %d", s.bufferUsed, p.Flow)
+	}
 	if in := p.InPort; in >= 0 && in < len(s.ingressBytes) {
 		s.ingressBytes[in] -= int64(p.Size)
+		if s.ingressBytes[in] < 0 {
+			s.violatef("ingress port %d accounting underflow: %d bytes", in, s.ingressBytes[in])
+		}
 		if s.Cfg.PFCEnabled && s.ingressPause[in] && s.ingressBytes[in] <= s.Cfg.PFCXon {
 			s.ingressPause[in] = false
 			s.PFCResumes++
+			st := &s.pfc[in]
+			st.Resumes++
+			st.PausedTotal += s.Eng.Now() - st.pausedAt
+			if s.fr != nil {
+				s.fr.Record(metrics.Event{T: s.Eng.Now(), Kind: metrics.EvPFCResume,
+					Node: int32(s.Cfg.ID), Port: int32(in), Val: s.ingressBytes[in]})
+			}
 			s.ports[in].SendPause(pkt.ClassData, false)
 		}
+	}
+	if s.fr != nil {
+		s.fr.Record(metrics.Event{T: s.Eng.Now(), Kind: metrics.EvDequeue,
+			Node: int32(s.Cfg.ID), Port: int32(out), Flow: int32(p.Flow), Val: int64(p.Size)})
 	}
 	if s.Cfg.INTEnabled {
 		port := s.ports[out]
@@ -261,6 +356,12 @@ func (s *Switch) afterDequeue(p *pkt.Packet, out int) {
 			Band:    port.Rate,
 		})
 	}
+}
+
+// violatef reports a broken conservation invariant: the flight recorder's
+// last events are replayed (when one is attached) and the simulation panics.
+func (s *Switch) violatef(format string, args ...any) {
+	metrics.Violation(s.fr, fmt.Sprintf("fabric: switch %d: ", s.Cfg.ID)+fmt.Sprintf(format, args...))
 }
 
 // portSource adapts a Discipline to link.Source, inserting the switch's

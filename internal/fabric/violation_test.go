@@ -1,0 +1,73 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"mlcc/internal/link"
+	"mlcc/internal/metrics"
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+)
+
+// TestInvariantViolationReplaysFlightRecorder corrupts the shared-buffer
+// accounting of a switch carrying live traffic and checks that the resulting
+// invariant panic first replays the flight recorder's buffered
+// packet-lifecycle events — the debugging workflow the recorder exists for.
+func TestInvariantViolationReplaysFlightRecorder(t *testing.T) {
+	eng := sim.NewEngine()
+	pool := pkt.NewPool()
+	sw := New(eng, pool, Config{ID: 7, BufferBytes: 1 << 20, Seed: 1})
+	fr := metrics.NewFlightRecorder(32)
+	sw.SetRecorder(fr)
+
+	a := newStubHost(eng, pool, 1, 10*sim.Gbps, sim.Microsecond)
+	b := newStubHost(eng, pool, 2, 10*sim.Gbps, sim.Microsecond)
+	link.Connect(a.port, sw.AddPort(10*sim.Gbps, sim.Microsecond))
+	link.Connect(b.port, sw.AddPort(10*sim.Gbps, sim.Microsecond))
+	sw.AddRoute(1, 0)
+	sw.AddRoute(2, 1)
+
+	// Healthy traffic first, so the recorder holds real events.
+	for i := 0; i < 8; i++ {
+		a.send(pool.NewData(1, 1, 2, int64(i)*1000, 1000))
+	}
+	eng.Run()
+	if fr.Recorded() == 0 {
+		t.Fatal("no events recorded during healthy traffic")
+	}
+
+	var dump strings.Builder
+	prev := metrics.SetViolationOutput(&dump)
+	defer metrics.SetViolationOutput(prev)
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("corrupted accounting did not panic")
+		}
+		msg, _ := r.(string)
+		if !strings.Contains(msg, "shared buffer underflow") {
+			t.Fatalf("panic = %v", r)
+		}
+		out := dump.String()
+		if !strings.Contains(out, "invariant violation: fabric: switch 7:") {
+			t.Fatalf("violation header missing: %q", out)
+		}
+		if !strings.Contains(out, "events (capacity 32)") {
+			t.Fatalf("flight-recorder replay missing: %q", out)
+		}
+		// The replay must contain the lifecycle events of the healthy
+		// traffic, not just the header.
+		if !strings.Contains(out, "enq") || !strings.Contains(out, "deq") {
+			t.Fatalf("replay lacks enqueue/dequeue events: %q", out)
+		}
+	}()
+
+	// Bias the shared-buffer accounting low: the next packet's dequeue then
+	// drives bufferUsed negative and must trip the invariant.
+	sw.bufferUsed = -1
+	a.send(pool.NewData(1, 1, 2, 9000, 1000))
+	eng.Run()
+	t.Fatal("engine drained without tripping the invariant")
+}

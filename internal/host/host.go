@@ -9,6 +9,7 @@ import (
 
 	"mlcc/internal/cc"
 	"mlcc/internal/link"
+	"mlcc/internal/metrics"
 	"mlcc/internal/pkt"
 	"mlcc/internal/sim"
 )
@@ -104,6 +105,12 @@ type Host struct {
 	// last in-order byte.
 	OnFlowDone func(f *Flow)
 
+	// Telemetry (all optional; nil means off).
+	fr      *metrics.FlightRecorder
+	reg     *metrics.Registry
+	algName string
+	perFlow bool
+
 	// Counters.
 	Retransmits int64
 	OutOfOrder  int64
@@ -155,6 +162,26 @@ func New(eng *sim.Engine, pool *pkt.Pool, cfg Config, table *Table,
 // Port returns the NIC port for topology wiring.
 func (h *Host) Port() *link.Port { return h.port }
 
+// SetRecorder attaches a flight recorder (nil detaches).
+func (h *Host) SetRecorder(fr *metrics.FlightRecorder) { h.fr = fr }
+
+// RegisterMetrics registers the host's counters under prefix (e.g.
+// "host.h0"). alg names the CC algorithm for per-flow rate gauges; perFlow
+// opts into one cc.<alg>.flow<id>.rate_bps gauge per sender-side flow.
+func (h *Host) RegisterMetrics(reg *metrics.Registry, prefix, alg string, perFlow bool) {
+	if reg == nil {
+		return
+	}
+	h.reg = reg
+	h.algName = alg
+	h.perFlow = perFlow
+	reg.CounterFunc(prefix+".sent_data_pkts", func() int64 { return h.SentData })
+	reg.CounterFunc(prefix+".recv_data_pkts", func() int64 { return h.RecvData })
+	reg.CounterFunc(prefix+".retransmits", func() int64 { return h.Retransmits })
+	reg.CounterFunc(prefix+".out_of_order", func() int64 { return h.OutOfOrder })
+	reg.CounterFunc(prefix+".tx_bytes", func() int64 { return h.port.TxBytes })
+}
+
 // ID returns the host's node id.
 func (h *Host) ID() pkt.NodeID { return h.Cfg.ID }
 
@@ -173,6 +200,10 @@ func (h *Host) StartFlow(f *Flow) {
 	s.rtoFn = func() { h.checkRTO(s) }
 	h.sending = append(h.sending, s)
 	h.byFlow[f.Info.ID] = s
+	if h.perFlow && h.reg != nil {
+		h.reg.GaugeFunc(fmt.Sprintf("cc.%s.flow%d.rate_bps", h.algName, f.Info.ID),
+			func() float64 { return float64(s.sender.Rate()) })
+	}
 	h.armRTO(s)
 	h.port.Kick()
 }
@@ -269,11 +300,13 @@ func (h *Host) Receive(p *pkt.Packet, on *link.Port) {
 	case pkt.CNP:
 		if s, ok := h.byFlow[p.Flow]; ok {
 			s.sender.OnCNP(h.Eng.Now())
+			h.recordRate(s)
 		}
 		h.Pool.Put(p)
 	case pkt.SwitchINT:
 		if s, ok := h.byFlow[p.Flow]; ok {
 			s.sender.OnSwitchINT(h.Eng.Now(), p)
+			h.recordRate(s)
 		}
 		h.Pool.Put(p)
 	default:
@@ -330,6 +363,10 @@ func (h *Host) onData(p *pkt.Packet) {
 		rs.lastCNP = now
 		rs.hasCNP = true
 		cnp := h.Pool.NewControl(pkt.CNP, p.Flow, h.Cfg.ID, p.Src)
+		if h.fr != nil {
+			h.fr.Record(metrics.Event{T: now, Kind: metrics.EvCNP,
+				Node: int32(h.Cfg.ID), Port: 0, Flow: int32(p.Flow)})
+		}
 		h.ctl.Push(cnp)
 	}
 
@@ -349,11 +386,25 @@ func (h *Host) onAck(p *pkt.Packet) {
 		s.progress = now
 	}
 	s.sender.OnAck(now, p)
+	if h.fr != nil {
+		h.fr.Record(metrics.Event{T: now, Kind: metrics.EvAck,
+			Node: int32(h.Cfg.ID), Port: 0, Flow: int32(p.Flow), Val: s.acked})
+		h.recordRate(s)
+	}
 	if s.acked >= s.flow.Info.Size && !s.done {
 		s.done = true
 		h.finishSend(s)
 	}
 	h.Pool.Put(p)
+}
+
+// recordRate flight-records the flow's pacing rate after a CC callback.
+func (h *Host) recordRate(s *sendState) {
+	if h.fr == nil {
+		return
+	}
+	h.fr.Record(metrics.Event{T: h.Eng.Now(), Kind: metrics.EvRateUpdate,
+		Node: int32(h.Cfg.ID), Port: 0, Flow: int32(s.flow.Info.ID), Val: int64(s.sender.Rate())})
 }
 
 func (h *Host) finishSend(s *sendState) {

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"mlcc/internal/sim"
+)
+
+func ev(i int, k EventKind) Event {
+	return Event{T: sim.Time(i) * sim.Microsecond, Kind: k, Node: 1, Port: 0, Flow: int32(i), Val: int64(i)}
+}
+
+func TestRecorderNil(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Record(ev(1, EvDrop)) // must not panic
+	if fr.Len() != 0 || fr.Cap() != 0 || fr.Recorded() != 0 || fr.Events() != nil {
+		t.Fatal("nil recorder not inert")
+	}
+	if fr.Wants(EvDrop) {
+		t.Fatal("nil recorder wants events")
+	}
+}
+
+func TestRecorderWraparound(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		fr.Record(ev(i, EvEnqueue))
+	}
+	if fr.Cap() != 4 || fr.Len() != 4 || fr.Recorded() != 10 {
+		t.Fatalf("cap=%d len=%d recorded=%d", fr.Cap(), fr.Len(), fr.Recorded())
+	}
+	evs := fr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	// Oldest-first: the last 4 of 10 records are flows 6,7,8,9.
+	for i, e := range evs {
+		if int(e.Flow) != 6+i {
+			t.Fatalf("events[%d].Flow = %d, want %d", i, e.Flow, 6+i)
+		}
+	}
+}
+
+func TestRecorderPartialFill(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	for i := 0; i < 3; i++ {
+		fr.Record(ev(i, EvAck))
+	}
+	if fr.Len() != 3 || fr.Recorded() != 3 {
+		t.Fatalf("len=%d recorded=%d", fr.Len(), fr.Recorded())
+	}
+	evs := fr.Events()
+	for i, e := range evs {
+		if int(e.Flow) != i {
+			t.Fatalf("events[%d].Flow = %d", i, e.Flow)
+		}
+	}
+}
+
+func TestRecorderKindFilter(t *testing.T) {
+	fr := NewFlightRecorder(16, EvDrop, EvPFCPause)
+	if !fr.Wants(EvDrop) || !fr.Wants(EvPFCPause) || fr.Wants(EvEnqueue) {
+		t.Fatal("filter mask wrong")
+	}
+	fr.Record(ev(1, EvEnqueue)) // filtered out
+	fr.Record(ev(2, EvDrop))
+	fr.Record(ev(3, EvPFCPause))
+	fr.Record(ev(4, EvAck)) // filtered out
+	if fr.Len() != 2 {
+		t.Fatalf("len = %d", fr.Len())
+	}
+	for _, e := range fr.Events() {
+		if e.Kind != EvDrop && e.Kind != EvPFCPause {
+			t.Fatalf("unwanted kind recorded: %v", e.Kind)
+		}
+	}
+}
+
+func TestRecorderSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for size 0")
+		}
+	}()
+	NewFlightRecorder(0)
+}
+
+func TestEventKindStrings(t *testing.T) {
+	want := map[EventKind]string{
+		EvEnqueue: "enq", EvDequeue: "deq", EvDrop: "drop",
+		EvPFCPause: "pfc_pause", EvPFCResume: "pfc_resume", EvECNMark: "ecn_mark",
+		EvCNP: "cnp", EvAck: "ack", EvRateUpdate: "rate", EventKind(99): "kind(99)",
+	}
+	for k, s := range want {
+		if got := k.String(); got != s {
+			t.Errorf("EventKind(%d) = %q, want %q", k, got, s)
+		}
+	}
+	if MaskOf() != AllKinds {
+		t.Error("empty MaskOf != AllKinds")
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	fr.Record(ev(1, EvDrop))
+	var b strings.Builder
+	if err := fr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "last 1 of 1 events (capacity 4)") {
+		t.Fatalf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "drop") || !strings.Contains(out, "flow=1") {
+		t.Fatalf("event line missing: %q", out)
+	}
+}
+
+func TestViolationDumpsAndPanics(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	for i := 0; i < 5; i++ {
+		fr.Record(ev(i, EvDequeue))
+	}
+	var b strings.Builder
+	prev := SetViolationOutput(&b)
+	defer SetViolationOutput(prev)
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Violation did not panic")
+		}
+		if msg, _ := r.(string); msg != "buffer underflow" {
+			t.Fatalf("panic value = %v", r)
+		}
+		out := b.String()
+		if !strings.Contains(out, "invariant violation: buffer underflow") {
+			t.Fatalf("violation header missing: %q", out)
+		}
+		if !strings.Contains(out, "last 5 of 5 events") {
+			t.Fatalf("dump missing: %q", out)
+		}
+	}()
+	Violation(fr, "buffer underflow")
+}
+
+func TestViolationNilRecorderStillPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil-recorder Violation did not panic")
+		}
+	}()
+	Violation(nil, "boom")
+}

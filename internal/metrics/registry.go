@@ -1,0 +1,355 @@
+// Package metrics is the simulator-wide telemetry layer: a typed
+// counter/gauge/histogram registry with hierarchical dotted names
+// ("switch.dci0.q3.pfc_pause_ns"), a bounded ring-buffer flight recorder of
+// structured packet-lifecycle events, and exporters (JSON run manifests,
+// CSV time series unified with internal/trace).
+//
+// The layer follows the same zero-overhead-when-off discipline as the event
+// loop (see the "Performance model" section of DESIGN.md): every type is
+// nil-safe, so components hold possibly-nil pointers and pay one predictable
+// branch — and zero allocations — when telemetry is disabled. Hot-path
+// counters stay plain int64 fields on their components; the registry wraps
+// them with read-only accessor functions (CounterFunc/GaugeFunc) so that
+// enabling the registry adds no per-packet cost either.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Counter is a registry-owned monotone counter. All methods are nil-safe:
+// a nil *Counter is a no-op, which is how disabled telemetry costs nothing.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a registry-owned instantaneous value. Nil-safe like Counter.
+type Gauge struct{ v float64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// histBuckets is the number of power-of-two histogram buckets. Bucket b
+// holds values in (2^(b-1-histShift), 2^(b-histShift)], so the histogram
+// spans 2^-16 .. 2^47 — microsecond FCTs through multi-GB byte counts.
+const (
+	histBuckets = 64
+	histShift   = 16
+)
+
+// Histogram is a fixed-size log2-bucketed distribution. Observe is
+// allocation-free and nil-safe; quantiles are approximate (bucket upper
+// bounds), which is enough for run snapshots.
+type Histogram struct {
+	counts [histBuckets]int64
+	n      int64
+	sum    float64
+	max    float64
+}
+
+// Observe records one value. Non-positive values land in bucket 0.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[histBucket(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+func histBucket(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	_, exp := math.Frexp(v)
+	b := exp + histShift
+	if b < 0 {
+		return 0
+	}
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) from the
+// bucket boundaries, or 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			ub := math.Ldexp(1, b-histShift) // 2^(b-histShift)
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// instrumentKind discriminates registry entries.
+type instrumentKind uint8
+
+const (
+	kindCounter instrumentKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// instrument is one registered metric: exactly one of the value fields is
+// set. Func-backed instruments read an existing component field at snapshot
+// time, so registering them adds no hot-path cost at all.
+type instrument struct {
+	name string
+	kind instrumentKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	cf   func() int64
+	gf   func() float64
+}
+
+func (in *instrument) value() float64 {
+	switch {
+	case in.cf != nil:
+		return float64(in.cf())
+	case in.gf != nil:
+		return in.gf()
+	case in.c != nil:
+		return float64(in.c.Value())
+	case in.g != nil:
+		return in.g.Value()
+	}
+	return 0
+}
+
+// Registry holds every instrument of one simulation under hierarchical
+// dotted names. A nil *Registry is valid and turns all registrations into
+// no-ops, so components register unconditionally.
+//
+// Naming scheme (see the "Observability" section of DESIGN.md):
+//
+//	sim.*                          engine internals
+//	host.h<idx>.*                  per-server NIC/transport counters
+//	switch.{leaf,spine}<idx>.*     fabric switches
+//	dci.dci<idx>.*                 DCI switches (incl. PFQ/DQM)
+//	<node>.q<port>.*               per-port/per-queue instruments
+//	cc.<alg>.flow<id>.*            per-flow rate gauges (opt-in)
+//	exp.*                          experiment-defined series
+type Registry struct {
+	mu    sync.Mutex
+	by    map[string]*instrument
+	order []*instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{by: make(map[string]*instrument)}
+}
+
+func (r *Registry) add(in *instrument) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.by[in.name]; dup {
+		panic("metrics: duplicate instrument " + in.name)
+	}
+	r.by[in.name] = in
+	r.order = append(r.order, in)
+}
+
+// Counter registers and returns an owned counter. Nil registry returns nil
+// (whose methods are no-ops). Duplicate names panic: a name collision is
+// always a wiring bug.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.add(&instrument{name: name, kind: kindCounter, c: c})
+	return c
+}
+
+// Gauge registers and returns an owned gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.add(&instrument{name: name, kind: kindGauge, g: g})
+	return g
+}
+
+// Histogram registers and returns an owned histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := &Histogram{}
+	r.add(&instrument{name: name, kind: kindHistogram, h: h})
+	return h
+}
+
+// CounterFunc registers a read-only counter backed by an existing component
+// field; fn is called at snapshot/sample time only.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.add(&instrument{name: name, kind: kindCounter, cf: fn})
+}
+
+// GaugeFunc registers a read-only gauge accessor.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.add(&instrument{name: name, kind: kindGauge, gf: fn})
+}
+
+// Len reports the number of registered instruments (0 for nil).
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.by)
+}
+
+// Value returns the current value of the named instrument (counters and
+// gauges; histograms report their count).
+func (r *Registry) Value(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	in, ok := r.by[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	if in.kind == kindHistogram {
+		return float64(in.h.Count()), true
+	}
+	return in.value(), true
+}
+
+// Point is one snapshotted metric value.
+type Point struct {
+	Name  string
+	Value float64
+}
+
+// Snapshot returns every instrument's current value, sorted by name.
+// Histograms expand into .count/.sum/.max/.p50/.p99 points.
+func (r *Registry) Snapshot() []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Point, 0, len(r.order))
+	for _, in := range r.order {
+		if in.kind == kindHistogram {
+			out = append(out,
+				Point{in.name + ".count", float64(in.h.Count())},
+				Point{in.name + ".sum", in.h.Sum()},
+				Point{in.name + ".max", in.h.Max()},
+				Point{in.name + ".p50", in.h.Quantile(0.50)},
+				Point{in.name + ".p99", in.h.Quantile(0.99)},
+			)
+			continue
+		}
+		out = append(out, Point{in.name, in.value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// each calls fn for every non-histogram instrument in registration order
+// (used by the sampler; histograms are snapshot-only).
+func (r *Registry) each(fn func(name string, isCounter bool, value func() float64)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	ins := append([]*instrument(nil), r.order...)
+	r.mu.Unlock()
+	for _, in := range ins {
+		if in.kind == kindHistogram {
+			continue
+		}
+		in := in
+		fn(in.name, in.kind == kindCounter, in.value)
+	}
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every nil receiver must be a silent no-op: that is the contract the
+	// zero-overhead-when-disabled discipline rests on.
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("y") != nil || r.Histogram("z") != nil {
+		t.Fatal("nil registry returned instruments")
+	}
+	r.CounterFunc("cf", func() int64 { return 1 })
+	r.GaugeFunc("gf", func() float64 { return 1 })
+	if r.Len() != 0 {
+		t.Fatal("nil registry Len")
+	}
+	if _, ok := r.Value("x"); ok {
+		t.Fatal("nil registry Value")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry Snapshot")
+	}
+}
+
+func TestRegistryValues(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	g := r.Gauge("a.gauge")
+	g.Set(2.5)
+	backing := int64(7)
+	r.CounterFunc("a.fn", func() int64 { return backing })
+	r.GaugeFunc("a.gfn", func() float64 { return float64(backing) * 2 })
+
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	cases := map[string]float64{"a.count": 5, "a.gauge": 2.5, "a.fn": 7, "a.gfn": 14}
+	for name, want := range cases {
+		got, ok := r.Value(name)
+		if !ok || got != want {
+			t.Errorf("Value(%q) = %v, %v; want %v", name, got, ok, want)
+		}
+	}
+	backing = 9 // func-backed instruments read live
+	if got, _ := r.Value("a.fn"); got != 9 {
+		t.Errorf("live counter func = %v", got)
+	}
+	if _, ok := r.Value("missing"); ok {
+		t.Error("missing name resolved")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate name")
+		}
+	}()
+	r.Gauge("dup")
+}
+
+func TestHistogram(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []float64{1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 110 || h.Max() != 100 {
+		t.Fatalf("count=%d sum=%v max=%v", h.Count(), h.Sum(), h.Max())
+	}
+	// Quantiles are bucket upper bounds: p50 of {1,2,3,4,100} is ≤ 4 but ≥ 2.
+	if q := h.Quantile(0.5); q < 2 || q > 4 {
+		t.Errorf("p50 = %v", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Errorf("p100 = %v (capped at max)", q)
+	}
+	// Non-positive values land in bucket 0 without panicking.
+	h.Observe(0)
+	h.Observe(-5)
+	if h.Count() != 7 {
+		t.Fatalf("count after non-positive = %d", h.Count())
+	}
+}
+
+func TestHistBucketMonotone(t *testing.T) {
+	prev := -1
+	for exp := -20; exp <= 50; exp++ {
+		b := histBucket(math.Ldexp(1.5, exp))
+		if b < prev {
+			t.Fatalf("bucket not monotone at 2^%d: %d < %d", exp, b, prev)
+		}
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("bucket out of range: %d", b)
+		}
+		prev = b
+	}
+}
+
+func TestSnapshotSortedAndExpanded(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(1)
+	r.Gauge("a.first").Set(2)
+	h := r.Histogram("m.hist")
+	h.Observe(10)
+	h.Observe(20)
+
+	pts := r.Snapshot()
+	names := make([]string, len(pts))
+	for i, p := range pts {
+		names[i] = p.Name
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("snapshot not sorted: %v", names)
+	}
+	byName := map[string]float64{}
+	for _, p := range pts {
+		byName[p.Name] = p.Value
+	}
+	if byName["m.hist.count"] != 2 || byName["m.hist.sum"] != 30 || byName["m.hist.max"] != 20 {
+		t.Fatalf("histogram expansion: %v", byName)
+	}
+	if _, ok := byName["m.hist.p99"]; !ok {
+		t.Fatal("p99 missing from snapshot")
+	}
+}

@@ -1,0 +1,241 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mlcc/internal/sim"
+	"mlcc/internal/trace"
+)
+
+// Options selects which telemetry planes to enable. The zero value disables
+// everything; New with the zero value still returns a usable (all-passive)
+// Telemetry, but callers normally pass nil *Telemetry instead.
+type Options struct {
+	// Metrics enables the counter/gauge/histogram registry.
+	Metrics bool
+
+	// FlightRecorderSize, when positive, enables a flight recorder keeping
+	// the last N packet-lifecycle events.
+	FlightRecorderSize int
+
+	// FlightKinds filters recorded event kinds (empty = all).
+	FlightKinds []EventKind
+
+	// SampleInterval, when positive, enables periodic sampling of registry
+	// instruments into CSV-exportable time series (internal/trace streams).
+	SampleInterval sim.Time
+
+	// SampleAll samples every registered counter and gauge; otherwise only
+	// series registered through SampleGauge/SampleCounterRate are sampled.
+	SampleAll bool
+
+	// PerFlow registers a cc.<alg>.flow<id>.rate_bps gauge per flow. Off by
+	// default: large workloads would register tens of thousands of gauges.
+	PerFlow bool
+}
+
+// Telemetry bundles one simulation's telemetry planes: the instrument
+// registry, the flight recorder, the time-series tracer and the run
+// manifest. All fields may be nil; accessors are nil-safe so a nil
+// *Telemetry means "telemetry off" throughout the simulator.
+type Telemetry struct {
+	Opts   Options
+	Reg    *Registry
+	FR     *FlightRecorder
+	Tracer *trace.Tracer
+
+	// Manifest, when set, is exported by WriteDir as manifest.json.
+	Manifest *Manifest
+
+	specs []*sampleSpec
+}
+
+// New builds a Telemetry with the selected planes enabled.
+func New(opts Options) *Telemetry {
+	t := &Telemetry{Opts: opts}
+	if opts.Metrics {
+		t.Reg = NewRegistry()
+	}
+	if opts.FlightRecorderSize > 0 {
+		t.FR = NewFlightRecorder(opts.FlightRecorderSize, opts.FlightKinds...)
+	}
+	if opts.SampleInterval > 0 {
+		t.Tracer = trace.New()
+	}
+	return t
+}
+
+// Registry returns the instrument registry (nil when disabled or t is nil).
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.Reg
+}
+
+// Recorder returns the flight recorder (nil when disabled or t is nil).
+func (t *Telemetry) Recorder() *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.FR
+}
+
+// PerFlow reports whether per-flow gauges are requested.
+func (t *Telemetry) PerFlow() bool {
+	return t != nil && t.Opts.PerFlow && t.Reg != nil
+}
+
+// sampleSpec is one sampled time series: either a gauge (value per tick) or
+// a counter rate (scaled delta per second over the tick interval).
+type sampleSpec struct {
+	name    string
+	kind    trace.Kind
+	gauge   func() float64
+	counter func() int64
+	scale   float64
+	last    int64
+	stream  *trace.Stream
+}
+
+// SampleGauge registers fn in the registry (when enabled) and samples its
+// value into a time-series stream on every tick. No-op on nil t.
+func (t *Telemetry) SampleGauge(name string, kind trace.Kind, fn func() float64) {
+	if t == nil {
+		return
+	}
+	t.Reg.GaugeFunc(name, fn)
+	if t.Tracer != nil {
+		t.specs = append(t.specs, &sampleSpec{name: name, kind: kind, gauge: fn})
+	}
+}
+
+// SampleCounterRate registers fn as a counter (when enabled) and samples its
+// per-second rate, scaled by scale (e.g. 8 to convert a byte counter into
+// bits/s), into a time-series stream on every tick. The first tick measures
+// from the counter's value at registration time.
+func (t *Telemetry) SampleCounterRate(name string, scale float64, fn func() int64) {
+	if t == nil {
+		return
+	}
+	t.Reg.CounterFunc(name, fn)
+	if t.Tracer != nil {
+		t.specs = append(t.specs, &sampleSpec{
+			name: name, kind: trace.FlowRate, counter: fn, scale: scale, last: fn(),
+		})
+	}
+}
+
+// StartSampling arms periodic sampling on eng: ticks every
+// Opts.SampleInterval from interval up to and including stop (matching
+// stats.Sampler's boundary behaviour). With Opts.SampleAll, every counter
+// and gauge registered so far is sampled by value in addition to the
+// explicit SampleGauge/SampleCounterRate series. No-op unless sampling was
+// enabled in Options.
+func (t *Telemetry) StartSampling(eng *sim.Engine, stop sim.Time) {
+	if t == nil || t.Tracer == nil || t.Opts.SampleInterval <= 0 {
+		return
+	}
+	if t.Opts.SampleAll {
+		explicit := make(map[string]bool, len(t.specs))
+		for _, sp := range t.specs {
+			explicit[sp.name] = true
+		}
+		t.Reg.each(func(name string, isCounter bool, value func() float64) {
+			if explicit[name] {
+				return
+			}
+			kind := trace.Gauge
+			if isCounter {
+				kind = trace.Counter
+			}
+			t.specs = append(t.specs, &sampleSpec{name: name, kind: kind, gauge: value})
+		})
+	}
+	for _, sp := range t.specs {
+		sp.stream = t.Tracer.Stream(sp.name, sp.kind)
+	}
+	interval := t.Opts.SampleInterval
+	var tick func()
+	tick = func() {
+		now := eng.Now()
+		for _, sp := range t.specs {
+			if sp.counter != nil {
+				cur := sp.counter()
+				sp.stream.Add(now, float64(cur-sp.last)*sp.scale/interval.Seconds())
+				sp.last = cur
+				continue
+			}
+			sp.stream.Add(now, sp.gauge())
+		}
+		if now+interval <= stop {
+			eng.After(interval, tick)
+		}
+	}
+	eng.After(interval, tick)
+}
+
+// Series returns the sampled values of the named time series as parallel
+// timestamp/value slices, or nils when the series does not exist.
+func (t *Telemetry) Series(name string) ([]sim.Time, []float64) {
+	if t == nil || t.Tracer == nil {
+		return nil, nil
+	}
+	st := t.Tracer.Get(name)
+	if st == nil {
+		return nil, nil
+	}
+	ts := make([]sim.Time, len(st.Samples))
+	vs := make([]float64, len(st.Samples))
+	for i, s := range st.Samples {
+		ts[i] = s.T
+		vs[i] = s.V
+	}
+	return ts, vs
+}
+
+// WriteDir exports everything collected into dir (created if needed):
+// manifest.json (run manifest + final counter snapshot), series.csv (all
+// sampled time series) and flight.log (the recorder's buffered events).
+func (t *Telemetry) WriteDir(dir string) error {
+	if t == nil {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if t.Manifest != nil {
+		if t.Manifest.Counters == nil {
+			t.Manifest.AddCounters(t.Reg)
+		}
+		if err := writeFile(filepath.Join(dir, "manifest.json"), t.Manifest.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if t.Tracer != nil && len(t.Tracer.Names()) > 0 {
+		if err := writeFile(filepath.Join(dir, "series.csv"), t.Tracer.WriteCSV); err != nil {
+			return err
+		}
+	}
+	if t.FR.Len() > 0 {
+		if err := writeFile(filepath.Join(dir, "flight.log"), t.FR.Dump); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mlcc/internal/sim"
+	"mlcc/internal/trace"
+)
+
+func TestNilTelemetry(t *testing.T) {
+	var tel *Telemetry
+	if tel.Registry() != nil || tel.Recorder() != nil || tel.PerFlow() {
+		t.Fatal("nil telemetry not inert")
+	}
+	tel.SampleGauge("g", trace.Gauge, func() float64 { return 1 })
+	tel.SampleCounterRate("c", 8, func() int64 { return 1 })
+	tel.StartSampling(sim.NewEngine(), sim.Second)
+	if ts, vs := tel.Series("g"); ts != nil || vs != nil {
+		t.Fatal("nil telemetry produced series")
+	}
+	if err := tel.WriteDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSelectsPlanes(t *testing.T) {
+	tel := New(Options{})
+	if tel.Reg != nil || tel.FR != nil || tel.Tracer != nil {
+		t.Fatal("zero options enabled planes")
+	}
+	tel = New(Options{Metrics: true, FlightRecorderSize: 32, SampleInterval: sim.Millisecond})
+	if tel.Reg == nil || tel.FR == nil || tel.Tracer == nil {
+		t.Fatal("planes missing")
+	}
+	if tel.FR.Cap() != 32 {
+		t.Fatalf("recorder cap = %d", tel.FR.Cap())
+	}
+}
+
+// TestSamplingTicksAndStopBoundary mirrors stats.Sampler semantics: first
+// tick at interval, last tick exactly at the stop time when stop is a
+// multiple of the interval.
+func TestSamplingTicksAndStopBoundary(t *testing.T) {
+	eng := sim.NewEngine()
+	tel := New(Options{Metrics: true, SampleInterval: sim.Millisecond})
+
+	calls := 0
+	tel.SampleGauge("exp.g", trace.Gauge, func() float64 { calls++; return float64(calls) })
+	bytes := int64(0)
+	tel.SampleCounterRate("exp.rate", 8, func() int64 { return bytes })
+
+	tel.StartSampling(eng, 10*sim.Millisecond)
+	for i := 1; i <= 10; i++ {
+		eng.At(sim.Time(i)*sim.Millisecond-sim.Nanosecond, func() { bytes += 1 << 20 })
+	}
+	eng.Run()
+
+	ts, vs := tel.Series("exp.g")
+	if len(ts) != 10 {
+		t.Fatalf("gauge samples = %d, want 10 (tick at the stop boundary included)", len(ts))
+	}
+	if ts[0] != sim.Millisecond || ts[9] != 10*sim.Millisecond {
+		t.Fatalf("tick times: first=%v last=%v", ts[0], ts[9])
+	}
+	if vs[0] != 1 || vs[9] != 10 {
+		t.Fatalf("gauge values: %v", vs)
+	}
+	_, rates := tel.Series("exp.rate")
+	want := float64(1<<20) * 8 / 0.001
+	for i, r := range rates {
+		if r < want*0.99 || r > want*1.01 {
+			t.Fatalf("rate[%d] = %v, want ~%v", i, r, want)
+		}
+	}
+}
+
+// TestSampleAll expands every registered counter and gauge into series
+// without duplicating explicitly sampled ones.
+func TestSampleAll(t *testing.T) {
+	eng := sim.NewEngine()
+	tel := New(Options{Metrics: true, SampleInterval: sim.Millisecond, SampleAll: true})
+	c := tel.Reg.Counter("switch.s0.drops")
+	tel.Reg.Gauge("switch.s0.qlen").Set(5)
+	tel.SampleGauge("exp.explicit", trace.Gauge, func() float64 { return 1 })
+
+	c.Add(3)
+	tel.StartSampling(eng, 2*sim.Millisecond)
+	eng.Run()
+
+	for _, name := range []string{"switch.s0.drops", "switch.s0.qlen", "exp.explicit"} {
+		if ts, _ := tel.Series(name); len(ts) != 2 {
+			t.Errorf("series %q has %d samples, want 2", name, len(ts))
+		}
+	}
+	if got := tel.Tracer.Names(); len(got) != 3 {
+		t.Fatalf("streams = %v (explicit series must not duplicate)", got)
+	}
+	if _, vs := tel.Series("switch.s0.drops"); vs[0] != 3 {
+		t.Fatalf("counter sampled by value: %v", vs)
+	}
+}
+
+func TestWriteDir(t *testing.T) {
+	eng := sim.NewEngine()
+	tel := New(Options{Metrics: true, FlightRecorderSize: 8, SampleInterval: sim.Millisecond})
+	tel.Reg.Counter("sim.test").Add(2)
+	tel.SampleGauge("exp.g", trace.Gauge, func() float64 { return 1 })
+	tel.FR.Record(Event{T: sim.Microsecond, Kind: EvDrop, Node: 1, Flow: 9, Val: 1000})
+	tel.StartSampling(eng, 2*sim.Millisecond)
+	eng.Run()
+
+	m := NewManifest("test-tool")
+	m.Seed = 42
+	m.FillSim(eng.Now(), eng.Fired())
+	tel.Manifest = m
+
+	dir := filepath.Join(t.TempDir(), "out")
+	if err := tel.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Manifest
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("manifest not valid JSON: %v", err)
+	}
+	if decoded.Tool != "test-tool" || decoded.Seed != 42 {
+		t.Fatalf("manifest fields: %+v", decoded)
+	}
+	if decoded.Counters["sim.test"] != 2 {
+		t.Fatalf("counter snapshot missing: %v", decoded.Counters)
+	}
+	if decoded.GoVersion == "" {
+		t.Fatal("go_version empty")
+	}
+
+	csv, err := os.ReadFile(filepath.Join(dir, "series.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "stream,kind,time_ms,value\n") || !strings.Contains(string(csv), "exp.g") {
+		t.Fatalf("series.csv: %q", csv)
+	}
+
+	fl, err := os.ReadFile(filepath.Join(dir, "flight.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fl), "drop") {
+		t.Fatalf("flight.log: %q", fl)
+	}
+}

@@ -24,10 +24,15 @@ func (s *Series) Add(t sim.Time, v float64) {
 // Len reports the number of points.
 func (s *Series) Len() int { return len(s.T) }
 
-// Max returns the maximum value, or 0 when empty.
+// Max returns the maximum value, or 0 when empty. The maximum is taken over
+// the actual values (initialized from the first element), so all-negative
+// series report their true maximum rather than 0.
 func (s *Series) Max() float64 {
-	m := 0.0
-	for _, v := range s.V {
+	if len(s.V) == 0 {
+		return 0
+	}
+	m := s.V[0]
+	for _, v := range s.V[1:] {
 		if v > m {
 			m = v
 		}
@@ -59,12 +64,18 @@ func (s *Series) AvgAfter(t sim.Time) float64 {
 	return sum / float64(n)
 }
 
-// MaxAfter returns the maximum value with timestamps >= t.
+// MaxAfter returns the maximum value with timestamps >= t, or 0 when no
+// sample qualifies. Like Max it is initialized from the first qualifying
+// element, so all-negative tails are reported correctly.
 func (s *Series) MaxAfter(t sim.Time) float64 {
-	m := 0.0
+	m, found := 0.0, false
 	for i, ts := range s.T {
-		if ts >= t && s.V[i] > m {
+		if ts < t {
+			continue
+		}
+		if !found || s.V[i] > m {
 			m = s.V[i]
+			found = true
 		}
 	}
 	return m

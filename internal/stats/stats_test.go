@@ -176,6 +176,29 @@ func TestSeriesSummaries(t *testing.T) {
 	}
 }
 
+// TestSeriesMaxAllNegative pins the fix for Max/MaxAfter on all-negative
+// series: both must report the true (negative) maximum instead of a spurious
+// zero from a zero-initialized accumulator.
+func TestSeriesMaxAllNegative(t *testing.T) {
+	var s Series
+	s.Add(sim.Millisecond, -30)
+	s.Add(2*sim.Millisecond, -10)
+	s.Add(3*sim.Millisecond, -20)
+	if got := s.Max(); got != -10 {
+		t.Errorf("Max = %v, want -10", got)
+	}
+	if got := s.MaxAfter(3 * sim.Millisecond); got != -20 {
+		t.Errorf("MaxAfter(3ms) = %v, want -20", got)
+	}
+	if got := s.MaxAfter(10 * sim.Millisecond); got != 0 {
+		t.Errorf("MaxAfter past end = %v, want 0", got)
+	}
+	var empty Series
+	if empty.Max() != 0 || empty.MaxAfter(0) != 0 {
+		t.Error("empty series must report 0")
+	}
+}
+
 func TestSamplerTicks(t *testing.T) {
 	eng := sim.NewEngine()
 	sampler := NewSampler(eng, sim.Millisecond, 10*sim.Millisecond)
@@ -195,6 +218,11 @@ func TestSamplerTicks(t *testing.T) {
 	eng.Run()
 	if gauge.Len() != 10 {
 		t.Fatalf("gauge samples = %d", gauge.Len())
+	}
+	// The first tick is one interval in; the last falls exactly on the stop
+	// boundary (stop is a multiple of the interval), not one interval short.
+	if gauge.T[0] != sim.Millisecond || gauge.T[9] != 10*sim.Millisecond {
+		t.Fatalf("tick times: first=%v last=%v", gauge.T[0], gauge.T[9])
 	}
 	if rate.Len() != 10 {
 		t.Fatalf("rate samples = %d", rate.Len())

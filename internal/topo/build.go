@@ -113,6 +113,7 @@ func TwoDC(p Params) *Network {
 	for _, d := range n.DCIs {
 		d.Finalize()
 	}
+	n.applyTelemetry()
 	return n
 }
 
@@ -164,6 +165,7 @@ func Dumbbell(p Params) *Network {
 	for _, d := range n.DCIs {
 		d.Finalize()
 	}
+	n.applyTelemetry()
 	return n
 }
 

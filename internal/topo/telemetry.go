@@ -1,0 +1,47 @@
+package topo
+
+import (
+	"fmt"
+
+	"mlcc/internal/metrics"
+)
+
+// applyTelemetry wires a built network into its telemetry layer: every
+// component registers its instruments under the hierarchical naming scheme
+// (sim.*, host.h<idx>.*, switch.{leaf,spine}<idx>.*, dci.dci<idx>.*) and
+// receives the shared flight recorder. A nil Telemetry (the default) makes
+// this a no-op, so telemetry-off builds are untouched.
+func (n *Network) applyTelemetry() {
+	tel := n.P.Telemetry
+	if tel == nil {
+		return
+	}
+	reg := tel.Registry()
+	fr := tel.Recorder()
+
+	if reg != nil {
+		reg.CounterFunc("sim.events_fired", func() int64 { return int64(n.Eng.Fired()) })
+		reg.GaugeFunc("sim.events_pending", func() float64 { return float64(n.Eng.Pending()) })
+		reg.GaugeFunc("sim.now_ms", func() float64 { return n.Eng.Now().Millis() })
+	}
+	alg := n.Alg.Name
+	for i, h := range n.Hosts {
+		h.SetRecorder(fr)
+		h.RegisterMetrics(reg, fmt.Sprintf("host.h%d", i), alg, tel.PerFlow())
+	}
+	for i, sw := range n.Leaves {
+		sw.SetRecorder(fr)
+		sw.RegisterMetrics(reg, fmt.Sprintf("switch.leaf%d", i))
+	}
+	for i, sw := range n.Spines {
+		sw.SetRecorder(fr)
+		sw.RegisterMetrics(reg, fmt.Sprintf("switch.spine%d", i))
+	}
+	for i, d := range n.DCIs {
+		d.SetRecorder(fr)
+		d.RegisterMetrics(reg, fmt.Sprintf("dci.dci%d", i))
+	}
+}
+
+// Telemetry returns the network's telemetry layer (possibly nil).
+func (n *Network) Telemetry() *metrics.Telemetry { return n.P.Telemetry }

@@ -14,6 +14,7 @@ import (
 	"mlcc/internal/dci"
 	"mlcc/internal/fabric"
 	"mlcc/internal/host"
+	"mlcc/internal/metrics"
 	"mlcc/internal/pkt"
 	"mlcc/internal/sim"
 )
@@ -63,6 +64,11 @@ type Params struct {
 
 	// MLCC DQM parameters (credit/queue management at receiver-side DCIs).
 	DQM core.DQMParams
+
+	// Telemetry, when non-nil, is wired through every component at build
+	// time: instruments register in its registry and the flight recorder is
+	// attached to hosts and switches. Nil (the default) costs nothing.
+	Telemetry *metrics.Telemetry
 
 	Seed int64
 }

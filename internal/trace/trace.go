@@ -24,6 +24,7 @@ const (
 	QueueLen              // bytes
 	RateLimit             // bits/s (e.g. R_credit, R̄_DQM)
 	Counter               // unitless cumulative counter (PFC pauses, drops)
+	Gauge                 // generic instantaneous value (metrics registry gauges)
 )
 
 // String names the kind.
@@ -39,6 +40,8 @@ func (k Kind) String() string {
 		return "rate_limit"
 	case Counter:
 		return "counter"
+	case Gauge:
+		return "gauge"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -57,8 +60,14 @@ type Stream struct {
 	Samples []Sample
 }
 
-// Add appends one point. Timestamps must be non-decreasing.
+// Add appends one point. Timestamps must be non-decreasing; appending out of
+// order panics, because At's binary search and the CSV export both rely on
+// sample order, and a time-travelling sample is always a bug in the caller
+// (the same stance the engine takes on scheduling into the past).
 func (s *Stream) Add(t sim.Time, v float64) {
+	if n := len(s.Samples); n > 0 && t < s.Samples[n-1].T {
+		panic(fmt.Sprintf("trace: stream %q: sample at %v before last sample %v", s.Name, t, s.Samples[n-1].T))
+	}
 	s.Samples = append(s.Samples, Sample{T: t, V: v})
 }
 

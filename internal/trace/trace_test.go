@@ -12,7 +12,7 @@ import (
 func TestKindString(t *testing.T) {
 	want := map[Kind]string{
 		FlowRate: "flow_rate", FlowBytes: "flow_bytes", QueueLen: "queue_len",
-		RateLimit: "rate_limit", Counter: "counter", Kind(42): "kind(42)",
+		RateLimit: "rate_limit", Counter: "counter", Gauge: "gauge", Kind(42): "kind(42)",
 	}
 	for k, s := range want {
 		if got := k.String(); got != s {
@@ -65,6 +65,10 @@ func TestWriteCSV(t *testing.T) {
 	q.Add(sim.Millisecond, 1024)
 	r := tr.Stream("flow1", FlowRate)
 	r.Add(2*sim.Millisecond, 1e9)
+	quoted := tr.Stream(`say "hi"`, Gauge) // quotes double inside quoted field
+	quoted.Add(sim.Millisecond, 1)
+	nl := tr.Stream("line\nbreak", Gauge) // newline forces quoting too
+	nl.Add(sim.Millisecond, 2)
 
 	var b strings.Builder
 	if err := tr.WriteCSV(&b); err != nil {
@@ -80,6 +84,33 @@ func TestWriteCSV(t *testing.T) {
 	if !strings.Contains(out, "flow1,flow_rate,2.000000,1000000000.000000") {
 		t.Fatalf("rate row missing: %q", out)
 	}
+	if !strings.Contains(out, `"say ""hi""",gauge`) {
+		t.Fatalf("quote-escaped row missing: %q", out)
+	}
+	if !strings.Contains(out, "\"line\nbreak\",gauge") {
+		t.Fatalf("newline-escaped row missing: %q", out)
+	}
+}
+
+// TestStreamAddOrdering pins Add's contract: equal timestamps are fine,
+// going backwards panics.
+func TestStreamAddOrdering(t *testing.T) {
+	s := &Stream{Name: "x"}
+	s.Add(sim.Millisecond, 1)
+	s.Add(sim.Millisecond, 2) // same timestamp allowed
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("out-of-order Add did not panic")
+		}
+		if msg, _ := r.(string); !strings.Contains(msg, `stream "x"`) {
+			t.Fatalf("panic message = %v", r)
+		}
+	}()
+	s.Add(sim.Millisecond-sim.Nanosecond, 3)
 }
 
 // Property: At is consistent with a linear scan for sorted inputs.

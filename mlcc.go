@@ -33,14 +33,26 @@ package mlcc
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"mlcc/internal/exp"
 	"mlcc/internal/host"
+	"mlcc/internal/metrics"
 	"mlcc/internal/sim"
 	"mlcc/internal/stats"
 	"mlcc/internal/topo"
 	"mlcc/internal/workload"
 )
+
+// Telemetry re-exports the unified telemetry layer (metrics registry, flight
+// recorder, run manifests). Attach one to Config.Telemetry to collect it.
+type Telemetry = metrics.Telemetry
+
+// TelemetryOptions selects which telemetry planes to enable.
+type TelemetryOptions = metrics.Options
+
+// NewTelemetry builds a telemetry layer for Config.Telemetry.
+func NewTelemetry(opts TelemetryOptions) *Telemetry { return metrics.New(opts) }
 
 // Time re-exports the simulator's picosecond time type.
 type Time = sim.Time
@@ -112,6 +124,12 @@ type Config struct {
 	// generating Poisson arrivals from Workload/IntraLoad/CrossLoad.
 	Flows []FlowSpec
 
+	// Telemetry, when non-nil, is wired through the whole simulation:
+	// every component registers instruments, the flight recorder captures
+	// packet-lifecycle events, time-series sampling runs at the configured
+	// interval, and the run manifest is filled in. Nil costs nothing.
+	Telemetry *Telemetry
+
 	Seed int64
 }
 
@@ -178,6 +196,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("mlcc: unknown algorithm %q (have %v)", cfg.Algorithm, topo.Algorithms())
 	}
 	p = p.WithAlgorithm(cfg.Algorithm)
+	p.Telemetry = cfg.Telemetry
 
 	var n *topo.Network
 	if cfg.Dumbbell {
@@ -214,16 +233,42 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("mlcc: zero offered load (intra=%v cross=%v)", cfg.IntraLoad, cfg.CrossLoad)
 	}
 
+	tel := cfg.Telemetry
+	fctHist := tel.Registry().Histogram("cc." + cfg.Algorithm + ".fct_us")
 	col := stats.NewFCTCollector()
 	for _, h := range n.Hosts {
 		h.OnFlowDone = func(f *host.Flow) {
 			col.Add(stats.FCTSample{Size: f.Info.Size, FCT: f.FCT(), Cross: f.Info.CrossDC, Start: f.Start})
+			fctHist.Observe(f.FCT().Micros())
 		}
 	}
 	for _, fs := range flows {
 		n.AddFlow(fs.Src, fs.Dst, fs.Size, fs.Start)
 	}
+	tel.StartSampling(n.Eng, cfg.Deadline)
+	t0 := time.Now()
 	n.Run(cfg.Deadline)
+	if tel != nil {
+		if tel.Manifest == nil {
+			tel.Manifest = metrics.NewManifest("mlccsim")
+		}
+		m := tel.Manifest
+		m.Algorithm = cfg.Algorithm
+		m.Workload = cfg.Workload
+		m.Seed = cfg.Seed
+		m.Flows = len(flows)
+		m.WallSeconds = time.Since(t0).Seconds()
+		m.FillSim(n.Eng.Now(), n.Eng.Fired())
+		m.Config = map[string]any{
+			"intra_load":     cfg.IntraLoad,
+			"cross_load":     cfg.CrossLoad,
+			"duration_ms":    cfg.Duration.Millis(),
+			"deadline_ms":    cfg.Deadline.Millis(),
+			"hosts_per_leaf": p.HostsPerLeaf,
+			"longhaul_ms":    p.LongHaulDelay.Millis(),
+			"dumbbell":       cfg.Dumbbell,
+		}
+	}
 
 	res := &Result{Flows: len(flows), FCT: col, Completed: col.Len(), Trace: flows}
 	res.Unfinished = res.Flows - res.Completed
