@@ -9,16 +9,18 @@ test:
 	$(GO) test ./...
 
 # check is the pre-merge gate: static analysis, race-enabled tests on the
-# determinism-sensitive packages, a one-shot benchmark smoke run, the
+# determinism-sensitive packages (including the fault-injection layer and the
+# link/host paths it perturbs), a one-shot benchmark smoke run, the
 # telemetry-overhead proof (disabled-path hot loops must stay at 0 allocs/op)
-# and the telemetry determinism invariant (golden digests identical with the
-# metrics registry and flight recorder attached).
+# and the two digest invariants: golden digests identical with telemetry
+# attached, and identical with an empty or vacuous fault plan attached.
 check: build
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim/... ./internal/exp/... ./internal/metrics/...
+	$(GO) test -race ./internal/sim/... ./internal/exp/... ./internal/metrics/... ./internal/fault/... ./internal/link/... ./internal/host/...
 	$(GO) test -run '^$$' -bench 'BenchmarkFig02' -benchtime=1x .
 	$(GO) test -run 'TestTelemetryDisabledPathAllocFree' -count=1 .
 	$(GO) test -run 'TestDigestTelemetryInvariant' -short -count=1 ./internal/exp/
+	$(GO) test -run 'TestDigestFaultPlan' -short -count=1 ./internal/exp/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x .

@@ -32,6 +32,9 @@ func main() {
 		flowsOut = flag.String("save-flows", "", "write the generated workload to a trace file")
 		fctOut   = flag.String("fct", "", "write per-flow completion times to a CSV file")
 
+		faultIn = flag.String("fault-plan", "", "inject the scripted link faults from this JSON plan file")
+		wanLoss = flag.Float64("wan-loss", 0, "Bernoulli loss probability on the long-haul link for the whole run")
+
 		useMetrics = flag.Bool("metrics", false, "enable the telemetry metrics registry")
 		flightN    = flag.Int("flight-recorder", 0, "keep the last N packet-lifecycle events in a flight recorder")
 		telOut     = flag.String("telemetry-out", "", "write manifest.json/series.csv/flight.log to this directory (implies -metrics)")
@@ -63,6 +66,25 @@ func main() {
 			SampleInterval:     mlcc.Time(sampleIvl.Nanoseconds()) * mlcc.Nanosecond,
 			SampleAll:          true,
 		})
+	}
+	if *faultIn != "" {
+		f, err := os.Open(*faultIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlccsim:", err)
+			os.Exit(1)
+		}
+		cfg.Fault, err = mlcc.ReadFaultPlan(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlccsim:", err)
+			os.Exit(1)
+		}
+	}
+	if *wanLoss > 0 {
+		if cfg.Fault == nil {
+			cfg.Fault = &mlcc.FaultPlan{Seed: *seed}
+		}
+		cfg.Fault.Loss = append(cfg.Fault.Loss, mlcc.FaultLossRule{Link: "longhaul", Prob: *wanLoss})
 	}
 	if *flowsIn != "" {
 		f, err := os.Open(*flowsIn)
@@ -120,6 +142,10 @@ func main() {
 	fmt.Printf("algorithm      %s\n", *alg)
 	fmt.Printf("workload       %s (intra %.0f%%, cross %.0f%%)\n", *wl, *intra*100, *cross*100)
 	fmt.Printf("flows          %d (%d completed, %d unfinished)\n", res.Flows, res.Completed, res.Unfinished)
+	if cfg.Fault != nil {
+		fmt.Printf("aborted flows  %d\n", res.Aborted)
+		fmt.Printf("fault drops    %d\n", res.FaultDrops)
+	}
 	fmt.Printf("avg FCT intra  %v\n", res.AvgFCTIntra)
 	fmt.Printf("avg FCT cross  %v\n", res.AvgFCTCross)
 	fmt.Printf("avg FCT        %v\n", res.AvgFCT)

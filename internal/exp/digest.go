@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"mlcc/internal/fault"
 	"mlcc/internal/metrics"
 	"mlcc/internal/pkt"
 	"mlcc/internal/sim"
@@ -16,7 +17,7 @@ import (
 // changes the hash. Performance rewrites of the hot path must keep it
 // bit-identical (see the "Performance model" section of DESIGN.md).
 func DeterminismDigest(alg string, seed int64) uint64 {
-	return determinismDigest(alg, seed, nil)
+	return determinismDigest(alg, seed, nil, nil)
 }
 
 // DeterminismDigestTel is DeterminismDigest with a telemetry layer attached
@@ -25,13 +26,23 @@ func DeterminismDigest(alg string, seed int64) uint64 {
 // be byte-identical to the telemetry-off run; the digest test enforces this.
 // Sampling intentionally adds engine tick events, so it is excluded here.
 func DeterminismDigestTel(alg string, seed int64, tel *metrics.Telemetry) uint64 {
-	return determinismDigest(alg, seed, tel)
+	return determinismDigest(alg, seed, tel, nil)
 }
 
-func determinismDigest(alg string, seed int64, tel *metrics.Telemetry) uint64 {
+// DeterminismDigestPlan is DeterminismDigest with a fault plan applied at
+// build time. An empty (or vacuous: zero-probability loss, events beyond the
+// horizon) plan must leave the digest byte-identical to the plan-free run —
+// the fault layer's PRNG streams are drawn only when a fault can actually
+// occur. An active plan must yield the same digest for the same seed.
+func DeterminismDigestPlan(alg string, seed int64, plan *fault.Plan) uint64 {
+	return determinismDigest(alg, seed, nil, plan)
+}
+
+func determinismDigest(alg string, seed int64, tel *metrics.Telemetry, plan *fault.Plan) uint64 {
 	p := scaleTopo(Quick)
 	p.Seed = seed
 	p.Telemetry = tel
+	p.Fault = plan
 	n := topo.TwoDC(p.WithAlgorithm(alg))
 
 	flows := workload.Generate(workload.Spec{

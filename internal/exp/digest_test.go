@@ -3,7 +3,9 @@ package exp
 import (
 	"testing"
 
+	"mlcc/internal/fault"
 	"mlcc/internal/metrics"
+	"mlcc/internal/sim"
 )
 
 // Golden digests for the Quick-scale TwoDC websearch scenario at seed 1.
@@ -49,6 +51,64 @@ func TestDeterminismDigestStable(t *testing.T) {
 	}
 	if c := DeterminismDigest("mlcc", 8); c == a {
 		t.Errorf("different seeds collided: %#016x", a)
+	}
+}
+
+// TestDigestFaultPlanInvariant proves the fault layer is pay-for-what-you-
+// break: an empty plan installs nothing, and a vacuous plan (zero-probability
+// loss plus an event beyond the run horizon) installs hooks and schedules an
+// event yet must still reproduce the golden digest bit for bit, because
+// vacuous rules draw no randomness and an unfired event changes neither the
+// fired-event count nor the final clock.
+func TestDigestFaultPlanInvariant(t *testing.T) {
+	plans := map[string]*fault.Plan{
+		"empty": {},
+		"vacuous": {
+			Seed: 99,
+			Events: []fault.Event{
+				// The digest scenario stops at 60 ms; 10 s never fires.
+				{At: 10 * sim.Second, Link: "longhaul", Action: fault.LinkDown},
+			},
+			Loss: []fault.LossRule{{Link: "longhaul", Prob: 0}},
+		},
+	}
+	algs := []string{"mlcc", "dcqcn"}
+	if !testing.Short() {
+		algs = append(algs, "timely", "hpcc", "powertcp")
+	}
+	for name, plan := range plans {
+		for _, alg := range algs {
+			name, plan, alg := name, plan, alg
+			t.Run(name+"/"+alg, func(t *testing.T) {
+				t.Parallel()
+				if got, want := DeterminismDigestPlan(alg, 1, plan), goldenDigests[alg]; got != want {
+					t.Errorf("digest with %s fault plan = %#016x, want golden %#016x", name, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestDigestFaultPlanStable pins the other half of the determinism contract:
+// an ACTIVE fault plan must be reproducible (same seed, same plan, same
+// digest) and must actually change the outcome relative to the fault-free
+// run — otherwise the plan silently failed to apply.
+func TestDigestFaultPlanStable(t *testing.T) {
+	plan := &fault.Plan{
+		Seed: 5,
+		Events: []fault.Event{
+			{At: 3 * sim.Millisecond, Link: "longhaul", Action: fault.LinkDown},
+			{At: 4 * sim.Millisecond, Link: "longhaul", Action: fault.LinkUp},
+		},
+		Loss: []fault.LossRule{{Link: "longhaul", Prob: 1e-3, Start: 5 * sim.Millisecond}},
+	}
+	a := DeterminismDigestPlan("mlcc", 1, plan)
+	b := DeterminismDigestPlan("mlcc", 1, plan)
+	if a != b {
+		t.Fatalf("same seed+plan digests differ: %#016x vs %#016x", a, b)
+	}
+	if a == goldenDigests["mlcc"] {
+		t.Errorf("active fault plan left the digest at the fault-free golden %#016x", a)
 	}
 }
 

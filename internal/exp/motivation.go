@@ -29,11 +29,17 @@ type scenario struct {
 	fills  []func()
 }
 
-// newScenario builds a network with telemetry sampling every interval.
+// newScenario builds a two-DC network with telemetry sampling every interval.
 func newScenario(p topo.Params, window sim.Time, interval sim.Time) *scenario {
+	return newScenarioIn(topo.TwoDC, p, window, interval)
+}
+
+// newScenarioIn is newScenario with an explicit topology builder (TwoDC or
+// Dumbbell).
+func newScenarioIn(build func(topo.Params) *topo.Network, p topo.Params, window sim.Time, interval sim.Time) *scenario {
 	tel := metrics.New(metrics.Options{Metrics: true, SampleInterval: interval})
 	p.Telemetry = tel
-	n := topo.TwoDC(p)
+	n := build(p)
 	return &scenario{
 		n:      n,
 		tel:    tel,

@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"testing"
+
+	"mlcc/internal/fault"
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+	"mlcc/internal/topo"
+)
+
+// accountPackets checks the data-frame conservation equation on a drained
+// network: every data frame a host ever transmitted was delivered to a host,
+// dropped at switch admission, or destroyed by the fault layer — and every
+// pooled packet is back in the pool. A leak in any fault path (pipe flush,
+// mid-serialization cut, corruption discard, abort teardown) fails here.
+func accountPackets(t *testing.T, n *topo.Network) {
+	t.Helper()
+	var sent, recv int64
+	for _, h := range n.Hosts {
+		sent += h.SentData
+		recv += h.RecvData
+	}
+	var swDrops int64
+	for _, sw := range n.Leaves {
+		swDrops += sw.Drops
+	}
+	for _, sw := range n.Spines {
+		swDrops += sw.Drops
+	}
+	for _, sw := range n.DCIs {
+		swDrops += sw.Drops
+	}
+	faultData := n.Faults.DataDropped()
+	if sent != recv+swDrops+faultData {
+		t.Errorf("data frames unaccounted: sent=%d != recv=%d + switchDrops=%d + faultDrops=%d (missing %d)",
+			sent, recv, swDrops, faultData, sent-recv-swDrops-faultData)
+	}
+	if out := n.Pool.Outstanding(); out != 0 {
+		t.Errorf("packet pool leak: %d packets still checked out at quiescence", out)
+	}
+}
+
+// TestFaultConservationFlap cuts the dumbbell long haul mid-run, restores
+// it, and runs a lossy window — then drains to quiescence and audits packet
+// conservation. Flows must complete (via go-back-N) despite the faults.
+func TestFaultConservationFlap(t *testing.T) {
+	for _, alg := range []string{topo.AlgMLCC, topo.AlgDCQCN} {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			t.Parallel()
+			p := topo.DefaultParams().WithAlgorithm(alg)
+			p.Seed = 1
+			p.HostsPerLeaf = 2
+			p.LongHaulDelay = 500 * sim.Microsecond
+			p.Fault = &fault.Plan{
+				Seed: 42,
+				Events: []fault.Event{
+					{At: 2 * sim.Millisecond, Link: "longhaul", Action: fault.LinkDown},
+					{At: 3 * sim.Millisecond, Link: "longhaul", Action: fault.LinkUp},
+					{At: 5 * sim.Millisecond, Link: "longhaul", Action: fault.Degrade,
+						RateFactor: 0.25, ExtraDelay: 200 * sim.Microsecond, Jitter: 20 * sim.Microsecond},
+					{At: 8 * sim.Millisecond, Link: "longhaul", Action: fault.Restore},
+				},
+				Loss: []fault.LossRule{
+					{Link: "longhaul", Prob: 5e-4, Start: 9 * sim.Millisecond, End: 14 * sim.Millisecond},
+				},
+			}
+			n := topo.Dumbbell(p)
+			flows := []int64{8 << 20, 8 << 20, 2 << 20}
+			n.AddFlow(0, 2, flows[0], sim.Millisecond)
+			n.AddFlow(3, 1, flows[1], sim.Millisecond)
+			n.AddFlow(0, 1, flows[2], sim.Millisecond)
+			n.Run(300 * sim.Millisecond)
+
+			for id := 1; id <= n.Table.Len(); id++ {
+				f := n.Table.Get(pkt.FlowID(id))
+				if !f.Done || f.Aborted {
+					t.Errorf("flow %d: done=%v aborted=%v — should complete despite flap",
+						id, f.Done, f.Aborted)
+				}
+			}
+			if n.Faults.TotalDrops() == 0 {
+				t.Error("flap destroyed no frames: fault plan did not engage")
+			}
+			var retrans int64
+			for _, h := range n.Hosts {
+				retrans += h.Retransmits
+			}
+			if retrans == 0 {
+				t.Error("no retransmissions despite a 1 ms blackout of the long haul")
+			}
+			accountPackets(t, n)
+		})
+	}
+}
+
+// TestFaultConservationAbort blackholes the long haul past the cross flow's
+// retransmission budget, then restores it so the parked queue drains. The
+// sender must abort; the stranded frames must still be fully accounted for.
+func TestFaultConservationAbort(t *testing.T) {
+	p := topo.DefaultParams().WithAlgorithm(topo.AlgDCQCN)
+	p.Seed = 1
+	p.HostsPerLeaf = 2
+	p.LongHaulDelay = 100 * sim.Microsecond
+	p.RTOMin = 500 * sim.Microsecond
+	p.RTOMax = 2 * sim.Millisecond
+	p.MaxRetrans = 3
+	p.PFCEnabled = false // lossless backpressure would park the sender instead
+	p.Fault = &fault.Plan{
+		Seed: 7,
+		Events: []fault.Event{
+			{At: 2 * sim.Millisecond, Link: "longhaul", Action: fault.LinkDown},
+			{At: 40 * sim.Millisecond, Link: "longhaul", Action: fault.LinkUp},
+		},
+	}
+	n := topo.Dumbbell(p)
+	cross := n.AddFlow(0, 2, 16<<20, sim.Millisecond)
+	intra := n.AddFlow(2, 3, 2<<20, sim.Millisecond)
+	n.Run(300 * sim.Millisecond)
+
+	if !cross.Aborted {
+		t.Errorf("cross flow survived a 38 ms blackout with MaxRetrans=3 (done=%v)", cross.Done)
+	}
+	if cross.FinishAt <= 2*sim.Millisecond || cross.FinishAt >= 40*sim.Millisecond {
+		t.Errorf("abort at %v, want inside the blackout window (2 ms, 40 ms)", cross.FinishAt)
+	}
+	if !intra.Done || intra.Aborted {
+		t.Errorf("intra flow: done=%v aborted=%v — must be untouched by the cut", intra.Done, intra.Aborted)
+	}
+	if got := n.Hosts[0].Aborted; got != 1 {
+		t.Errorf("host 0 aborted-flow counter = %d, want 1", got)
+	}
+	if n.Hosts[0].ActiveSends() != 0 {
+		t.Errorf("aborted flow still in the send list: ActiveSends = %d", n.Hosts[0].ActiveSends())
+	}
+	accountPackets(t, n)
+}

@@ -1,0 +1,140 @@
+// Package fault injects deterministic failures into a built network: admin
+// link down/up (flaps), runtime degradation (rate reduction, extra delay,
+// jitter) and Bernoulli packet loss on designated links.
+//
+// Faults come from a scripted Plan of absolute-time events plus loss rules.
+// Every random process draws from its own seeded PRNG stream — one per loss
+// rule and one per jittered port direction, seeded from the plan seed and a
+// stable hash of the link name — so a run with a fixed simulation seed and a
+// fixed plan is bit-reproducible, and an empty plan leaves the simulation
+// byte-identical to a build with no fault layer at all (the digest tests in
+// internal/exp enforce both properties).
+//
+// Only data frames are subject to Bernoulli corruption: ACKs, CNPs, INT
+// reflections and PFC frames are assumed FEC-protected. An admin-down link,
+// by contrast, destroys everything on and entering the wire — that is a cut
+// fiber, not a noisy one. See DESIGN.md, "Fault model".
+package fault
+
+import (
+	"fmt"
+
+	"mlcc/internal/sim"
+)
+
+// Action is the kind of one scripted fault event.
+type Action uint8
+
+// Actions.
+const (
+	LinkDown Action = iota // admin down: flush the wire, discard offered frames
+	LinkUp                 // admin up: resume pulling from sources
+	Degrade                // reduce the line rate and/or add delay+jitter
+	Restore                // undo Degrade: nominal rate, no extra delay
+	numActions
+)
+
+// String names the action using the JSON plan vocabulary.
+func (a Action) String() string {
+	switch a {
+	case LinkDown:
+		return "down"
+	case LinkUp:
+		return "up"
+	case Degrade:
+		return "degrade"
+	case Restore:
+		return "restore"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(a))
+	}
+}
+
+// Event is one scripted fault at an absolute simulation time.
+type Event struct {
+	At     sim.Time
+	Link   string // symbolic link name, resolved by the topology
+	Action Action
+
+	// Degrade parameters (ignored for other actions). RateFactor is the
+	// fraction of the nominal line rate kept, in (0, 1]; zero means "rate
+	// unchanged" so delay-only degradations read naturally.
+	RateFactor float64
+	ExtraDelay sim.Time // added propagation delay per frame
+	Jitter     sim.Time // max uniform random extra delay per frame
+}
+
+// LossRule drops each data frame entering the named link with probability
+// Prob while the rule's window [Start, End) is open. End 0 means "until the
+// end of the run". The dropper only draws randomness inside the window, so
+// a rule that never activates consumes none.
+type LossRule struct {
+	Link  string
+	Prob  float64 // [0, 1)
+	Start sim.Time
+	End   sim.Time
+}
+
+// Plan is a complete fault schedule. The zero value (and nil) is the empty
+// plan: applying it installs nothing and perturbs nothing.
+type Plan struct {
+	// Seed decorrelates the plan's PRNG streams from the simulation seed;
+	// streams are further decorrelated per link name and per rule index.
+	Seed   int64
+	Events []Event
+	Loss   []LossRule
+}
+
+// Empty reports whether the plan (possibly nil) schedules nothing.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Events) == 0 && len(p.Loss) == 0)
+}
+
+// Validate checks the plan's parameters (not link names, which only the
+// topology can resolve).
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, ev := range p.Events {
+		if ev.Link == "" {
+			return fmt.Errorf("fault: event %d: empty link name", i)
+		}
+		if ev.At < 0 {
+			return fmt.Errorf("fault: event %d (%s %s): negative time %v", i, ev.Link, ev.Action, ev.At)
+		}
+		if ev.Action >= numActions {
+			return fmt.Errorf("fault: event %d (%s): unknown action %d", i, ev.Link, ev.Action)
+		}
+		if ev.Action == Degrade {
+			if ev.RateFactor < 0 || ev.RateFactor > 1 {
+				return fmt.Errorf("fault: event %d (%s): rate factor %v outside (0, 1]", i, ev.Link, ev.RateFactor)
+			}
+			if ev.ExtraDelay < 0 || ev.Jitter < 0 {
+				return fmt.Errorf("fault: event %d (%s): negative delay/jitter", i, ev.Link)
+			}
+		}
+	}
+	for i, r := range p.Loss {
+		if r.Link == "" {
+			return fmt.Errorf("fault: loss rule %d: empty link name", i)
+		}
+		if r.Prob < 0 || r.Prob >= 1 {
+			return fmt.Errorf("fault: loss rule %d (%s): probability %v outside [0, 1)", i, r.Link, r.Prob)
+		}
+		if r.Start < 0 || (r.End != 0 && r.End <= r.Start) {
+			return fmt.Errorf("fault: loss rule %d (%s): bad window [%v, %v)", i, r.Link, r.Start, r.End)
+		}
+	}
+	return nil
+}
+
+// stableHash is FNV-1a over s: a process-independent way to give each link
+// its own PRNG stream regardless of resolution order.
+func stableHash(s string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return int64(h)
+}

@@ -1,0 +1,310 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"mlcc/internal/link"
+	"mlcc/internal/metrics"
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+)
+
+// rig is a minimal one-link network: two connected ports with a pushable
+// source on A and a delivery-recording sink on B.
+type rig struct {
+	eng  *sim.Engine
+	pool *pkt.Pool
+	a, b *link.Port
+	src  *pushSource
+	rx   *recSink
+}
+
+type pushSource struct{ q []*pkt.Packet }
+
+func (s *pushSource) push(p *pkt.Packet) { s.q = append(s.q, p) }
+
+func (s *pushSource) Next(paused *[pkt.NumClasses]bool) *pkt.Packet {
+	for i, p := range s.q {
+		if paused[p.Pri] {
+			continue
+		}
+		s.q = append(s.q[:i], s.q[i+1:]...)
+		return p
+	}
+	return nil
+}
+
+type recSink struct {
+	pool *pkt.Pool
+	seqs []int64
+	ctl  int
+}
+
+func (s *recSink) Receive(p *pkt.Packet, on *link.Port) {
+	if p.Kind == pkt.Data {
+		s.seqs = append(s.seqs, p.Seq)
+	} else {
+		s.ctl++
+	}
+	s.pool.Put(p)
+}
+
+func newRig(t *testing.T) *rig { return newRigDelay(t, 0) }
+
+func newRigDelay(t *testing.T, delay sim.Time) *rig {
+	t.Helper()
+	r := &rig{eng: sim.NewEngine(), pool: pkt.NewPool(), src: &pushSource{}}
+	r.rx = &recSink{pool: r.pool}
+	r.a = link.NewPort(r.eng, &recSink{pool: r.pool}, 0, 100*sim.Gbps, delay, r.pool)
+	r.b = link.NewPort(r.eng, r.rx, 0, 100*sim.Gbps, delay, r.pool)
+	link.Connect(r.a, r.b)
+	r.a.SetSource(r.src)
+	r.b.SetSource(&pushSource{})
+	return r
+}
+
+func (r *rig) resolve(name string) (Link, error) {
+	return Link{Name: name, A: r.a, B: r.b}, nil
+}
+
+// sendAt schedules n data frames (1000 B, consecutive seqs from seq0) at t.
+func (r *rig) sendAt(t sim.Time, seq0 int64, n int) {
+	r.eng.At(t, func() {
+		for i := 0; i < n; i++ {
+			r.src.push(r.pool.NewData(1, 0, 1, seq0+int64(i)*1000, 1000))
+		}
+		r.a.Kick()
+	})
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	bad := map[string]*Plan{
+		"empty link in event":  {Events: []Event{{At: 1, Action: LinkDown}}},
+		"negative event time":  {Events: []Event{{At: -1, Link: "l", Action: LinkDown}}},
+		"unknown action":       {Events: []Event{{At: 1, Link: "l", Action: numActions}}},
+		"rate factor above 1":  {Events: []Event{{At: 1, Link: "l", Action: Degrade, RateFactor: 1.5}}},
+		"negative jitter":      {Events: []Event{{At: 1, Link: "l", Action: Degrade, Jitter: -1}}},
+		"empty link in rule":   {Loss: []LossRule{{Prob: 0.1}}},
+		"probability one":      {Loss: []LossRule{{Link: "l", Prob: 1}}},
+		"negative probability": {Loss: []LossRule{{Link: "l", Prob: -0.1}}},
+		"inverted window":      {Loss: []LossRule{{Link: "l", Prob: 0.1, Start: 2, End: 1}}},
+	}
+	for name, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, p)
+		}
+	}
+	good := &Plan{
+		Events: []Event{
+			{At: 0, Link: "l", Action: LinkDown},
+			{At: 1, Link: "l", Action: Degrade, RateFactor: 0.5, Jitter: 3},
+		},
+		Loss: []LossRule{{Link: "l", Prob: 0.5, Start: 1, End: 0}}, // End 0 = forever
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate rejected a good plan: %v", err)
+	}
+}
+
+func TestApplyEmptyPlanInstallsNothing(t *testing.T) {
+	r := newRig(t)
+	resolved := false
+	spy := func(name string) (Link, error) { resolved = true; return r.resolve(name) }
+	for _, plan := range []*Plan{nil, {}, {Seed: 9}} {
+		inj, err := Apply(r.eng, plan, spy, nil)
+		if err != nil || inj != nil {
+			t.Fatalf("Apply(%+v) = (%v, %v), want (nil, nil)", plan, inj, err)
+		}
+	}
+	if resolved {
+		t.Error("empty plan resolved a link")
+	}
+	// Nil injector accessors must be safe.
+	var inj *Injector
+	if inj.TotalDrops() != 0 || inj.DataDropped() != 0 || inj.Down("l") {
+		t.Error("nil injector accessors not zero")
+	}
+}
+
+func TestBernoulliLossWindow(t *testing.T) {
+	r := newRig(t)
+	const n = 1000
+	plan := &Plan{
+		Seed: 11,
+		Loss: []LossRule{{Link: "wan", Prob: 0.5, Start: 100 * sim.Microsecond, End: sim.Second}},
+	}
+	inj, err := Apply(r.eng, plan, r.resolve, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sendAt(0, 0, 200)                     // before the window: all survive
+	r.sendAt(100*sim.Microsecond, 1<<20, n) // inside: ~half die
+	r.eng.Run()
+
+	if got := len(r.rx.seqs); got < 200 {
+		t.Fatalf("pre-window frames dropped: delivered %d of first 200", got)
+	}
+	for _, s := range r.rx.seqs[:200] {
+		if s >= 1<<20 {
+			t.Fatalf("pre-window sequence %d out of order", s)
+		}
+	}
+	delivered := len(r.rx.seqs) - 200
+	if delivered+int(inj.LossDrops) != n {
+		t.Fatalf("in-window frames unaccounted: %d delivered + %d dropped != %d",
+			delivered, inj.LossDrops, n)
+	}
+	// 1000 Bernoulli(0.5) draws: [300, 700] is > 20 sigma.
+	if inj.LossDrops < 300 || inj.LossDrops > 700 {
+		t.Fatalf("LossDrops = %d, want ~500", inj.LossDrops)
+	}
+	if inj.DataDrops != inj.LossDrops {
+		t.Fatalf("DataDrops = %d != LossDrops = %d (only data was offered)", inj.DataDrops, inj.LossDrops)
+	}
+	if got := r.a.FaultDrops; got != inj.LossDrops {
+		t.Fatalf("port FaultDrops = %d, want %d", got, inj.LossDrops)
+	}
+	if out := r.pool.Outstanding(); out != 0 {
+		t.Fatalf("pool leak: %d outstanding", out)
+	}
+}
+
+func TestCorruptionSparesControlFrames(t *testing.T) {
+	r := newRig(t)
+	plan := &Plan{Seed: 1, Loss: []LossRule{{Link: "wan", Prob: 0.999}}}
+	if _, err := Apply(r.eng, plan, r.resolve, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		r.src.push(r.pool.NewControl(pkt.Ack, 1, 0, 1))
+	}
+	r.a.Kick()
+	r.eng.Run()
+	if r.rx.ctl != 100 {
+		t.Fatalf("lossy link destroyed control frames: %d of 100 arrived", r.rx.ctl)
+	}
+}
+
+func TestLossStreamDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		r := newRig(t)
+		plan := &Plan{Seed: seed, Loss: []LossRule{{Link: "wan", Prob: 0.5}}}
+		if _, err := Apply(r.eng, plan, r.resolve, nil); err != nil {
+			t.Fatal(err)
+		}
+		r.sendAt(0, 0, 1000)
+		r.eng.Run()
+		return r.rx.seqs
+	}
+	a, b := run(21), run(21)
+	if len(a) != len(b) {
+		t.Fatalf("same seed delivered %d vs %d frames", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at delivery %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(22)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different plan seeds produced an identical 1000-draw loss pattern")
+	}
+}
+
+func TestScriptedEventsAndTelemetry(t *testing.T) {
+	// 100 µs propagation: frames serialized at 5 µs are still on the wire
+	// when the link is cut at 10 µs, so the flush destroys all of them.
+	r := newRigDelay(t, 100*sim.Microsecond)
+	tel := metrics.New(metrics.Options{Metrics: true, FlightRecorderSize: 4096})
+	plan := &Plan{
+		Seed: 3,
+		Events: []Event{
+			{At: 10 * sim.Microsecond, Link: "wan", Action: LinkDown},
+			{At: 30 * sim.Microsecond, Link: "wan", Action: LinkUp},
+			{At: 50 * sim.Microsecond, Link: "wan", Action: Degrade, RateFactor: 0.5},
+			{At: 60 * sim.Microsecond, Link: "wan", Action: Restore},
+		},
+	}
+	inj, err := Apply(r.eng, plan, r.resolve, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sendAt(5*sim.Microsecond, 0, 10) // in flight at the cut: all destroyed
+	r.sendAt(35*sim.Microsecond, 1<<20, 10)
+	r.eng.At(20*sim.Microsecond, func() {
+		if !inj.Down("wan") {
+			t.Error("Down(wan) false during the outage")
+		}
+	})
+	r.eng.Run()
+
+	if len(r.rx.seqs) != 10 {
+		t.Fatalf("delivered %d frames, want exactly the 10 post-up ones", len(r.rx.seqs))
+	}
+	if inj.DownDrops != 10 {
+		t.Fatalf("DownDrops = %d, want 10", inj.DownDrops)
+	}
+	if inj.DownEvents != 1 || inj.DegradeEvents != 1 {
+		t.Fatalf("event counters: down=%d degrade=%d", inj.DownEvents, inj.DegradeEvents)
+	}
+	if inj.TotalDrops() != 10 || inj.DataDropped() != 10 {
+		t.Fatalf("TotalDrops=%d DataDropped=%d, want 10/10", inj.TotalDrops(), inj.DataDropped())
+	}
+
+	// Flight recorder saw both the state changes and the drops.
+	var states, drops int
+	for _, e := range tel.Recorder().Events() {
+		switch e.Kind {
+		case metrics.EvLinkState:
+			states++
+		case metrics.EvFaultDrop:
+			drops++
+		}
+	}
+	if states != 4 || drops != 10 {
+		t.Fatalf("recorder: %d link_state + %d fault_drop events, want 4 + 10", states, drops)
+	}
+	// Counters registered under fault.*.
+	if v, ok := tel.Registry().Value("fault.down_drops"); !ok || v != 10 {
+		t.Errorf("fault.down_drops counter = (%v, %v), want (10, true)", v, ok)
+	}
+	if v, ok := tel.Registry().Value("fault.link.wan.drops"); !ok || v != 10 {
+		t.Errorf("fault.link.wan.drops counter = (%v, %v), want (10, true)", v, ok)
+	}
+}
+
+func TestApplyUnknownLink(t *testing.T) {
+	r := newRig(t)
+	bad := func(name string) (Link, error) {
+		return Link{}, &unknownLinkError{name}
+	}
+	plan := &Plan{Events: []Event{{At: 1, Link: "nope", Action: LinkDown}}}
+	if _, err := Apply(r.eng, plan, bad, nil); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("Apply with unknown link: err = %v", err)
+	}
+}
+
+type unknownLinkError struct{ name string }
+
+func (e *unknownLinkError) Error() string { return "unknown link " + e.name }
+
+func TestStableHashIsStable(t *testing.T) {
+	// Pinned value: stream seeding must never drift between versions, or
+	// recorded plans replay differently.
+	if got := stableHash("longhaul"); got != int64(5908586381303742777) {
+		t.Errorf("stableHash(longhaul) = %d changed; loss streams will not replay", got)
+	}
+	if stableHash("a") == stableHash("b") {
+		t.Error("trivial hash collision")
+	}
+}

@@ -1,0 +1,235 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlcc/internal/link"
+	"mlcc/internal/metrics"
+	"mlcc/internal/pkt"
+	"mlcc/internal/sim"
+)
+
+// Link names the two port-ends of one full-duplex link. A and B are the two
+// transmit directions; fault actions always apply to the pair.
+type Link struct {
+	Name string
+	A, B *link.Port
+}
+
+// Resolver maps a plan's symbolic link names onto built ports; topologies
+// provide one (topo.Network.LinkByName).
+type Resolver func(name string) (Link, error)
+
+// Injector is an applied Plan: scripted events are scheduled on the engine
+// and loss rules are installed as port fault hooks. All state is owned by
+// the single engine goroutine.
+type Injector struct {
+	eng *sim.Engine
+	fr  *metrics.FlightRecorder
+
+	links  []*linkState // resolution order — plan order, never map order
+	byName map[string]*linkState
+
+	// Counters (registered as fault.* when telemetry is attached).
+	LossDrops     int64 // frames destroyed by Bernoulli loss rules
+	DownDrops     int64 // frames destroyed because their link was down
+	DataDrops     int64 // data-frame subset of all fault drops (conservation checks)
+	DownEvents    int64
+	DegradeEvents int64
+}
+
+type linkState struct {
+	Link
+	idx            int
+	rules          []*ruleState
+	jrngA, jrngB   *rand.Rand
+	down           bool
+	hooksA, hooksB link.FaultHooks
+}
+
+type ruleState struct {
+	LossRule
+	rng   *rand.Rand
+	drops int64
+}
+
+// Apply validates plan, resolves its links and installs it: events are
+// scheduled at their absolute times and loss rules become per-port fault
+// hooks. tel may be nil. Applying an empty plan returns (nil, nil) and
+// leaves the network untouched.
+func Apply(eng *sim.Engine, plan *Plan, resolve Resolver, tel *metrics.Telemetry) (*Injector, error) {
+	if plan.Empty() {
+		return nil, nil
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	inj := &Injector{eng: eng, fr: tel.Recorder(), byName: map[string]*linkState{}}
+
+	// Resolve links in plan order (events, then loss rules) so stream
+	// seeding and counter layout never depend on map iteration.
+	get := func(name string) (*linkState, error) {
+		if ls, ok := inj.byName[name]; ok {
+			return ls, nil
+		}
+		l, err := resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		if l.A == nil || l.B == nil {
+			return nil, fmt.Errorf("fault: link %q resolved without both ports", name)
+		}
+		ls := &linkState{Link: l, idx: len(inj.links)}
+		ls.jrngA = rand.New(rand.NewSource(plan.Seed ^ stableHash(name) ^ 0x6a177a61))
+		ls.jrngB = rand.New(rand.NewSource(plan.Seed ^ stableHash(name) ^ 0x6a177a62))
+		inj.links = append(inj.links, ls)
+		inj.byName[name] = ls
+		return ls, nil
+	}
+	for i := range plan.Events {
+		ev := plan.Events[i]
+		ls, err := get(ev.Link)
+		if err != nil {
+			return nil, fmt.Errorf("fault: event %d: %w", i, err)
+		}
+		eng.At(ev.At, func() { inj.fire(ls, ev) })
+	}
+	for i := range plan.Loss {
+		r := plan.Loss[i]
+		ls, err := get(r.Link)
+		if err != nil {
+			return nil, fmt.Errorf("fault: loss rule %d: %w", i, err)
+		}
+		rs := &ruleState{LossRule: r}
+		rs.rng = rand.New(rand.NewSource(plan.Seed ^ stableHash(r.Link) ^ int64(i+1)<<32))
+		ls.rules = append(ls.rules, rs)
+	}
+
+	// Hook every managed port so corruption rules run and every fault
+	// discard — including down-link flushes — is counted and recorded.
+	for _, ls := range inj.links {
+		ls := ls
+		ls.hooksA = link.FaultHooks{
+			Corrupt: func(p *pkt.Packet) bool { return inj.corrupt(ls, p) },
+			OnDrop:  func(p *pkt.Packet) { inj.onDrop(ls, 0, p) },
+		}
+		ls.hooksB = link.FaultHooks{
+			Corrupt: func(p *pkt.Packet) bool { return inj.corrupt(ls, p) },
+			OnDrop:  func(p *pkt.Packet) { inj.onDrop(ls, 1, p) },
+		}
+		ls.A.SetFaultHooks(&ls.hooksA)
+		ls.B.SetFaultHooks(&ls.hooksB)
+	}
+	inj.register(tel.Registry())
+	return inj, nil
+}
+
+// fire executes one scripted event on both directions of a link.
+func (inj *Injector) fire(ls *linkState, ev Event) {
+	switch ev.Action {
+	case LinkDown:
+		ls.down = true // before SetDown, so flushed frames count as DownDrops
+		inj.DownEvents++
+		ls.A.SetDown(true)
+		ls.B.SetDown(true)
+	case LinkUp:
+		ls.down = false
+		ls.A.SetDown(false)
+		ls.B.SetDown(false)
+	case Degrade:
+		f := ev.RateFactor
+		if f == 0 {
+			f = 1 // delay-only degradation
+		}
+		inj.DegradeEvents++
+		ls.A.SetImpairment(f, ev.ExtraDelay, ev.Jitter, ls.jrngA)
+		ls.B.SetImpairment(f, ev.ExtraDelay, ev.Jitter, ls.jrngB)
+	case Restore:
+		ls.A.SetImpairment(1, 0, 0, nil)
+		ls.B.SetImpairment(1, 0, 0, nil)
+	}
+	if inj.fr.Wants(metrics.EvLinkState) {
+		inj.fr.Record(metrics.Event{T: inj.eng.Now(), Kind: metrics.EvLinkState,
+			Node: int32(ls.idx), Port: -1, Val: int64(ev.Action)})
+	}
+}
+
+// corrupt implements the Bernoulli droppers: one draw per open rule per
+// data frame. Rules with a closed window or zero probability draw nothing,
+// so vacuous rules cannot perturb the run.
+func (inj *Injector) corrupt(ls *linkState, p *pkt.Packet) bool {
+	now := inj.eng.Now()
+	for _, r := range ls.rules {
+		if r.Prob <= 0 || now < r.Start || (r.End != 0 && now >= r.End) {
+			continue
+		}
+		if r.rng.Float64() < r.Prob {
+			r.drops++
+			inj.LossDrops++
+			return true
+		}
+	}
+	return false
+}
+
+// onDrop observes every frame a managed port destroys (the port already
+// counted it in FaultDrops and will return it to the pool).
+func (inj *Injector) onDrop(ls *linkState, dir int32, p *pkt.Packet) {
+	if ls.down {
+		inj.DownDrops++
+	}
+	if p.Kind == pkt.Data {
+		inj.DataDrops++
+	}
+	if inj.fr.Wants(metrics.EvFaultDrop) {
+		inj.fr.Record(metrics.Event{T: inj.eng.Now(), Kind: metrics.EvFaultDrop,
+			Node: int32(ls.idx), Port: dir, Flow: int32(p.Flow), Val: int64(p.Size)})
+	}
+}
+
+func (inj *Injector) register(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("fault.loss_drops", func() int64 { return inj.LossDrops })
+	reg.CounterFunc("fault.down_drops", func() int64 { return inj.DownDrops })
+	reg.CounterFunc("fault.data_drops", func() int64 { return inj.DataDrops })
+	reg.CounterFunc("fault.link_down_events", func() int64 { return inj.DownEvents })
+	reg.CounterFunc("fault.degrade_events", func() int64 { return inj.DegradeEvents })
+	for _, ls := range inj.links {
+		ls := ls
+		reg.CounterFunc("fault.link."+ls.Name+".drops",
+			func() int64 { return ls.A.FaultDrops + ls.B.FaultDrops })
+	}
+}
+
+// TotalDrops reports every frame the fault layer destroyed, summed over the
+// managed ports. Nil-safe: a nil injector (empty plan) reports zero.
+func (inj *Injector) TotalDrops() int64 {
+	if inj == nil {
+		return 0
+	}
+	var sum int64
+	for _, ls := range inj.links {
+		sum += ls.A.FaultDrops + ls.B.FaultDrops
+	}
+	return sum
+}
+
+// DataDropped reports the data-frame subset of TotalDrops. Nil-safe.
+func (inj *Injector) DataDropped() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.DataDrops
+}
+
+// Down reports whether the named link is currently admin-down. Nil-safe.
+func (inj *Injector) Down(name string) bool {
+	if inj == nil {
+		return false
+	}
+	ls, ok := inj.byName[name]
+	return ok && ls.down
+}

@@ -1,0 +1,128 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"mlcc/internal/sim"
+)
+
+// The JSON plan schema uses microseconds and plain fractions so plans are
+// easy to write by hand:
+//
+//	{
+//	  "seed": 7,
+//	  "events": [
+//	    {"at_us": 8000, "link": "longhaul", "action": "down"},
+//	    {"at_us": 10000, "link": "longhaul", "action": "up"},
+//	    {"at_us": 20000, "link": "longhaul", "action": "degrade",
+//	     "rate_factor": 0.5, "extra_delay_us": 500, "jitter_us": 20},
+//	    {"at_us": 26000, "link": "longhaul", "action": "restore"}
+//	  ],
+//	  "loss": [
+//	    {"link": "longhaul", "prob": 0.001, "start_us": 0, "end_us": 0}
+//	  ]
+//	}
+//
+// Link names are resolved by the topology (topo.Network.LinkByName):
+// "longhaul", "host<i>", "leaf<i>:<p>", "spine<i>:<p>", "dci<i>:<p>".
+type jsonPlan struct {
+	Seed   int64       `json:"seed,omitempty"`
+	Events []jsonEvent `json:"events,omitempty"`
+	Loss   []jsonLoss  `json:"loss,omitempty"`
+}
+
+type jsonEvent struct {
+	AtUS         float64 `json:"at_us"`
+	Link         string  `json:"link"`
+	Action       string  `json:"action"`
+	RateFactor   float64 `json:"rate_factor,omitempty"`
+	ExtraDelayUS float64 `json:"extra_delay_us,omitempty"`
+	JitterUS     float64 `json:"jitter_us,omitempty"`
+}
+
+type jsonLoss struct {
+	Link    string  `json:"link"`
+	Prob    float64 `json:"prob"`
+	StartUS float64 `json:"start_us,omitempty"`
+	EndUS   float64 `json:"end_us,omitempty"`
+}
+
+// usTime converts a microsecond count to simulation time, rounding to the
+// picosecond grid.
+func usTime(us float64) sim.Time {
+	return sim.Time(math.Round(us * float64(sim.Microsecond)))
+}
+
+// ReadPlan parses a JSON fault plan and validates it.
+func ReadPlan(r io.Reader) (*Plan, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var jp jsonPlan
+	if err := dec.Decode(&jp); err != nil {
+		return nil, fmt.Errorf("fault: parse plan: %w", err)
+	}
+	p := &Plan{Seed: jp.Seed}
+	for i, je := range jp.Events {
+		ev := Event{
+			At:         usTime(je.AtUS),
+			Link:       je.Link,
+			RateFactor: je.RateFactor,
+			ExtraDelay: usTime(je.ExtraDelayUS),
+			Jitter:     usTime(je.JitterUS),
+		}
+		switch je.Action {
+		case "down":
+			ev.Action = LinkDown
+		case "up":
+			ev.Action = LinkUp
+		case "degrade":
+			ev.Action = Degrade
+		case "restore":
+			ev.Action = Restore
+		default:
+			return nil, fmt.Errorf("fault: event %d: unknown action %q (want down|up|degrade|restore)", i, je.Action)
+		}
+		p.Events = append(p.Events, ev)
+	}
+	for _, jl := range jp.Loss {
+		p.Loss = append(p.Loss, LossRule{
+			Link:  jl.Link,
+			Prob:  jl.Prob,
+			Start: usTime(jl.StartUS),
+			End:   usTime(jl.EndUS),
+		})
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WritePlan emits the plan in the JSON schema ReadPlan accepts.
+func WritePlan(w io.Writer, p *Plan) error {
+	jp := jsonPlan{Seed: p.Seed}
+	for _, ev := range p.Events {
+		jp.Events = append(jp.Events, jsonEvent{
+			AtUS:         ev.At.Micros(),
+			Link:         ev.Link,
+			Action:       ev.Action.String(),
+			RateFactor:   ev.RateFactor,
+			ExtraDelayUS: ev.ExtraDelay.Micros(),
+			JitterUS:     ev.Jitter.Micros(),
+		})
+	}
+	for _, r := range p.Loss {
+		jp.Loss = append(jp.Loss, jsonLoss{
+			Link:    r.Link,
+			Prob:    r.Prob,
+			StartUS: r.Start.Micros(),
+			EndUS:   r.End.Micros(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jp)
+}

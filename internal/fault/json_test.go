@@ -1,0 +1,84 @@
+package fault
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mlcc/internal/sim"
+)
+
+func TestReadPlanParsesSchema(t *testing.T) {
+	const doc = `{
+	  "seed": 7,
+	  "events": [
+	    {"at_us": 8000, "link": "longhaul", "action": "down"},
+	    {"at_us": 10000, "link": "longhaul", "action": "up"},
+	    {"at_us": 20000, "link": "longhaul", "action": "degrade",
+	     "rate_factor": 0.5, "extra_delay_us": 500, "jitter_us": 20},
+	    {"at_us": 26000, "link": "longhaul", "action": "restore"}
+	  ],
+	  "loss": [
+	    {"link": "longhaul", "prob": 0.001, "start_us": 1000}
+	  ]
+	}`
+	p, err := ReadPlan(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Plan{
+		Seed: 7,
+		Events: []Event{
+			{At: 8 * sim.Millisecond, Link: "longhaul", Action: LinkDown},
+			{At: 10 * sim.Millisecond, Link: "longhaul", Action: LinkUp},
+			{At: 20 * sim.Millisecond, Link: "longhaul", Action: Degrade,
+				RateFactor: 0.5, ExtraDelay: 500 * sim.Microsecond, Jitter: 20 * sim.Microsecond},
+			{At: 26 * sim.Millisecond, Link: "longhaul", Action: Restore},
+		},
+		Loss: []LossRule{{Link: "longhaul", Prob: 0.001, Start: sim.Millisecond}},
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("parsed plan:\n%+v\nwant:\n%+v", p, want)
+	}
+}
+
+func TestPlanJSONRoundtrip(t *testing.T) {
+	orig := &Plan{
+		Seed: 42,
+		Events: []Event{
+			{At: 1500 * sim.Microsecond, Link: "host0", Action: LinkDown},
+			{At: 2 * sim.Millisecond, Link: "host0", Action: LinkUp},
+			{At: 3 * sim.Millisecond, Link: "leaf0:2", Action: Degrade,
+				RateFactor: 0.25, ExtraDelay: 30 * sim.Microsecond, Jitter: 5 * sim.Microsecond},
+		},
+		Loss: []LossRule{
+			{Link: "longhaul", Prob: 0.02, Start: sim.Millisecond, End: 4 * sim.Millisecond},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatalf("re-reading written plan: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(back, orig) {
+		t.Fatalf("roundtrip drifted:\nwrote %+v\nread  %+v", orig, back)
+	}
+}
+
+func TestReadPlanRejectsBadInput(t *testing.T) {
+	bad := map[string]string{
+		"garbage":        `{`,
+		"unknown action": `{"events": [{"at_us": 1, "link": "l", "action": "flaky"}]}`,
+		"unknown field":  `{"events": [{"at_us": 1, "link": "l", "action": "down", "color": "red"}]}`,
+		"invalid rule":   `{"loss": [{"link": "l", "prob": 1.5}]}`,
+	}
+	for name, doc := range bad {
+		if _, err := ReadPlan(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: ReadPlan accepted %s", name, doc)
+		}
+	}
+}

@@ -20,9 +20,11 @@ type Flow struct {
 	Info  cc.FlowInfo
 	Start sim.Time // scheduled start time
 
-	// Filled in as the simulation progresses.
+	// Filled in as the simulation progresses. FinishAt records the
+	// completion time (Done) or the abort time (Aborted).
 	Started  bool
 	Done     bool
+	Aborted  bool // sender gave up after the retransmission budget
 	FinishAt sim.Time
 	RxBytes  int64 // payload bytes received (any order), for throughput series
 }
@@ -75,6 +77,13 @@ type Config struct {
 	MTU         int
 	CNPInterval sim.Time // min spacing of DCQCN CNPs per flow (0 disables CNPs)
 	RTOMin      sim.Time // floor for the go-back-N retransmission timeout
+	RTOMax      sim.Time // cap for exponential RTO backoff (default 100 ms)
+
+	// MaxRetrans bounds consecutive timeout retransmissions without
+	// cumulative-ack progress; one more timeout aborts the flow instead of
+	// retrying forever into a dead path. 0 means the default (16);
+	// negative disables aborting.
+	MaxRetrans int
 }
 
 // Host is one server with a single NIC port.
@@ -105,6 +114,10 @@ type Host struct {
 	// last in-order byte.
 	OnFlowDone func(f *Flow)
 
+	// OnFlowAbort, if set, fires when this host (as sender) gives up on a
+	// flow after exhausting its retransmission budget.
+	OnFlowAbort func(f *Flow)
+
 	// Telemetry (all optional; nil means off).
 	fr      *metrics.FlightRecorder
 	reg     *metrics.Registry
@@ -116,6 +129,7 @@ type Host struct {
 	OutOfOrder  int64
 	SentData    int64
 	RecvData    int64
+	Aborted     int64 // sender-side flows given up after the retransmission budget
 }
 
 type sendState struct {
@@ -127,6 +141,8 @@ type sendState struct {
 	progress sim.Time // last time acked advanced
 	rtoEv    sim.Timer
 	rtoFn    func() // bound checkRTO closure, one per flow (not per re-arm)
+	backoff  uint   // consecutive-timeout RTO exponent; reset on progress
+	retrans  int    // consecutive timeout retransmissions without progress
 	done     bool
 }
 
@@ -146,6 +162,12 @@ func New(eng *sim.Engine, pool *pkt.Pool, cfg Config, table *Table,
 	}
 	if cfg.RTOMin <= 0 {
 		cfg.RTOMin = 500 * sim.Microsecond
+	}
+	if cfg.RTOMax <= 0 {
+		cfg.RTOMax = 100 * sim.Millisecond
+	}
+	if cfg.MaxRetrans == 0 {
+		cfg.MaxRetrans = 16
 	}
 	h := &Host{
 		Eng: eng, Pool: pool, Cfg: cfg, table: table,
@@ -179,6 +201,7 @@ func (h *Host) RegisterMetrics(reg *metrics.Registry, prefix, alg string, perFlo
 	reg.CounterFunc(prefix+".recv_data_pkts", func() int64 { return h.RecvData })
 	reg.CounterFunc(prefix+".retransmits", func() int64 { return h.Retransmits })
 	reg.CounterFunc(prefix+".out_of_order", func() int64 { return h.OutOfOrder })
+	reg.CounterFunc(prefix+".aborted_flows", func() int64 { return h.Aborted })
 	reg.CounterFunc(prefix+".tx_bytes", func() int64 { return h.port.TxBytes })
 }
 
@@ -268,6 +291,12 @@ func (h *Host) emit(s *sendState, now sim.Time) *pkt.Packet {
 	}
 	p := h.Pool.NewData(s.flow.Info.ID, s.flow.Info.Src, s.flow.Info.Dst, s.next, int(size))
 	p.SendTS = now
+	if s.next == s.acked {
+		// The outstanding window opens with this frame: start the no-progress
+		// clock here, not at flow start, so time spent parked with nothing on
+		// the wire (e.g. behind a down egress port) never looks like a stall.
+		s.progress = now
+	}
 	s.next += size
 	if s.next >= s.flow.Info.Size {
 		p.Last = true
@@ -384,6 +413,8 @@ func (h *Host) onAck(p *pkt.Packet) {
 	if p.Seq > s.acked {
 		s.acked = p.Seq
 		s.progress = now
+		s.backoff = 0 // forward progress resets the backoff and the budget
+		s.retrans = 0
 	}
 	s.sender.OnAck(now, p)
 	if h.fr != nil {
@@ -424,11 +455,23 @@ func (h *Host) finishSend(s *sendState) {
 	}
 }
 
-// rto returns the retransmission timeout for a flow.
+// rto returns the flow's current retransmission timeout: the base (4×RTT,
+// floored at RTOMin) shifted left by the consecutive-timeout backoff
+// exponent and capped at RTOMax — but never below the base, so a small cap
+// cannot make timeouts fire faster than a fresh flow's.
 func (h *Host) rto(s *sendState) sim.Time {
 	rto := 4 * s.flow.Info.BaseRTT
 	if rto < h.Cfg.RTOMin {
 		rto = h.Cfg.RTOMin
+	}
+	if s.backoff > 0 {
+		backed := rto << s.backoff
+		if backed > h.Cfg.RTOMax {
+			backed = h.Cfg.RTOMax
+		}
+		if backed > rto {
+			rto = backed
+		}
 	}
 	return rto
 }
@@ -438,13 +481,25 @@ func (h *Host) armRTO(s *sendState) {
 }
 
 // checkRTO implements go-back-N: if no cumulative-ack progress for one RTO
-// while data is outstanding, rewind to the last acked byte.
+// while data is outstanding, rewind to the last acked byte. Each
+// consecutive timeout doubles the RTO (capped at RTOMax) and spends one
+// unit of the retransmission budget; exhausting the budget aborts the flow.
+// An idle flow (nothing outstanding — e.g. parked behind a down egress
+// port) spends nothing and keeps its timer armed.
 func (h *Host) checkRTO(s *sendState) {
 	if s.done {
 		return
 	}
 	now := h.Eng.Now()
 	if s.next > s.acked && now-s.progress >= h.rto(s) {
+		if h.Cfg.MaxRetrans >= 0 && s.retrans >= h.Cfg.MaxRetrans {
+			h.abort(s)
+			return
+		}
+		s.retrans++
+		if s.backoff < 20 { // 2^20 × base saturates any practical RTOMax
+			s.backoff++
+		}
 		s.next = s.acked
 		s.nextTime = now
 		s.progress = now
@@ -452,6 +507,30 @@ func (h *Host) checkRTO(s *sendState) {
 		h.port.Kick()
 	}
 	h.armRTO(s)
+}
+
+// abort gives up on a flow after its retransmission budget: the flow is
+// flagged and counted, then torn down exactly like a completion so its
+// sender closes, its RTO timer cancels and its pacing slot frees. Receiver
+// state stays; any late data is acked harmlessly and returns to the pool.
+func (h *Host) abort(s *sendState) {
+	s.done = true
+	s.flow.Aborted = true
+	s.flow.FinishAt = h.Eng.Now()
+	h.Aborted++
+	h.finishSend(s)
+	if h.OnFlowAbort != nil {
+		h.OnFlowAbort(s.flow)
+	}
+}
+
+// CurrentRTO reports the active retransmission timeout of a flow, backoff
+// included (tests/diagnostics); 0 when the flow is not sending.
+func (h *Host) CurrentRTO(id pkt.FlowID) sim.Time {
+	if s, ok := h.byFlow[id]; ok {
+		return h.rto(s)
+	}
+	return 0
 }
 
 // ReceivedBytes reports contiguous bytes received for a flow (tests).

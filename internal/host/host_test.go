@@ -263,22 +263,148 @@ func TestSwitchINTDispatch(t *testing.T) {
 }
 
 func TestGoBackNRecoversFromDrop(t *testing.T) {
-	cfg := basicSwitch()
-	cfg.BufferBytes = 2500 // forces drops for bursts (no PFC)
 	h := basicHost()
 	h.RTOMin = 200 * sim.Microsecond
-	r := newRig(t, cfg, h)
+	r := newRig(t, basicSwitch(), h)
+	// Destroy exactly the 7th data frame on the wire. Unlike provoking a
+	// buffer overrun, a forced drop cannot silently fail to occur, so this
+	// test always exercises the rewind path.
+	var nth int
+	r.a.Port().SetFaultHooks(&link.FaultHooks{Corrupt: func(*pkt.Packet) bool {
+		nth++
+		return nth == 7
+	}})
 	f := r.addFlow(1, 2, 200_000, 0)
 	r.eng.RunUntil(50 * sim.Millisecond)
 	if !f.Done {
-		t.Fatalf("flow incomplete after drops (retransmits=%d, swDrops=%d)",
-			r.a.Retransmits, r.sw.Drops)
+		t.Fatalf("flow incomplete after a forced drop (retransmits=%d)", r.a.Retransmits)
 	}
-	if r.sw.Drops == 0 {
-		t.Skip("no drops induced; buffer too large for this rate")
+	if f.Aborted {
+		t.Fatal("a single drop exhausted the retransmission budget")
 	}
 	if r.a.Retransmits == 0 {
-		t.Fatal("drops occurred but no retransmission")
+		t.Fatal("a frame was destroyed but the sender never retransmitted")
+	}
+	if got := r.b.ReceivedBytes(f.Info.ID); got != 200_000 {
+		t.Fatalf("received %d bytes, want 200000", got)
+	}
+}
+
+// TestRTOBackoffGrowthCapAndReset blackholes the wire and samples the
+// sender's live RTO: it must double per consecutive timeout, clamp at
+// RTOMax, never exceed it, and collapse back to the base once an ack makes
+// progress after the wire heals.
+func TestRTOBackoffGrowthCapAndReset(t *testing.T) {
+	h := basicHost()
+	h.RTOMin = 100 * sim.Microsecond
+	h.RTOMax = 800 * sim.Microsecond
+	h.MaxRetrans = -1 // unlimited: this test watches the timer, not the budget
+	r := newRig(t, basicSwitch(), h)
+	const healAt = 3 * sim.Millisecond
+	r.a.Port().SetFaultHooks(&link.FaultHooks{Corrupt: func(*pkt.Packet) bool {
+		return r.eng.Now() < healAt
+	}})
+	f := r.addFlow(1, 2, 200_000, 0)
+
+	seen := map[sim.Time]bool{} // distinct RTO values observed
+	var resetAfterHeal, overCap bool
+	var tick func()
+	tick = func() {
+		if rto := r.a.CurrentRTO(f.Info.ID); rto > 0 {
+			seen[rto] = true
+			if rto > h.RTOMax {
+				overCap = true
+			}
+			if r.eng.Now() > healAt && rto == h.RTOMin {
+				resetAfterHeal = true
+			}
+		}
+		r.eng.After(5*sim.Microsecond, tick)
+	}
+	r.eng.At(0, tick)
+	r.eng.RunUntil(20 * sim.Millisecond)
+
+	if !f.Done || f.Aborted {
+		t.Fatalf("flow after heal: done=%v aborted=%v", f.Done, f.Aborted)
+	}
+	if overCap {
+		t.Error("RTO exceeded RTOMax")
+	}
+	// base → 2× → 4× → cap: the full exponential ladder must appear.
+	for _, want := range []sim.Time{100, 200, 400, 800} {
+		if !seen[want*sim.Microsecond] {
+			t.Errorf("RTO value %dµs never observed (saw %v)", want, seen)
+		}
+	}
+	if !resetAfterHeal {
+		t.Error("backoff never reset to the base RTO after ack progress resumed")
+	}
+}
+
+// TestRTOAbortAfterBudget destroys every data frame forever: the sender
+// must burn its retransmission budget, abort the flow, fire the abort
+// callback, and release every resource it held.
+func TestRTOAbortAfterBudget(t *testing.T) {
+	h := basicHost()
+	h.RTOMin = 100 * sim.Microsecond
+	h.RTOMax = 400 * sim.Microsecond
+	h.MaxRetrans = 3
+	r := newRig(t, basicSwitch(), h)
+	r.a.Port().SetFaultHooks(&link.FaultHooks{Corrupt: func(*pkt.Packet) bool { return true }})
+	var aborted []*Flow
+	r.a.OnFlowAbort = func(f *Flow) { aborted = append(aborted, f) }
+	f := r.addFlow(1, 2, 50_000, 0)
+	r.eng.RunUntil(50 * sim.Millisecond)
+
+	if !f.Aborted || f.Done {
+		t.Fatalf("flow on a dead wire: aborted=%v done=%v", f.Aborted, f.Done)
+	}
+	if f.FinishAt == 0 || f.FinishAt > 5*sim.Millisecond {
+		t.Errorf("abort stamped at %v, want within the first few RTOs", f.FinishAt)
+	}
+	if len(aborted) != 1 || aborted[0] != f {
+		t.Errorf("OnFlowAbort fired %d times", len(aborted))
+	}
+	if r.a.Aborted != 1 {
+		t.Errorf("host Aborted counter = %d, want 1", r.a.Aborted)
+	}
+	if r.a.ActiveSends() != 0 {
+		t.Errorf("aborted flow still in the send list: ActiveSends = %d", r.a.ActiveSends())
+	}
+	if !r.ccByID[f.Info.ID].closed {
+		t.Error("sender not closed on abort")
+	}
+	if rto := r.a.CurrentRTO(f.Info.ID); rto != 0 {
+		t.Errorf("aborted flow still has an armed RTO of %v", rto)
+	}
+	if out := r.pool.Outstanding(); out != 0 {
+		t.Errorf("packet pool leak after abort: %d outstanding", out)
+	}
+}
+
+// TestDownEgressPortParksFlow downs the host's own egress port: frames stay
+// parked in the host (never offered to the wire), so idle RTO fires must not
+// spend the retransmission budget — the flow survives a parking interval
+// many RTOs long and completes once the port comes back.
+func TestDownEgressPortParksFlow(t *testing.T) {
+	h := basicHost()
+	h.RTOMin = 50 * sim.Microsecond
+	h.MaxRetrans = 2 // 2 ms parked at 50 µs RTO: dozens of idle fires vs budget 2
+	r := newRig(t, basicSwitch(), h)
+	r.eng.At(0, func() { r.a.Port().SetDown(true) })
+	f := r.addFlow(1, 2, 50_000, sim.Microsecond)
+	r.eng.At(2*sim.Millisecond, func() { r.a.Port().SetDown(false) })
+	r.eng.RunUntil(20 * sim.Millisecond)
+
+	if !f.Done || f.Aborted {
+		t.Fatalf("parked flow: done=%v aborted=%v — idle timeouts must not spend budget",
+			f.Done, f.Aborted)
+	}
+	if r.a.Retransmits != 0 {
+		t.Errorf("Retransmits = %d for a flow that never lost a frame", r.a.Retransmits)
+	}
+	if f.FinishAt <= 2*sim.Millisecond {
+		t.Errorf("flow finished at %v, before the port came back up", f.FinishAt)
 	}
 }
 

@@ -11,6 +11,7 @@ package link
 
 import (
 	"fmt"
+	"math/rand"
 
 	"mlcc/internal/pkt"
 	"mlcc/internal/sim"
@@ -62,6 +63,19 @@ type Port struct {
 	pipeArmed bool
 	drain     func()
 
+	// Fault-injection state, driven by internal/fault (see DESIGN.md,
+	// "Fault model"). All of it covers the transmit direction only; taking
+	// a full-duplex link down means calling SetDown on both ports. effRate
+	// is the current line rate — Rate stays nominal because INT stamping
+	// advertises configured, not degraded, capacity.
+	down    bool
+	effRate sim.Rate
+	xDelay  sim.Time   // extra propagation delay while degraded
+	jitter  sim.Time   // max uniform random extra delay per frame
+	jrng    *rand.Rand // jitter stream (required when jitter > 0)
+	lastAt  sim.Time   // last wire arrival time; keeps arrivals monotone under jitter
+	faults  *FaultHooks
+
 	// Counters (exported for INT stamping and statistics).
 	TxBytes     int64 // cumulative bytes fully serialized
 	TxPackets   int64
@@ -71,6 +85,21 @@ type Port struct {
 	PauseTx     int64 // pause frames sent from this port
 	PausedSince sim.Time
 	PausedTotal sim.Time // cumulative paused time on the data class
+	FaultDrops  int64    // frames destroyed by the fault layer on this port
+}
+
+// FaultHooks let the fault layer (internal/fault) observe and perturb a
+// port's transmit direction without the port knowing about plans or PRNGs.
+type FaultHooks struct {
+	// Corrupt, if set, is consulted for every data frame entering the wire;
+	// returning true destroys the frame (modelling a checksum failure at
+	// the receiver). Control and PFC frames are never offered: they are
+	// assumed FEC-protected, which keeps lossy links from wedging PFC
+	// state (see DESIGN.md, "Fault model").
+	Corrupt func(*pkt.Packet) bool
+	// OnDrop observes every frame this port destroys — corruption and
+	// down-link discards alike — just before it returns to the pool.
+	OnDrop func(*pkt.Packet)
 }
 
 // NewPort constructs an unconnected port. Call SetSource before any traffic
@@ -80,9 +109,80 @@ func NewPort(eng *sim.Engine, owner Endpoint, index int, rate sim.Rate, delay si
 		panic(fmt.Sprintf("link: port %d with rate %v", index, rate))
 	}
 	p := &Port{Eng: eng, Owner: owner, Index: index, Rate: rate, Delay: delay, Pool: pool}
+	p.effRate = rate
 	p.txDone = p.finishTx
 	p.drain = p.drainPipe
 	return p
+}
+
+// SetFaultHooks attaches fault callbacks (nil detaches).
+func (p *Port) SetFaultHooks(h *FaultHooks) { p.faults = h }
+
+// Down reports whether the transmit direction is administratively down.
+func (p *Port) Down() bool { return p.down }
+
+// SetDown administratively downs or restores the transmit direction.
+// Downing cuts the wire: in-flight frames are lost, a frame mid-
+// serialization is destroyed when it completes, and frames offered while
+// down are silently discarded. PFC pause state is cleared (the MAC
+// reinitializes on link-up) after folding any open pause interval into
+// PausedTotal. Restoring kicks the transmitter.
+func (p *Port) SetDown(down bool) {
+	if p.down == down {
+		return
+	}
+	p.down = down
+	if !down {
+		p.Kick()
+		return
+	}
+	if p.paused[pkt.ClassData] {
+		p.PausedTotal += p.Eng.Now() - p.PausedSince
+	}
+	p.paused = [pkt.NumClasses]bool{}
+	for i := p.pipeHd; i < len(p.pipe); i++ {
+		p.faultDiscard(p.pipe[i].p)
+		p.pipe[i] = flight{}
+	}
+	p.pipe = p.pipe[:0]
+	p.pipeHd = 0
+	p.lastAt = 0
+	// A pending drain event, if armed, fires on the now-empty pipe and
+	// disarms itself; no cancellation needed.
+}
+
+// SetImpairment degrades (or restores) the transmit direction at runtime:
+// the line rate becomes rateFactor × Rate and every frame picks up
+// extraDelay of propagation plus uniform random jitter in [0, jitter]
+// drawn from rng. SetImpairment(1, 0, 0, nil) restores the nominal link.
+// Jittered arrivals are clamped to stay monotone: links never reorder.
+func (p *Port) SetImpairment(rateFactor float64, extraDelay, jitter sim.Time, rng *rand.Rand) {
+	if rateFactor <= 0 || rateFactor > 1 {
+		panic(fmt.Sprintf("link: impairment rate factor %v outside (0, 1]", rateFactor))
+	}
+	if extraDelay < 0 || jitter < 0 {
+		panic(fmt.Sprintf("link: negative impairment delay (%v, %v)", extraDelay, jitter))
+	}
+	if jitter > 0 && rng == nil {
+		panic("link: jitter impairment without an rng")
+	}
+	p.effRate = sim.Rate(float64(p.Rate) * rateFactor)
+	if p.effRate <= 0 {
+		p.effRate = 1
+	}
+	p.xDelay = extraDelay
+	p.jitter = jitter
+	p.jrng = rng
+}
+
+// faultDiscard destroys a frame on behalf of the fault layer: counted,
+// reported to the OnDrop hook, and returned to the pool.
+func (p *Port) faultDiscard(frame *pkt.Packet) {
+	p.FaultDrops++
+	if p.faults != nil && p.faults.OnDrop != nil {
+		p.faults.OnDrop(frame)
+	}
+	p.Pool.Put(frame)
 }
 
 // SetSource registers the frame supplier for this port.
@@ -112,7 +212,7 @@ func (p *Port) Kick() {
 }
 
 func (p *Port) pullNext() {
-	if p.src == nil || p.peer == nil {
+	if p.src == nil || p.peer == nil || p.down {
 		return
 	}
 	frame := p.src.Next(&p.paused)
@@ -121,18 +221,23 @@ func (p *Port) pullNext() {
 	}
 	p.busy = true
 	p.txFrame = frame
-	tx := sim.TxTime(frame.Size, p.Rate)
+	tx := sim.TxTime(frame.Size, p.effRate)
 	p.TxBytes += int64(frame.Size)
 	p.TxPackets++
 	p.Eng.After(tx, p.txDone)
 }
 
 // finishTx completes the serialization of txFrame: the frame leaves the
-// transmitter onto the wire and the port pulls its next frame.
+// transmitter onto the wire and the port pulls its next frame. If the link
+// went down mid-serialization the frame was cut on the wire.
 func (p *Port) finishTx() {
 	frame := p.txFrame
 	p.txFrame = nil
 	p.busy = false
+	if p.down {
+		p.faultDiscard(frame)
+		return
+	}
 	p.launch(frame, p.Eng.Now()+p.Delay)
 	p.pullNext()
 }
@@ -144,8 +249,30 @@ type flight struct {
 }
 
 // launch places a frame on the wire, arriving at the peer at time at.
-// Arrival times must be monotone, which serialization order guarantees.
+// Arrival times must be monotone, which serialization order guarantees on
+// healthy links and the lastAt clamp enforces under jitter. The fault layer
+// intercepts here: a down port discards everything offered (covering
+// MAC-injected PFC frames too), and the corruption hook may destroy data
+// frames entering the wire.
 func (p *Port) launch(frame *pkt.Packet, at sim.Time) {
+	if p.down {
+		p.faultDiscard(frame)
+		return
+	}
+	if p.faults != nil && p.faults.Corrupt != nil && frame.Kind == pkt.Data && p.faults.Corrupt(frame) {
+		p.faultDiscard(frame)
+		return
+	}
+	if p.xDelay > 0 {
+		at += p.xDelay
+	}
+	if p.jitter > 0 {
+		at += sim.Time(p.jrng.Int63n(int64(p.jitter) + 1))
+	}
+	if at < p.lastAt {
+		at = p.lastAt
+	}
+	p.lastAt = at
 	p.pipe = append(p.pipe, flight{at: at, p: frame})
 	if !p.pipeArmed {
 		p.pipeArmed = true
@@ -215,6 +342,17 @@ func (p *Port) setPaused(class int, paused bool) {
 	}
 }
 
+// PausedTotalAt reports the cumulative data-class paused time as of now,
+// folding in a still-open pause interval — PausedTotal alone misses a pause
+// outstanding at simulation end (or at port shutdown).
+func (p *Port) PausedTotalAt(now sim.Time) sim.Time {
+	t := p.PausedTotal
+	if p.paused[pkt.ClassData] {
+		t += now - p.PausedSince
+	}
+	return t
+}
+
 // SendPause emits a PFC pause (or resume) frame for class on this port's
 // reverse direction. The frame is injected directly at the transmitter —
 // PFC frames are generated by the MAC and do not queue behind data.
@@ -232,7 +370,7 @@ func (p *Port) SendPause(class int, pause bool) {
 	// Model MAC-level injection: serialization of the 64B frame at line
 	// rate, then propagation. The frame shares the FIFO pipe, so it cannot
 	// overtake frames already on the wire (links never reorder).
-	tx := sim.TxTime(f.Size, p.Rate)
+	tx := sim.TxTime(f.Size, p.effRate)
 	at := p.Eng.Now() + tx + p.Delay
 	if n := len(p.pipe); n > p.pipeHd && p.pipe[n-1].at > at {
 		at = p.pipe[n-1].at

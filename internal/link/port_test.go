@@ -1,6 +1,7 @@
 package link
 
 import (
+	"math/rand"
 	"testing"
 
 	"mlcc/internal/pkt"
@@ -178,4 +179,166 @@ func TestPortKickWhileUnconnected(t *testing.T) {
 	p.Kick() // no source, no peer: must not panic
 	p.SendPause(pkt.ClassData, true)
 	eng.Run()
+}
+
+func TestPortSetDownFlushesWire(t *testing.T) {
+	eng := sim.NewEngine()
+	a, src, rx := newPair(t, eng, 100*sim.Gbps, 5*sim.Microsecond)
+	for i := 0; i < 3; i++ {
+		src.push(a.Pool.NewData(1, 0, 1, int64(i)*1000, 1000))
+	}
+	a.Kick()
+	// At 200ns frames 0,1 are on the wire (serialized at 80/160ns), frame 2
+	// is mid-serialization (completes at 240ns).
+	eng.RunUntil(200 * sim.Nanosecond)
+	a.SetDown(true)
+	if !a.Down() {
+		t.Fatal("port not down")
+	}
+	if a.FaultDrops != 2 {
+		t.Fatalf("pipe flush destroyed %d frames, want 2", a.FaultDrops)
+	}
+	// The cut frame dies when its serialization completes.
+	eng.RunUntil(10 * sim.Microsecond)
+	if a.FaultDrops != 3 {
+		t.Fatalf("mid-serialization frame not cut: FaultDrops = %d, want 3", a.FaultDrops)
+	}
+	if len(rx.got) != 0 {
+		t.Fatalf("frames crossed a down link: %d", len(rx.got))
+	}
+	// MAC-injected PFC offered to a down port is destroyed, not queued.
+	a.SendPause(pkt.ClassData, true)
+	if a.FaultDrops != 4 {
+		t.Fatalf("PFC frame survived the down port: FaultDrops = %d, want 4", a.FaultDrops)
+	}
+	// Link-up kicks the transmitter and traffic resumes.
+	src.push(a.Pool.NewData(1, 0, 1, 3000, 1000))
+	a.SetDown(false)
+	eng.Run()
+	if len(rx.got) != 1 {
+		t.Fatalf("after link-up delivered %d, want 1", len(rx.got))
+	}
+}
+
+func TestPortSetDownClearsPauseState(t *testing.T) {
+	eng := sim.NewEngine()
+	a, _, _ := newPair(t, eng, 100*sim.Gbps, 0)
+	b := a.Peer()
+	b.SendPause(pkt.ClassData, true)
+	eng.RunUntil(10 * sim.Microsecond)
+	if !a.Paused(pkt.ClassData) {
+		t.Fatal("pause frame did not arrive")
+	}
+	open := a.PausedTotalAt(eng.Now())
+	if open <= 0 {
+		t.Fatal("open pause interval not visible in PausedTotalAt")
+	}
+	if a.PausedTotal != 0 {
+		t.Fatalf("PausedTotal = %v before any resume, want 0", a.PausedTotal)
+	}
+	// Downing the link reinitializes the MAC: pause state clears and the
+	// open interval folds into PausedTotal so no paused time is lost.
+	a.SetDown(true)
+	if a.Paused(pkt.ClassData) {
+		t.Fatal("pause state survived link-down")
+	}
+	if a.PausedTotal != open {
+		t.Fatalf("open pause interval lost at shutdown: PausedTotal = %v, want %v", a.PausedTotal, open)
+	}
+	if a.PausedTotalAt(eng.Now()) != open {
+		t.Fatalf("PausedTotalAt double-counts after fold: %v", a.PausedTotalAt(eng.Now()))
+	}
+}
+
+func TestPortPausedTotalAtOpenInterval(t *testing.T) {
+	eng := sim.NewEngine()
+	a, _, _ := newPair(t, eng, 100*sim.Gbps, 0)
+	b := a.Peer()
+	b.SendPause(pkt.ClassData, true)
+	eng.RunUntil(2 * sim.Microsecond)
+	since := a.PausedSince
+	// Pause still open at "simulation end": PausedTotal alone misses it.
+	if got, want := a.PausedTotalAt(eng.Now()), eng.Now()-since; got != want {
+		t.Fatalf("PausedTotalAt = %v, want %v", got, want)
+	}
+	b.SendPause(pkt.ClassData, false)
+	eng.Run()
+	// After resume the two agree.
+	if a.PausedTotalAt(eng.Now()) != a.PausedTotal {
+		t.Fatalf("closed interval: PausedTotalAt %v != PausedTotal %v",
+			a.PausedTotalAt(eng.Now()), a.PausedTotal)
+	}
+}
+
+func TestPortImpairmentRateAndDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	a, src, rx := newPair(t, eng, 100*sim.Gbps, 0)
+	// Half rate + 1us extra propagation: 1000B now takes 160ns to serialize
+	// and lands 1us later.
+	a.SetImpairment(0.5, sim.Microsecond, 0, nil)
+	src.push(a.Pool.NewData(1, 0, 1, 0, 1000))
+	a.Kick()
+	eng.Run()
+	if len(rx.got) != 1 {
+		t.Fatalf("delivered %d", len(rx.got))
+	}
+	want := 160*sim.Nanosecond + sim.Microsecond
+	if rx.times[0] != want {
+		t.Fatalf("degraded arrival at %v, want %v", rx.times[0], want)
+	}
+	// Restore: nominal timing again.
+	a.SetImpairment(1, 0, 0, nil)
+	src.push(a.Pool.NewData(1, 0, 1, 1000, 1000))
+	t0 := eng.Now()
+	a.Kick()
+	eng.Run()
+	if got, want := rx.times[1]-t0, 80*sim.Nanosecond; got != want {
+		t.Fatalf("restored arrival after %v, want %v", got, want)
+	}
+}
+
+func TestPortImpairmentJitterMonotone(t *testing.T) {
+	eng := sim.NewEngine()
+	a, src, rx := newPair(t, eng, 100*sim.Gbps, 0)
+	a.SetImpairment(1, 0, 200*sim.Nanosecond, rand.New(rand.NewSource(3)))
+	for i := 0; i < 50; i++ {
+		src.push(a.Pool.NewData(1, 0, 1, int64(i)*1000, 1000))
+	}
+	a.Kick()
+	eng.Run()
+	if len(rx.got) != 50 {
+		t.Fatalf("delivered %d, want 50", len(rx.got))
+	}
+	for i := 1; i < len(rx.times); i++ {
+		if rx.times[i] < rx.times[i-1] {
+			t.Fatalf("jitter reordered the wire: arrival %d at %v after %v",
+				i, rx.times[i], rx.times[i-1])
+		}
+	}
+	for i, seq := int64(0), int64(0); i < 50; i++ {
+		if rx.got[i].Seq != seq {
+			t.Fatalf("delivery order broken at %d: seq %d", i, rx.got[i].Seq)
+		}
+		seq += 1000
+	}
+}
+
+func TestPortImpairmentValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	a, _, _ := newPair(t, eng, 100*sim.Gbps, 0)
+	for name, fn := range map[string]func(){
+		"zero factor":        func() { a.SetImpairment(0, 0, 0, nil) },
+		"factor above one":   func() { a.SetImpairment(1.5, 0, 0, nil) },
+		"negative delay":     func() { a.SetImpairment(1, -sim.Microsecond, 0, nil) },
+		"jitter without rng": func() { a.SetImpairment(1, 0, sim.Microsecond, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
 }

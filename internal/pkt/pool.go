@@ -5,6 +5,7 @@ package pkt
 // matters: large-scale FCT runs move tens of millions of frames.
 type Pool struct {
 	free []*Packet
+	out  int64
 	// Allocs and Reuses count pool behaviour for tests and diagnostics.
 	Allocs int64
 	Reuses int64
@@ -16,6 +17,7 @@ func NewPool() *Pool { return &Pool{} }
 // Get returns a zeroed packet, reusing a freed one when available. The INT
 // stack's backing array is retained across reuse.
 func (pl *Pool) Get() *Packet {
+	pl.out++
 	if n := len(pl.free); n > 0 {
 		p := pl.free[n-1]
 		pl.free[n-1] = nil
@@ -34,8 +36,14 @@ func (pl *Pool) Put(p *Packet) {
 	if p == nil {
 		return
 	}
+	pl.out--
 	pl.free = append(pl.free, p)
 }
+
+// Outstanding reports packets currently checked out (Get minus Put). At
+// quiescence — every flow completed or aborted and every queue drained —
+// any nonzero value is a leak.
+func (pl *Pool) Outstanding() int64 { return pl.out }
 
 // NewData builds a data packet.
 func (pl *Pool) NewData(flow FlowID, src, dst NodeID, seq int64, size int) *Packet {

@@ -14,12 +14,14 @@ import (
 	"mlcc/internal/sim"
 )
 
-// FCTSample is one completed flow.
+// FCTSample is one finished flow — completed, or aborted by the sender
+// after its retransmission budget (Aborted set, FCT meaningless).
 type FCTSample struct {
-	Size  int64
-	FCT   sim.Time
-	Cross bool
-	Start sim.Time
+	Size    int64
+	FCT     sim.Time
+	Cross   bool
+	Aborted bool
+	Start   sim.Time
 }
 
 // Slowdown is the FCT normalized by the ideal transmission time at rate.
@@ -53,6 +55,12 @@ func Intra(s FCTSample) bool { return !s.Cross }
 
 // Cross keeps cross-datacenter flows.
 func Cross(s FCTSample) bool { return s.Cross }
+
+// Completed keeps flows that actually finished (not aborted).
+func Completed(s FCTSample) bool { return !s.Aborted }
+
+// AbortedFlows keeps flows the sender gave up on.
+func AbortedFlows(s FCTSample) bool { return s.Aborted }
 
 // SizeRange returns a filter keeping flows with lo <= Size < hi.
 func SizeRange(lo, hi int64) Filter {
@@ -198,18 +206,22 @@ func JainIndex(rates []float64) float64 {
 	return sum * sum / (float64(len(rates)) * sumsq)
 }
 
-// WriteCSV dumps every sample as CSV: size_bytes,fct_us,cross,start_us.
+// WriteCSV dumps every sample as CSV:
+// size_bytes,fct_us,cross,start_us,aborted.
 func (c *FCTCollector) WriteCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "size_bytes,fct_us,cross,start_us"); err != nil {
+	if _, err := fmt.Fprintln(bw, "size_bytes,fct_us,cross,start_us,aborted"); err != nil {
 		return err
 	}
 	for _, s := range c.samples {
-		cross := 0
+		cross, aborted := 0, 0
 		if s.Cross {
 			cross = 1
 		}
-		if _, err := fmt.Fprintf(bw, "%d,%.3f,%d,%.3f\n", s.Size, s.FCT.Micros(), cross, s.Start.Micros()); err != nil {
+		if s.Aborted {
+			aborted = 1
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%.3f,%d,%.3f,%d\n", s.Size, s.FCT.Micros(), cross, s.Start.Micros(), aborted); err != nil {
 			return err
 		}
 	}

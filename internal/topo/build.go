@@ -114,6 +114,7 @@ func TwoDC(p Params) *Network {
 		d.Finalize()
 	}
 	n.applyTelemetry()
+	n.applyFaults()
 	return n
 }
 
@@ -166,6 +167,7 @@ func Dumbbell(p Params) *Network {
 		d.Finalize()
 	}
 	n.applyTelemetry()
+	n.applyFaults()
 	return n
 }
 
@@ -199,6 +201,9 @@ func (n *Network) newHost(h int, delay sim.Time) *host.Host {
 		Rate:        n.P.HostRate,
 		MTU:         n.P.MTU,
 		CNPInterval: n.P.CNPInterval,
+		RTOMin:      n.P.RTOMin,
+		RTOMax:      n.P.RTOMax,
+		MaxRetrans:  n.P.MaxRetrans,
 	}
 	hh := host.New(n.Eng, n.Pool, cfg, n.Table, n.Alg.NewSender, n.Alg.NewReceiver, delay)
 	n.Hosts = append(n.Hosts, hh)

@@ -1,0 +1,98 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mlcc/internal/fault"
+	"mlcc/internal/link"
+)
+
+// LinkByName resolves a fault-plan link name to its two ports. Names:
+//
+//	longhaul      the DCI↔DCI long-haul fiber
+//	host<i>       host i's NIC link to its leaf/ToR, e.g. "host0"
+//	leaf<i>:<p>   port p of leaf switch i, e.g. "leaf0:4" (an uplink)
+//	spine<i>:<p>  port p of spine switch i
+//	dci<i>:<p>    port p of DCI switch i
+//
+// Switch-relative names exist so a plan can target any individual cable; the
+// common cases are "longhaul" and "host<i>". A and B are the two endpoint
+// ports; faults applied through the injector hit both directions.
+func (n *Network) LinkByName(name string) (fault.Link, error) {
+	bad := func() (fault.Link, error) {
+		return fault.Link{}, fmt.Errorf("topo: unknown link %q", name)
+	}
+	pair := func(a *link.Port) (fault.Link, error) {
+		if a == nil || a.Peer() == nil {
+			return bad()
+		}
+		return fault.Link{Name: name, A: a, B: a.Peer()}, nil
+	}
+
+	if name == "longhaul" {
+		lh := n.P.SpinesPerDC
+		if n.Dumbbell {
+			lh = 1
+		}
+		return pair(n.DCIs[0].Port(lh))
+	}
+	if rest, ok := strings.CutPrefix(name, "host"); ok && !strings.Contains(rest, ":") {
+		i, err := strconv.Atoi(rest)
+		if err != nil || i < 0 || i >= n.NumHosts() {
+			return bad()
+		}
+		return pair(n.Hosts[i].Port())
+	}
+	sw, rest, ok := strings.Cut(name, ":")
+	if !ok {
+		return bad()
+	}
+	p, err := strconv.Atoi(rest)
+	if err != nil || p < 0 {
+		return bad()
+	}
+	port := func(idx string, count int, get func(i int) *link.Port) (fault.Link, error) {
+		i, err := strconv.Atoi(idx)
+		if err != nil || i < 0 || i >= count {
+			return bad()
+		}
+		return pair(get(i))
+	}
+	switch {
+	case strings.HasPrefix(sw, "leaf"):
+		return port(sw[len("leaf"):], len(n.Leaves), func(i int) *link.Port {
+			if p >= n.Leaves[i].NumPorts() {
+				return nil
+			}
+			return n.Leaves[i].Port(p)
+		})
+	case strings.HasPrefix(sw, "spine"):
+		return port(sw[len("spine"):], len(n.Spines), func(i int) *link.Port {
+			if p >= n.Spines[i].NumPorts() {
+				return nil
+			}
+			return n.Spines[i].Port(p)
+		})
+	case strings.HasPrefix(sw, "dci"):
+		return port(sw[len("dci"):], len(n.DCIs), func(i int) *link.Port {
+			if p >= n.DCIs[i].NumPorts() {
+				return nil
+			}
+			return n.DCIs[i].Port(p)
+		})
+	}
+	return bad()
+}
+
+// applyFaults installs P.Fault on the built network. A broken plan (unknown
+// link, invalid rule) is a programming error on par with a routing hole, so
+// it panics rather than limping along with a partially applied plan.
+func (n *Network) applyFaults() {
+	inj, err := fault.Apply(n.Eng, n.P.Fault, n.LinkByName, n.P.Telemetry)
+	if err != nil {
+		panic(fmt.Sprintf("topo: bad fault plan: %v", err))
+	}
+	n.Faults = inj
+}

@@ -13,6 +13,7 @@ import (
 	"mlcc/internal/core"
 	"mlcc/internal/dci"
 	"mlcc/internal/fabric"
+	"mlcc/internal/fault"
 	"mlcc/internal/host"
 	"mlcc/internal/metrics"
 	"mlcc/internal/pkt"
@@ -59,6 +60,11 @@ type Params struct {
 	MTU         int
 	CNPInterval sim.Time // host CNP pacing (DCQCN); 0 disables CNP generation
 
+	// Host loss-recovery knobs (zero = host defaults; see host.Config).
+	RTOMin     sim.Time
+	RTOMax     sim.Time
+	MaxRetrans int
+
 	// Congestion control.
 	Alg AlgFactory
 
@@ -69,6 +75,11 @@ type Params struct {
 	// time: instruments register in its registry and the flight recorder is
 	// attached to hosts and switches. Nil (the default) costs nothing.
 	Telemetry *metrics.Telemetry
+
+	// Fault, when non-empty, is applied to the built network: scripted
+	// link flaps and degradation plus Bernoulli loss rules, all on seeded
+	// PRNG streams (see internal/fault). Nil or empty perturbs nothing.
+	Fault *fault.Plan
 
 	Seed int64
 }
@@ -112,6 +123,10 @@ type Network struct {
 	Leaves []*fabric.Switch
 	Spines []*fabric.Switch
 	DCIs   []*dci.Switch
+
+	// Faults is the applied fault plan's injector (nil when P.Fault is
+	// empty).
+	Faults *fault.Injector
 
 	HostsPerDC int
 	Dumbbell   bool

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"mlcc/internal/exp"
+	"mlcc/internal/fault"
 	"mlcc/internal/host"
 	"mlcc/internal/metrics"
 	"mlcc/internal/sim"
@@ -43,6 +44,32 @@ import (
 	"mlcc/internal/topo"
 	"mlcc/internal/workload"
 )
+
+// FaultPlan re-exports the fault-injection plan: deterministic, seeded link
+// faults (flaps, degradation, Bernoulli loss) applied to named topology
+// links. Attach one to Config.Fault. See DESIGN.md, "Fault model".
+type FaultPlan = fault.Plan
+
+// FaultEvent is one timed link-state change in a FaultPlan.
+type FaultEvent = fault.Event
+
+// FaultLossRule is one windowed Bernoulli loss rule in a FaultPlan.
+type FaultLossRule = fault.LossRule
+
+// Fault-event actions.
+const (
+	LinkDown = fault.LinkDown // administratively down: wire contents destroyed
+	LinkUp   = fault.LinkUp   // restore a downed link
+	Degrade  = fault.Degrade  // reduce rate and/or add delay and jitter
+	Restore  = fault.Restore  // clear a degradation
+)
+
+// ReadFaultPlan parses a fault plan from its JSON form (see EXPERIMENTS.md
+// for the format) and validates it.
+func ReadFaultPlan(r io.Reader) (*FaultPlan, error) { return fault.ReadPlan(r) }
+
+// WriteFaultPlan emits a plan in the JSON form ReadFaultPlan accepts.
+func WriteFaultPlan(w io.Writer, p *FaultPlan) error { return fault.WritePlan(w, p) }
 
 // Telemetry re-exports the unified telemetry layer (metrics registry, flight
 // recorder, run manifests). Attach one to Config.Telemetry to collect it.
@@ -124,6 +151,12 @@ type Config struct {
 	// generating Poisson arrivals from Workload/IntraLoad/CrossLoad.
 	Flows []FlowSpec
 
+	// Fault, when non-nil, injects the scripted link faults (flaps,
+	// degradation, loss) during the run. Link names resolve against the
+	// selected topology; "longhaul" is always the inter-DC link. Nil costs
+	// nothing and leaves the simulation bit-identical to a fault-free run.
+	Fault *FaultPlan
+
 	// Telemetry, when non-nil, is wired through the whole simulation:
 	// every component registers instruments, the flight recorder captures
 	// packet-lifecycle events, time-series sampling runs at the configured
@@ -138,6 +171,14 @@ type Result struct {
 	Flows      int
 	Completed  int
 	Unfinished int
+
+	// Aborted counts flows whose sender gave up after the retransmission
+	// budget (only possible under a fault plan or extreme loss).
+	Aborted int
+
+	// FaultDrops counts frames destroyed by the fault layer (down-link
+	// discards plus Bernoulli loss); 0 when no plan was attached.
+	FaultDrops int64
 
 	AvgFCTIntra Time
 	AvgFCTCross Time
@@ -197,6 +238,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	p = p.WithAlgorithm(cfg.Algorithm)
 	p.Telemetry = cfg.Telemetry
+	if cfg.Fault != nil {
+		if err := cfg.Fault.Validate(); err != nil {
+			return nil, fmt.Errorf("mlcc: %w", err)
+		}
+		p.Fault = cfg.Fault
+	}
 
 	var n *topo.Network
 	if cfg.Dumbbell {
@@ -241,6 +288,9 @@ func Run(cfg Config) (*Result, error) {
 			col.Add(stats.FCTSample{Size: f.Info.Size, FCT: f.FCT(), Cross: f.Info.CrossDC, Start: f.Start})
 			fctHist.Observe(f.FCT().Micros())
 		}
+		h.OnFlowAbort = func(f *host.Flow) {
+			col.Add(stats.FCTSample{Size: f.Info.Size, Cross: f.Info.CrossDC, Start: f.Start, Aborted: true})
+		}
 	}
 	for _, fs := range flows {
 		n.AddFlow(fs.Src, fs.Dst, fs.Size, fs.Start)
@@ -268,10 +318,20 @@ func Run(cfg Config) (*Result, error) {
 			"longhaul_ms":    p.LongHaulDelay.Millis(),
 			"dumbbell":       cfg.Dumbbell,
 		}
+		if cfg.Fault != nil {
+			m.Config["fault_seed"] = cfg.Fault.Seed
+			m.Config["fault_events"] = len(cfg.Fault.Events)
+			m.Config["fault_loss_rules"] = len(cfg.Fault.Loss)
+		}
 	}
 
-	res := &Result{Flows: len(flows), FCT: col, Completed: col.Len(), Trace: flows}
-	res.Unfinished = res.Flows - res.Completed
+	res := &Result{Flows: len(flows), FCT: col, Trace: flows}
+	for _, h := range n.Hosts {
+		res.Aborted += int(h.Aborted)
+	}
+	res.FaultDrops = n.Faults.TotalDrops()
+	res.Completed = col.Len() - res.Aborted
+	res.Unfinished = res.Flows - res.Completed - res.Aborted
 	res.AvgFCTIntra, _ = col.Avg(stats.Intra)
 	res.AvgFCTCross, _ = col.Avg(stats.Cross)
 	res.AvgFCT, _ = col.Avg(nil)
