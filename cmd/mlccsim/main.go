@@ -32,8 +32,9 @@ func main() {
 		flowsOut = flag.String("save-flows", "", "write the generated workload to a trace file")
 		fctOut   = flag.String("fct", "", "write per-flow completion times to a CSV file")
 
-		faultIn = flag.String("fault-plan", "", "inject the scripted link faults from this JSON plan file")
-		wanLoss = flag.Float64("wan-loss", 0, "Bernoulli loss probability on the long-haul link for the whole run")
+		faultIn  = flag.String("fault-plan", "", "inject the scripted link faults from this JSON plan file")
+		wanLoss  = flag.Float64("wan-loss", 0, "Bernoulli loss probability on the long-haul link for the whole run")
+		useAudit = flag.Bool("audit", false, "enable the end-to-end conservation audit (panics on any violation)")
 
 		useMetrics = flag.Bool("metrics", false, "enable the telemetry metrics registry")
 		flightN    = flag.Int("flight-recorder", 0, "keep the last N packet-lifecycle events in a flight recorder")
@@ -51,6 +52,7 @@ func main() {
 		HostsPerLeaf:  *hosts,
 		LongHaulDelay: mlcc.Time(longhaul.Nanoseconds()) * mlcc.Nanosecond,
 		Dumbbell:      *dumbbell,
+		Audit:         *useAudit,
 		Seed:          *seed,
 	}
 	if *telOut != "" {
@@ -153,5 +155,8 @@ func main() {
 	fmt.Printf("p99.9 cross    %v\n", res.P999Cross)
 	fmt.Printf("PFC pauses     %d\n", res.PFCPauses)
 	fmt.Printf("drops          %d\n", res.Drops)
+	if *useAudit {
+		fmt.Printf("%s\n", res.Audit)
+	}
 	fmt.Printf("elapsed        %v\n", time.Since(t0).Round(time.Millisecond))
 }

@@ -1,0 +1,431 @@
+// Package audit is an opt-in end-to-end conservation ledger for one
+// simulation. Attached at build time (topo.Params.Audit), it shadows the
+// packet plane from the outside: hosts report every data frame they inject
+// and deliver per flow, switches report WRED admission drops, and ports
+// report frames the fault layer destroys. At run end the ledger asserts that
+// every injected byte is accounted for —
+//
+//	injected = delivered + WRED drops + corruption drops + admin-down drops
+//	           (+ in-flight, which must be zero once the packet pool drains)
+//
+// — per flow, and that per link direction every frame the transmitter
+// counted was received by the peer, destroyed by the fault layer, or is
+// still on the wire. Go-back-N sanity rides along: the sender's cumulative
+// acked prefix must advance monotonically, never past the receiver's
+// contiguous prefix, and never past the flow size.
+//
+// The ledger is strictly passive: it schedules no events, draws no
+// randomness and never touches a packet, so an audited run is bit-identical
+// to an unaudited one (TestDigestAuditInvariant in internal/exp pins this).
+// A nil *Ledger is the off state — every hook is nil-safe and costs one
+// branch, mirroring the telemetry layer's zero-overhead-off contract.
+//
+// Violations detected mid-run (impossible sequence numbers, acked bytes
+// that were never delivered) route through metrics.Violation, which replays
+// the flight recorder's last packet-lifecycle events before panicking;
+// end-of-run accounting gaps surface the same way via MustCheck, or as
+// strings via Problems for tests. See DESIGN.md, "Correctness audit".
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mlcc/internal/link"
+	"mlcc/internal/metrics"
+	"mlcc/internal/pkt"
+)
+
+// FlowRec is the ledger's account of one flow. All counters are in the
+// packet/byte pair form (pkts, bytes); retransmissions inflate Injected and
+// show up again as duplicates in Delivered, so conservation holds per frame,
+// not per distinct payload byte.
+type FlowRec struct {
+	ID   pkt.FlowID
+	Size int64 // flow size in payload bytes (0 until OnFlowStart)
+
+	Started bool
+	Done    bool // receiver saw the full contiguous payload
+	Aborted bool // sender gave up after its retransmission budget
+
+	InjectedPkts   int64 // data frames emitted by the sender (incl. retransmits)
+	InjectedBytes  int64
+	DeliveredPkts  int64 // data frames that reached the receiving host
+	DeliveredBytes int64
+	WREDPkts       int64 // dropped at switch shared-buffer admission
+	WREDBytes      int64
+	CorruptPkts    int64 // destroyed by Bernoulli corruption on a link
+	CorruptBytes   int64
+	DownPkts       int64 // destroyed by an admin-down link (flush or discard)
+	DownBytes      int64
+
+	DupPkts int64 // delivered frames at or below the receiver's prefix
+	GapPkts int64 // delivered frames beyond the receiver's prefix (reordering/loss)
+
+	AckedMax   int64 // sender's cumulative acked prefix (monotone)
+	RecvPrefix int64 // ledger's replica of the receiver's contiguous prefix
+	injectEnd  int64 // highest payload byte offset ever injected (seq+size)
+
+	// AbortUnacked is the payload still unacknowledged when the sender gave
+	// up — the "in-flight at abort" fate bucket. Frames of an aborted flow
+	// still on the wire keep flowing to a normal fate (delivered as
+	// duplicates, or dropped); this records what the abort stranded.
+	AbortUnacked int64
+}
+
+// unaccounted returns the flow's in-flight frame and byte counts: injected
+// minus every terminal fate. Negative values are impossible (a frame cannot
+// terminate twice) and always a violation.
+func (r *FlowRec) unaccounted() (pkts, bytes int64) {
+	pkts = r.InjectedPkts - r.DeliveredPkts - r.WREDPkts - r.CorruptPkts - r.DownPkts
+	bytes = r.InjectedBytes - r.DeliveredBytes - r.WREDBytes - r.CorruptBytes - r.DownBytes
+	return pkts, bytes
+}
+
+// linkRec is one registered full-duplex link (two ports).
+type linkRec struct {
+	name string
+	a, b *link.Port
+}
+
+// Ledger is the conservation ledger. The zero value is not usable; call New.
+// A nil *Ledger is valid everywhere and records nothing.
+type Ledger struct {
+	fr    *metrics.FlightRecorder
+	flows map[pkt.FlowID]*FlowRec
+	order []pkt.FlowID // creation order, for deterministic reports
+	links []linkRec
+
+	// ControlFaultDrops counts control/PFC frames (no flow attribution)
+	// destroyed by the fault layer; they appear in per-link accounting via
+	// Port.FaultDrops.
+	ControlFaultDrops int64
+}
+
+// New returns an empty ledger.
+func New() *Ledger {
+	return &Ledger{flows: make(map[pkt.FlowID]*FlowRec)}
+}
+
+// Enabled reports whether the ledger is recording (i.e. non-nil).
+func (l *Ledger) Enabled() bool { return l != nil }
+
+// SetRecorder attaches a flight recorder so violations dump packet-lifecycle
+// context (nil detaches).
+func (l *Ledger) SetRecorder(fr *metrics.FlightRecorder) {
+	if l == nil {
+		return
+	}
+	l.fr = fr
+}
+
+// rec returns (creating if needed) the record for a flow.
+func (l *Ledger) rec(id pkt.FlowID) *FlowRec {
+	r := l.flows[id]
+	if r == nil {
+		r = &FlowRec{ID: id}
+		l.flows[id] = r
+		l.order = append(l.order, id)
+	}
+	return r
+}
+
+// violatef reports a mid-run invariant violation: flight-recorder dump, then
+// panic. The audit plane never limps past an impossible state.
+func (l *Ledger) violatef(format string, args ...any) {
+	metrics.Violation(l.fr, "audit: "+fmt.Sprintf(format, args...))
+}
+
+// OnFlowStart records a flow's registration at its sender.
+func (l *Ledger) OnFlowStart(id pkt.FlowID, size int64) {
+	if l == nil {
+		return
+	}
+	r := l.rec(id)
+	if r.Started {
+		l.violatef("flow %d started twice", id)
+	}
+	r.Started = true
+	r.Size = size
+}
+
+// OnInject records one data frame entering the network at its sender (first
+// transmission or go-back-N retransmission alike).
+func (l *Ledger) OnInject(id pkt.FlowID, seq int64, size int) {
+	if l == nil {
+		return
+	}
+	r := l.rec(id)
+	if seq < 0 || size <= 0 {
+		l.violatef("flow %d injected frame [%d, %d)", id, seq, seq+int64(size))
+	}
+	if r.Size > 0 && seq+int64(size) > r.Size {
+		l.violatef("flow %d injected payload [%d, %d) beyond size %d", id, seq, seq+int64(size), r.Size)
+	}
+	r.InjectedPkts++
+	r.InjectedBytes += int64(size)
+	if end := seq + int64(size); end > r.injectEnd {
+		r.injectEnd = end
+	}
+}
+
+// OnDeliver records one data frame arriving at the receiving host. The
+// ledger maintains its own contiguous-prefix replica of the receiver's
+// go-back-N state, advanced exactly the way the host advances it.
+func (l *Ledger) OnDeliver(id pkt.FlowID, seq int64, size int) {
+	if l == nil {
+		return
+	}
+	r := l.rec(id)
+	r.DeliveredPkts++
+	r.DeliveredBytes += int64(size)
+	if seq > r.injectEnd-int64(size) {
+		l.violatef("flow %d delivered frame [%d, %d) that was never injected", id, seq, seq+int64(size))
+	}
+	switch {
+	case seq == r.RecvPrefix:
+		r.RecvPrefix += int64(size)
+	case seq > r.RecvPrefix:
+		r.GapPkts++
+	default:
+		r.DupPkts++
+	}
+	if r.Size > 0 && r.RecvPrefix > r.Size {
+		l.violatef("flow %d receiver prefix %d beyond size %d", id, r.RecvPrefix, r.Size)
+	}
+}
+
+// OnAckAdvance records the sender's cumulative acked prefix moving from
+// `from` to `to`. The go-back-N invariants live here: the prefix only moves
+// forward, in agreement with the ledger's own view, never past what the
+// receiver has contiguously received, and never past the flow size.
+func (l *Ledger) OnAckAdvance(id pkt.FlowID, from, to int64) {
+	if l == nil {
+		return
+	}
+	r := l.rec(id)
+	if from != r.AckedMax {
+		l.violatef("flow %d acked prefix desync: sender at %d, ledger at %d", id, from, r.AckedMax)
+	}
+	if to <= from {
+		l.violatef("flow %d acked prefix moved backward: %d -> %d", id, from, to)
+	}
+	if r.Size > 0 && to > r.Size {
+		l.violatef("flow %d acked %d bytes beyond size %d", id, to, r.Size)
+	}
+	if to > r.RecvPrefix {
+		l.violatef("flow %d acked %d bytes but receiver prefix is %d", id, to, r.RecvPrefix)
+	}
+	r.AckedMax = to
+}
+
+// OnFlowDone records the receiver seeing the flow's last in-order byte.
+func (l *Ledger) OnFlowDone(id pkt.FlowID) {
+	if l == nil {
+		return
+	}
+	r := l.rec(id)
+	if r.Done {
+		l.violatef("flow %d done twice", id)
+	}
+	r.Done = true
+	if r.Size > 0 && r.RecvPrefix != r.Size {
+		l.violatef("flow %d done with receiver prefix %d != size %d", id, r.RecvPrefix, r.Size)
+	}
+}
+
+// OnFlowAbort records the sender giving up on a flow.
+func (l *Ledger) OnFlowAbort(id pkt.FlowID) {
+	if l == nil {
+		return
+	}
+	r := l.rec(id)
+	if r.Aborted {
+		l.violatef("flow %d aborted twice", id)
+	}
+	r.Aborted = true
+	r.AbortUnacked = r.Size - r.AckedMax
+}
+
+// OnWREDDrop records a data frame dropped at switch shared-buffer admission.
+func (l *Ledger) OnWREDDrop(id pkt.FlowID, size int) {
+	if l == nil {
+		return
+	}
+	r := l.rec(id)
+	r.WREDPkts++
+	r.WREDBytes += int64(size)
+}
+
+// OnFaultDrop records a frame destroyed by the fault layer on a port:
+// corrupt distinguishes Bernoulli corruption from admin-down discards (wire
+// flush, mid-serialization cut, offered-while-down). Control and PFC frames
+// carry no flow and land in ControlFaultDrops.
+func (l *Ledger) OnFaultDrop(p *pkt.Packet, corrupt bool) {
+	if l == nil {
+		return
+	}
+	if p.Kind != pkt.Data {
+		l.ControlFaultDrops++
+		return
+	}
+	r := l.rec(p.Flow)
+	if corrupt {
+		r.CorruptPkts++
+		r.CorruptBytes += int64(p.Size)
+	} else {
+		r.DownPkts++
+		r.DownBytes += int64(p.Size)
+	}
+}
+
+// AddLink registers a full-duplex link for per-link frame conservation.
+// Both directions are checked: everything a transmitter counted must be at
+// the peer, destroyed by the fault layer, on the wire, or mid-serialization.
+func (l *Ledger) AddLink(name string, a, b *link.Port) {
+	if l == nil || a == nil || b == nil {
+		return
+	}
+	l.links = append(l.links, linkRec{name: name, a: a, b: b})
+}
+
+// Flow returns the ledger's record for a flow, or nil (for tests and
+// diagnostics).
+func (l *Ledger) Flow(id pkt.FlowID) *FlowRec {
+	if l == nil {
+		return nil
+	}
+	return l.flows[id]
+}
+
+// Flows returns every record in creation order.
+func (l *Ledger) Flows() []*FlowRec {
+	if l == nil {
+		return nil
+	}
+	out := make([]*FlowRec, 0, len(l.order))
+	for _, id := range l.order {
+		out = append(out, l.flows[id])
+	}
+	return out
+}
+
+// dirProblem checks one transmit direction of a link; empty means clean.
+// The equation holds at any instant, drained or not: TxPackets counts
+// frames whose serialization began, MacTx counts MAC-injected PFC frames
+// (which bypass TxPackets), and every such frame is exactly one of —
+// received by the peer, destroyed by the fault layer on this port, in
+// flight on the wire, or still mid-serialization.
+func dirProblem(name string, tx, rx *link.Port) string {
+	busy := int64(0)
+	if tx.Busy() {
+		busy = 1
+	}
+	sent := tx.TxPackets + tx.MacTx
+	accounted := rx.RxPackets + tx.FaultDrops + int64(tx.InFlightFrames()) + busy
+	if sent != accounted {
+		return fmt.Sprintf("link %s: tx %d + mac %d != rx %d + faultDrops %d + inFlight %d + busy %d (missing %d)",
+			name, tx.TxPackets, tx.MacTx, rx.RxPackets, tx.FaultDrops, tx.InFlightFrames(), busy, sent-accounted)
+	}
+	return ""
+}
+
+// Problems runs every end-of-run check and returns human-readable
+// descriptions of the violations found (nil when the ledger is clean or
+// detached). drained tells the ledger the packet pool has fully drained
+// (pkt.Pool.Outstanding() == 0): only then may it insist that per-flow
+// in-flight counts are zero — at an arbitrary deadline cut, frames parked
+// in queues or on the wire are legitimate.
+func (l *Ledger) Problems(drained bool) []string {
+	if l == nil {
+		return nil
+	}
+	var probs []string
+	addf := func(format string, args ...any) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+	ids := append([]pkt.FlowID(nil), l.order...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := l.flows[id]
+		pkts, bytes := r.unaccounted()
+		if pkts < 0 || bytes < 0 {
+			addf("flow %d: over-accounted (in-flight %d pkts / %d bytes is negative: a frame terminated twice)", id, pkts, bytes)
+		}
+		if drained && (pkts != 0 || bytes != 0) {
+			addf("flow %d: %d pkts / %d bytes injected but never delivered or dropped (pool is drained)", id, pkts, bytes)
+		}
+		if r.Done && r.Size > 0 && r.RecvPrefix != r.Size {
+			addf("flow %d: done but receiver prefix %d != size %d", id, r.RecvPrefix, r.Size)
+		}
+		if r.AckedMax > r.RecvPrefix {
+			addf("flow %d: acked prefix %d beyond receiver prefix %d", id, r.AckedMax, r.RecvPrefix)
+		}
+		if r.Size > 0 && r.injectEnd > r.Size {
+			addf("flow %d: injected through byte %d beyond size %d", id, r.injectEnd, r.Size)
+		}
+		if r.Started && !r.Done && !r.Aborted && r.AckedMax > 0 && r.AckedMax == r.Size && r.Size > 0 {
+			// Fully acked flows are finished at the sender; the receiver must
+			// have seen them complete too (Done is receiver-side).
+			addf("flow %d: fully acked but never marked done", id)
+		}
+	}
+	for _, lk := range l.links {
+		if p := dirProblem(lk.name+" ->", lk.a, lk.b); p != "" {
+			probs = append(probs, p)
+		}
+		if p := dirProblem(lk.name+" <-", lk.b, lk.a); p != "" {
+			probs = append(probs, p)
+		}
+	}
+	return probs
+}
+
+// MustCheck runs Problems and routes any violation through
+// metrics.Violation: the flight recorder's last events are replayed (when
+// attached) and the simulation panics with the full problem list.
+func (l *Ledger) MustCheck(drained bool) {
+	if l == nil {
+		return
+	}
+	probs := l.Problems(drained)
+	if len(probs) == 0 {
+		return
+	}
+	metrics.Violation(l.fr, fmt.Sprintf("audit: %d conservation violations:\n  %s",
+		len(probs), strings.Join(probs, "\n  ")))
+}
+
+// Summary renders the ledger's aggregate fate accounting on one line.
+func (l *Ledger) Summary() string {
+	if l == nil {
+		return "audit: off"
+	}
+	var t FlowRec
+	done, aborted := 0, 0
+	var abortUnacked int64
+	for _, r := range l.flows {
+		if r.Done {
+			done++
+		}
+		if r.Aborted {
+			aborted++
+			abortUnacked += r.AbortUnacked
+		}
+		t.InjectedPkts += r.InjectedPkts
+		t.InjectedBytes += r.InjectedBytes
+		t.DeliveredPkts += r.DeliveredPkts
+		t.DeliveredBytes += r.DeliveredBytes
+		t.WREDPkts += r.WREDPkts
+		t.CorruptPkts += r.CorruptPkts
+		t.DownPkts += r.DownPkts
+		t.DupPkts += r.DupPkts
+		t.GapPkts += r.GapPkts
+	}
+	return fmt.Sprintf(
+		"audit: flows=%d done=%d aborted=%d injected=%d pkts (%d B) delivered=%d wred=%d corrupt=%d admin_down=%d dup=%d gap=%d abort_unacked=%d B ctl_fault_drops=%d links=%d",
+		len(l.flows), done, aborted, t.InjectedPkts, t.InjectedBytes, t.DeliveredPkts,
+		t.WREDPkts, t.CorruptPkts, t.DownPkts, t.DupPkts, t.GapPkts, abortUnacked,
+		l.ControlFaultDrops, len(l.links))
+}

@@ -1,0 +1,230 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"mlcc/internal/pkt"
+)
+
+// wantViolation runs fn and asserts it panics with an audit violation
+// containing frag.
+func wantViolation(t *testing.T, frag string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected audit violation containing %q, got none", frag)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, frag) {
+			t.Fatalf("violation %v does not contain %q", r, frag)
+		}
+	}()
+	fn()
+}
+
+func TestCleanFlowDrains(t *testing.T) {
+	l := New()
+	l.OnFlowStart(1, 3000)
+	l.OnInject(1, 0, 1500)
+	l.OnInject(1, 1500, 1500)
+	l.OnDeliver(1, 0, 1500)
+	l.OnAckAdvance(1, 0, 1500)
+	l.OnDeliver(1, 1500, 1500)
+	l.OnFlowDone(1)
+	l.OnAckAdvance(1, 1500, 3000)
+	for _, drained := range []bool{false, true} {
+		if probs := l.Problems(drained); len(probs) != 0 {
+			t.Fatalf("clean flow, drained=%v: %v", drained, probs)
+		}
+	}
+	r := l.Flow(1)
+	if r == nil || !r.Done || r.InjectedBytes != 3000 || r.DeliveredBytes != 3000 {
+		t.Fatalf("bad record: %+v", r)
+	}
+	if !strings.Contains(l.Summary(), "flows=1 done=1") {
+		t.Fatalf("summary: %s", l.Summary())
+	}
+}
+
+func TestUnaccountedFrameOnlyWhenDrained(t *testing.T) {
+	l := New()
+	l.OnFlowStart(1, 3000)
+	l.OnInject(1, 0, 1500)
+	l.OnInject(1, 1500, 1500)
+	l.OnDeliver(1, 0, 1500)
+	// One frame is still somewhere: fine at a deadline cut, a violation once
+	// the pool reports fully drained.
+	if probs := l.Problems(false); len(probs) != 0 {
+		t.Fatalf("undrained in-flight flagged: %v", probs)
+	}
+	probs := l.Problems(true)
+	if len(probs) != 1 || !strings.Contains(probs[0], "never delivered or dropped") {
+		t.Fatalf("drained leak not flagged: %v", probs)
+	}
+}
+
+func TestDropsBalanceTheLedger(t *testing.T) {
+	l := New()
+	pool := pkt.NewPool()
+	l.OnFlowStart(1, 4500)
+	l.OnInject(1, 0, 1500)
+	l.OnInject(1, 1500, 1500)
+	l.OnInject(1, 3000, 1500)
+	l.OnWREDDrop(1, 1500)
+	d := pool.NewData(1, 1, 2, 1500, 1500)
+	l.OnFaultDrop(d, true) // corruption
+	pool.Put(d)
+	d = pool.NewData(1, 1, 2, 3000, 1500)
+	l.OnFaultDrop(d, false) // admin-down
+	pool.Put(d)
+	if probs := l.Problems(true); len(probs) != 0 {
+		t.Fatalf("fully dropped flow should balance: %v", probs)
+	}
+	r := l.Flow(1)
+	if r.WREDPkts != 1 || r.CorruptPkts != 1 || r.DownPkts != 1 {
+		t.Fatalf("fate buckets: %+v", r)
+	}
+}
+
+func TestOverAccountingIsAlwaysAViolation(t *testing.T) {
+	l := New()
+	l.OnFlowStart(1, 1500)
+	l.OnInject(1, 0, 1500)
+	l.OnWREDDrop(1, 1500)
+	l.OnWREDDrop(1, 1500) // the same frame cannot terminate twice
+	for _, drained := range []bool{false, true} {
+		probs := l.Problems(drained)
+		found := false
+		for _, p := range probs {
+			if strings.Contains(p, "over-accounted") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("drained=%v: over-accounting not flagged: %v", drained, probs)
+		}
+	}
+}
+
+func TestControlFaultDropsHaveNoFlow(t *testing.T) {
+	l := New()
+	pool := pkt.NewPool()
+	c := pool.NewControl(pkt.Ack, 7, 1, 2)
+	l.OnFaultDrop(c, false)
+	pool.Put(c)
+	if l.ControlFaultDrops != 1 {
+		t.Fatalf("control drops = %d", l.ControlFaultDrops)
+	}
+	if r := l.Flow(7); r != nil {
+		t.Fatalf("control drop created a flow record: %+v", r)
+	}
+}
+
+func TestAbortRecordsStrandedBytes(t *testing.T) {
+	l := New()
+	l.OnFlowStart(1, 3000)
+	l.OnInject(1, 0, 1500)
+	l.OnDeliver(1, 0, 1500)
+	l.OnAckAdvance(1, 0, 1500)
+	l.OnFlowAbort(1)
+	if r := l.Flow(1); !r.Aborted || r.AbortUnacked != 1500 {
+		t.Fatalf("abort record: %+v", r)
+	}
+	if probs := l.Problems(true); len(probs) != 0 {
+		t.Fatalf("aborted-but-balanced flow flagged: %v", probs)
+	}
+}
+
+func TestGoBackNDupAndGapCounting(t *testing.T) {
+	l := New()
+	l.OnFlowStart(1, 4500)
+	l.OnInject(1, 0, 1500)
+	l.OnInject(1, 1500, 1500)
+	l.OnInject(1, 3000, 1500)
+	l.OnDeliver(1, 0, 1500)    // prefix -> 1500
+	l.OnDeliver(1, 3000, 1500) // gap (frame 1500 lost then retransmitted)
+	l.OnInject(1, 1500, 1500)  // go-back-N retransmission
+	l.OnInject(1, 3000, 1500)
+	l.OnDeliver(1, 1500, 1500) // prefix -> 3000
+	l.OnDeliver(1, 3000, 1500) // prefix -> 4500
+	l.OnFlowDone(1)
+	r := l.Flow(1)
+	if r.GapPkts != 1 || r.DupPkts != 0 || r.RecvPrefix != 4500 {
+		t.Fatalf("dup/gap accounting: %+v", r)
+	}
+	// The first copy of frame 1500 never terminated -> in-flight 1 frame.
+	if probs := l.Problems(false); len(probs) != 0 {
+		t.Fatalf("undrained: %v", probs)
+	}
+	l.OnWREDDrop(1, 1500) // its true fate arrives
+	if probs := l.Problems(true); len(probs) != 0 {
+		t.Fatalf("drained after fate: %v", probs)
+	}
+}
+
+func TestMidRunViolationsPanic(t *testing.T) {
+	t.Run("inject beyond size", func(t *testing.T) {
+		l := New()
+		l.OnFlowStart(1, 1000)
+		wantViolation(t, "beyond size", func() { l.OnInject(1, 0, 1500) })
+	})
+	t.Run("deliver never injected", func(t *testing.T) {
+		l := New()
+		l.OnFlowStart(1, 3000)
+		wantViolation(t, "never injected", func() { l.OnDeliver(1, 0, 1500) })
+	})
+	t.Run("ack backward", func(t *testing.T) {
+		l := New()
+		l.OnFlowStart(1, 3000)
+		l.OnInject(1, 0, 1500)
+		l.OnDeliver(1, 0, 1500)
+		l.OnAckAdvance(1, 0, 1500)
+		wantViolation(t, "desync", func() { l.OnAckAdvance(1, 0, 1500) })
+	})
+	t.Run("ack beyond receiver prefix", func(t *testing.T) {
+		l := New()
+		l.OnFlowStart(1, 3000)
+		l.OnInject(1, 0, 1500)
+		wantViolation(t, "receiver prefix", func() { l.OnAckAdvance(1, 0, 1500) })
+	})
+	t.Run("done twice", func(t *testing.T) {
+		l := New()
+		l.OnFlowStart(1, 1500)
+		l.OnInject(1, 0, 1500)
+		l.OnDeliver(1, 0, 1500)
+		l.OnFlowDone(1)
+		wantViolation(t, "done twice", func() { l.OnFlowDone(1) })
+	})
+	t.Run("MustCheck", func(t *testing.T) {
+		l := New()
+		l.OnFlowStart(1, 1500)
+		l.OnInject(1, 0, 1500)
+		wantViolation(t, "conservation violations", func() { l.MustCheck(true) })
+	})
+}
+
+func TestNilLedgerIsInert(t *testing.T) {
+	var l *Ledger
+	pool := pkt.NewPool()
+	l.OnFlowStart(1, 100)
+	l.OnInject(1, 0, 100)
+	l.OnDeliver(1, 0, 100)
+	l.OnAckAdvance(1, 0, 100)
+	l.OnFlowDone(1)
+	l.OnFlowAbort(1)
+	l.OnWREDDrop(1, 100)
+	p := pool.NewControl(pkt.Ack, 1, 1, 2)
+	l.OnFaultDrop(p, false)
+	pool.Put(p)
+	l.AddLink("x", nil, nil)
+	l.SetRecorder(nil)
+	l.MustCheck(true)
+	if l.Enabled() || l.Problems(true) != nil || l.Flows() != nil || l.Flow(1) != nil {
+		t.Fatal("nil ledger not inert")
+	}
+	if l.Summary() != "audit: off" {
+		t.Fatalf("nil summary: %s", l.Summary())
+	}
+}

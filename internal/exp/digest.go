@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"mlcc/internal/audit"
 	"mlcc/internal/fault"
 	"mlcc/internal/metrics"
 	"mlcc/internal/pkt"
@@ -17,7 +18,7 @@ import (
 // changes the hash. Performance rewrites of the hot path must keep it
 // bit-identical (see the "Performance model" section of DESIGN.md).
 func DeterminismDigest(alg string, seed int64) uint64 {
-	return determinismDigest(alg, seed, nil, nil)
+	return determinismDigest(alg, seed, nil, nil, nil)
 }
 
 // DeterminismDigestTel is DeterminismDigest with a telemetry layer attached
@@ -26,7 +27,7 @@ func DeterminismDigest(alg string, seed int64) uint64 {
 // be byte-identical to the telemetry-off run; the digest test enforces this.
 // Sampling intentionally adds engine tick events, so it is excluded here.
 func DeterminismDigestTel(alg string, seed int64, tel *metrics.Telemetry) uint64 {
-	return determinismDigest(alg, seed, tel, nil)
+	return determinismDigest(alg, seed, tel, nil, nil)
 }
 
 // DeterminismDigestPlan is DeterminismDigest with a fault plan applied at
@@ -35,14 +36,38 @@ func DeterminismDigestTel(alg string, seed int64, tel *metrics.Telemetry) uint64
 // the fault layer's PRNG streams are drawn only when a fault can actually
 // occur. An active plan must yield the same digest for the same seed.
 func DeterminismDigestPlan(alg string, seed int64, plan *fault.Plan) uint64 {
-	return determinismDigest(alg, seed, nil, plan)
+	return determinismDigest(alg, seed, nil, plan, nil)
 }
 
-func determinismDigest(alg string, seed int64, tel *metrics.Telemetry, plan *fault.Plan) uint64 {
+// DeterminismDigestAudit is DeterminismDigest with the conservation ledger
+// attached to the build. The ledger is strictly passive (no events, no
+// randomness), so the digest must be byte-identical to the audit-off run;
+// it also returns the ledger's end-of-run problem list, which must be empty.
+func DeterminismDigestAudit(alg string, seed int64) (uint64, []string) {
+	aud := audit.New()
+	var probs []string
+	d := determinismDigest(alg, seed, nil, nil, &hooks{
+		audit: aud,
+		after: func(n *topo.Network) { probs = n.AuditProblems() },
+	})
+	return d, probs
+}
+
+// hooks threads optional audit wiring through determinismDigest without
+// growing its signature for every caller.
+type hooks struct {
+	audit *audit.Ledger
+	after func(n *topo.Network)
+}
+
+func determinismDigest(alg string, seed int64, tel *metrics.Telemetry, plan *fault.Plan, hk *hooks) uint64 {
 	p := scaleTopo(Quick)
 	p.Seed = seed
 	p.Telemetry = tel
 	p.Fault = plan
+	if hk != nil {
+		p.Audit = hk.audit
+	}
 	n := topo.TwoDC(p.WithAlgorithm(alg))
 
 	flows := workload.Generate(workload.Spec{
@@ -60,6 +85,9 @@ func determinismDigest(alg string, seed int64, tel *metrics.Telemetry, plan *fau
 		n.AddFlow(fs.Src, fs.Dst, fs.Size, fs.Start)
 	}
 	n.Run(60 * sim.Millisecond)
+	if hk != nil && hk.after != nil {
+		hk.after(n)
+	}
 
 	d := NewDigest()
 	d.Add(n.Eng.Fired())

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"mlcc/internal/audit"
 	"mlcc/internal/link"
 	"mlcc/internal/metrics"
 	"mlcc/internal/pkt"
@@ -77,6 +78,7 @@ type Switch struct {
 	rng *rand.Rand
 
 	fr  *metrics.FlightRecorder
+	aud *audit.Ledger
 	pfc []PFCPortStat // per ingress port
 
 	// Statistics.
@@ -137,6 +139,9 @@ func (s *Switch) SetRecorder(fr *metrics.FlightRecorder) { s.fr = fr }
 
 // Recorder returns the attached flight recorder (possibly nil).
 func (s *Switch) Recorder() *metrics.FlightRecorder { return s.fr }
+
+// SetAudit attaches the conservation-audit ledger (nil detaches).
+func (s *Switch) SetAudit(a *audit.Ledger) { s.aud = a }
 
 // PFCStatAt reports ingress port i's PFC accounting. PausedTotal includes the
 // still-open pause interval when the upstream is currently paused, so it is
@@ -250,6 +255,7 @@ func (s *Switch) ForwardTo(p *pkt.Packet, inPort, out int) {
 				s.fr.Record(metrics.Event{T: s.Eng.Now(), Kind: metrics.EvDrop,
 					Node: int32(s.Cfg.ID), Port: int32(out), Flow: int32(p.Flow), Val: int64(p.Size)})
 			}
+			s.aud.OnWREDDrop(p.Flow, p.Size)
 			s.Pool.Put(p)
 			return
 		}

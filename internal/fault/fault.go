@@ -18,6 +18,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 
 	"mlcc/internal/sim"
 )
@@ -107,7 +108,9 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("fault: event %d (%s): unknown action %d", i, ev.Link, ev.Action)
 		}
 		if ev.Action == Degrade {
-			if ev.RateFactor < 0 || ev.RateFactor > 1 {
+			// NaN slips through ordering comparisons (always false), so it
+			// must be rejected explicitly or it reaches the link layer.
+			if math.IsNaN(ev.RateFactor) || ev.RateFactor < 0 || ev.RateFactor > 1 {
 				return fmt.Errorf("fault: event %d (%s): rate factor %v outside (0, 1]", i, ev.Link, ev.RateFactor)
 			}
 			if ev.ExtraDelay < 0 || ev.Jitter < 0 {
@@ -119,7 +122,7 @@ func (p *Plan) Validate() error {
 		if r.Link == "" {
 			return fmt.Errorf("fault: loss rule %d: empty link name", i)
 		}
-		if r.Prob < 0 || r.Prob >= 1 {
+		if math.IsNaN(r.Prob) || r.Prob < 0 || r.Prob >= 1 {
 			return fmt.Errorf("fault: loss rule %d (%s): probability %v outside [0, 1)", i, r.Link, r.Prob)
 		}
 		if r.Start < 0 || (r.End != 0 && r.End <= r.Start) {

@@ -50,10 +50,25 @@ type jsonLoss struct {
 	EndUS   float64 `json:"end_us,omitempty"`
 }
 
-// usTime converts a microsecond count to simulation time, rounding to the
-// picosecond grid.
+// maxPlanUS bounds every microsecond field of a JSON plan: the int64
+// picosecond clock's range (~9.2e12 µs). Validating BEFORE the float→int64
+// conversion matters — converting NaN or out-of-range floats is
+// implementation-defined in Go, so a converted-then-checked value can look
+// plausible (even negative) while meaning nothing.
+const maxPlanUS = float64(1<<63-1) / 1e6
+
+// usTime converts a validated microsecond count to simulation time, rounding
+// to the picosecond grid.
 func usTime(us float64) sim.Time {
 	return sim.Time(math.Round(us * float64(sim.Microsecond)))
+}
+
+// checkUS validates a microsecond field's domain before conversion.
+func checkUS(what string, i int, us float64) error {
+	if !(us >= 0 && us <= maxPlanUS) {
+		return fmt.Errorf("fault: %s %d: time %v µs outside [0, %g]", what, i, us, maxPlanUS)
+	}
+	return nil
 }
 
 // ReadPlan parses a JSON fault plan and validates it.
@@ -66,6 +81,15 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 	}
 	p := &Plan{Seed: jp.Seed}
 	for i, je := range jp.Events {
+		if err := checkUS("event", i, je.AtUS); err != nil {
+			return nil, err
+		}
+		if err := checkUS("event", i, je.ExtraDelayUS); err != nil {
+			return nil, err
+		}
+		if err := checkUS("event", i, je.JitterUS); err != nil {
+			return nil, err
+		}
 		ev := Event{
 			At:         usTime(je.AtUS),
 			Link:       je.Link,
@@ -87,7 +111,13 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 		}
 		p.Events = append(p.Events, ev)
 	}
-	for _, jl := range jp.Loss {
+	for i, jl := range jp.Loss {
+		if err := checkUS("loss rule", i, jl.StartUS); err != nil {
+			return nil, err
+		}
+		if err := checkUS("loss rule", i, jl.EndUS); err != nil {
+			return nil, err
+		}
 		p.Loss = append(p.Loss, LossRule{
 			Link:  jl.Link,
 			Prob:  jl.Prob,

@@ -7,6 +7,7 @@ package host
 import (
 	"fmt"
 
+	"mlcc/internal/audit"
 	"mlcc/internal/cc"
 	"mlcc/internal/link"
 	"mlcc/internal/metrics"
@@ -121,6 +122,7 @@ type Host struct {
 	// Telemetry (all optional; nil means off).
 	fr      *metrics.FlightRecorder
 	reg     *metrics.Registry
+	aud     *audit.Ledger
 	algName string
 	perFlow bool
 
@@ -187,6 +189,9 @@ func (h *Host) Port() *link.Port { return h.port }
 // SetRecorder attaches a flight recorder (nil detaches).
 func (h *Host) SetRecorder(fr *metrics.FlightRecorder) { h.fr = fr }
 
+// SetAudit attaches the conservation-audit ledger (nil detaches).
+func (h *Host) SetAudit(a *audit.Ledger) { h.aud = a }
+
 // RegisterMetrics registers the host's counters under prefix (e.g.
 // "host.h0"). alg names the CC algorithm for per-flow rate gauges; perFlow
 // opts into one cc.<alg>.flow<id>.rate_bps gauge per sender-side flow.
@@ -214,6 +219,7 @@ func (h *Host) StartFlow(f *Flow) {
 		panic(fmt.Sprintf("host %d: StartFlow for src %d", h.Cfg.ID, f.Info.Src))
 	}
 	f.Started = true
+	h.aud.OnFlowStart(f.Info.ID, f.Info.Size)
 	s := &sendState{
 		flow:     f,
 		sender:   h.newSender(f.Info),
@@ -291,6 +297,7 @@ func (h *Host) emit(s *sendState, now sim.Time) *pkt.Packet {
 	}
 	p := h.Pool.NewData(s.flow.Info.ID, s.flow.Info.Src, s.flow.Info.Dst, s.next, int(size))
 	p.SendTS = now
+	h.aud.OnInject(s.flow.Info.ID, p.Seq, int(size))
 	if s.next == s.acked {
 		// The outstanding window opens with this frame: start the no-progress
 		// clock here, not at flow start, so time spent parked with nothing on
@@ -359,6 +366,7 @@ func (h *Host) onData(p *pkt.Packet) {
 		h.recv[p.Flow] = rs
 	}
 	flow.RxBytes += int64(p.Size)
+	h.aud.OnDeliver(p.Flow, p.Seq, p.Size)
 
 	switch {
 	case p.Seq == rs.got:
@@ -381,6 +389,7 @@ func (h *Host) onData(p *pkt.Packet) {
 		flow.Done = true
 		flow.FinishAt = now
 		ack.Last = true
+		h.aud.OnFlowDone(p.Flow)
 		if h.OnFlowDone != nil {
 			h.OnFlowDone(flow)
 		}
@@ -411,6 +420,7 @@ func (h *Host) onAck(p *pkt.Packet) {
 		return
 	}
 	if p.Seq > s.acked {
+		h.aud.OnAckAdvance(p.Flow, s.acked, p.Seq)
 		s.acked = p.Seq
 		s.progress = now
 		s.backoff = 0 // forward progress resets the backoff and the budget
@@ -517,6 +527,7 @@ func (h *Host) abort(s *sendState) {
 	s.done = true
 	s.flow.Aborted = true
 	s.flow.FinishAt = h.Eng.Now()
+	h.aud.OnFlowAbort(s.flow.Info.ID)
 	h.Aborted++
 	h.finishSend(s)
 	if h.OnFlowAbort != nil {

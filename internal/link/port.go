@@ -76,9 +76,17 @@ type Port struct {
 	lastAt  sim.Time   // last wire arrival time; keeps arrivals monotone under jitter
 	faults  *FaultHooks
 
+	// auditDrop, when set, observes every frame the fault layer destroys on
+	// this port just before it returns to the pool; corrupt distinguishes
+	// Bernoulli corruption from admin-down discards. It is a separate slot
+	// from FaultHooks.OnDrop so the conservation audit (internal/audit) can
+	// watch every port while the fault injector owns only the managed ones.
+	auditDrop func(p *pkt.Packet, corrupt bool)
+
 	// Counters (exported for INT stamping and statistics).
 	TxBytes     int64 // cumulative bytes fully serialized
 	TxPackets   int64
+	MacTx       int64 // MAC-injected frames (PFC pause/resume) put on the wire, bypassing TxPackets
 	RxBytes     int64
 	RxPackets   int64
 	PauseRx     int64 // pause frames received (this port was throttled)
@@ -118,6 +126,14 @@ func NewPort(eng *sim.Engine, owner Endpoint, index int, rate sim.Rate, delay si
 // SetFaultHooks attaches fault callbacks (nil detaches).
 func (p *Port) SetFaultHooks(h *FaultHooks) { p.faults = h }
 
+// SetAuditDrop attaches the conservation-audit drop observer (nil detaches).
+func (p *Port) SetAuditDrop(fn func(p *pkt.Packet, corrupt bool)) { p.auditDrop = fn }
+
+// InFlightFrames reports frames currently on the wire toward the peer
+// (launched, not yet delivered) — the in-flight term of the per-link
+// conservation equation.
+func (p *Port) InFlightFrames() int { return len(p.pipe) - p.pipeHd }
+
 // Down reports whether the transmit direction is administratively down.
 func (p *Port) Down() bool { return p.down }
 
@@ -141,7 +157,7 @@ func (p *Port) SetDown(down bool) {
 	}
 	p.paused = [pkt.NumClasses]bool{}
 	for i := p.pipeHd; i < len(p.pipe); i++ {
-		p.faultDiscard(p.pipe[i].p)
+		p.faultDiscard(p.pipe[i].p, false)
 		p.pipe[i] = flight{}
 	}
 	p.pipe = p.pipe[:0]
@@ -176,11 +192,15 @@ func (p *Port) SetImpairment(rateFactor float64, extraDelay, jitter sim.Time, rn
 }
 
 // faultDiscard destroys a frame on behalf of the fault layer: counted,
-// reported to the OnDrop hook, and returned to the pool.
-func (p *Port) faultDiscard(frame *pkt.Packet) {
+// reported to the OnDrop and audit hooks, and returned to the pool. corrupt
+// distinguishes Bernoulli corruption from admin-down discards.
+func (p *Port) faultDiscard(frame *pkt.Packet, corrupt bool) {
 	p.FaultDrops++
 	if p.faults != nil && p.faults.OnDrop != nil {
 		p.faults.OnDrop(frame)
+	}
+	if p.auditDrop != nil {
+		p.auditDrop(frame, corrupt)
 	}
 	p.Pool.Put(frame)
 }
@@ -235,7 +255,7 @@ func (p *Port) finishTx() {
 	p.txFrame = nil
 	p.busy = false
 	if p.down {
-		p.faultDiscard(frame)
+		p.faultDiscard(frame, false)
 		return
 	}
 	p.launch(frame, p.Eng.Now()+p.Delay)
@@ -256,11 +276,11 @@ type flight struct {
 // frames entering the wire.
 func (p *Port) launch(frame *pkt.Packet, at sim.Time) {
 	if p.down {
-		p.faultDiscard(frame)
+		p.faultDiscard(frame, false)
 		return
 	}
 	if p.faults != nil && p.faults.Corrupt != nil && frame.Kind == pkt.Data && p.faults.Corrupt(frame) {
-		p.faultDiscard(frame)
+		p.faultDiscard(frame, true)
 		return
 	}
 	if p.xDelay > 0 {
@@ -375,5 +395,6 @@ func (p *Port) SendPause(class int, pause bool) {
 	if n := len(p.pipe); n > p.pipeHd && p.pipe[n-1].at > at {
 		at = p.pipe[n-1].at
 	}
+	p.MacTx++ // bypasses TxPackets; the conservation audit counts it separately
 	p.launch(f, at)
 }

@@ -107,8 +107,14 @@ func (c *FCTCollector) Avg(f Filter) (sim.Time, bool) {
 }
 
 // Percentile returns the p-quantile (0 < p <= 1) FCT over the filter using
-// the nearest-rank method, or 0 with ok=false when empty.
+// the nearest-rank method, or 0 with ok=false when the selection is empty or
+// p is outside the domain. The negated comparison rejects NaN too — NaN
+// passes every ordering test, and silently clamping it to a rank would
+// report a quantile that was never asked for.
 func (c *FCTCollector) Percentile(f Filter, p float64) (sim.Time, bool) {
+	if !(p > 0 && p <= 1) {
+		return 0, false
+	}
 	sel := c.Select(f)
 	if len(sel) == 0 {
 		return 0, false

@@ -83,6 +83,33 @@ func TestPercentileProperty(t *testing.T) {
 	}
 }
 
+// TestPercentileDomain pins Percentile's input validation: the documented
+// domain is 0 < p <= 1, and anything else — including NaN, which slides
+// through ordering comparisons — must return ok=false rather than silently
+// clamping to the nearest rank.
+func TestPercentileDomain(t *testing.T) {
+	c := NewFCTCollector()
+	for i := 1; i <= 10; i++ {
+		c.Add(sample(1, sim.Time(i)*sim.Microsecond, false))
+	}
+	for _, p := range []float64{0, -0.1, 1.0000001, 2, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if v, ok := c.Percentile(nil, p); ok {
+			t.Errorf("Percentile(%v) = %v, ok=true; want ok=false", p, v)
+		}
+	}
+	// Boundaries of the valid domain.
+	if v, ok := c.Percentile(nil, 1); !ok || v != 10*sim.Microsecond {
+		t.Errorf("Percentile(1) = %v, %v; want max sample", v, ok)
+	}
+	if v, ok := c.Percentile(nil, math.SmallestNonzeroFloat64); !ok || v != sim.Microsecond {
+		t.Errorf("Percentile(ε) = %v, %v; want min sample", v, ok)
+	}
+	// An empty collector stays ok=false even for valid p.
+	if _, ok := NewFCTCollector().Percentile(nil, 0.5); ok {
+		t.Error("Percentile on empty collector returned ok=true")
+	}
+}
+
 func TestSlowdown(t *testing.T) {
 	s := sample(25000, 16*sim.Microsecond, false)
 	// Ideal at 25 Gbps: 25000*8/25e9 = 8 µs → slowdown 2.

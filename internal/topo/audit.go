@@ -1,0 +1,100 @@
+package topo
+
+import (
+	"fmt"
+
+	"mlcc/internal/audit"
+	"mlcc/internal/link"
+)
+
+// applyAudit wires a built network into its conservation ledger: every host
+// and switch reports flow-level events, every port reports fault-layer drops,
+// and every cable is registered for per-link frame conservation. A nil
+// Audit (the default) makes this a no-op, preserving the unaudited build
+// bit-for-bit (TestDigestAuditInvariant pins this).
+//
+// Link names mirror LinkByName so an audit violation and a fault plan speak
+// the same vocabulary: "host<i>" for NIC cables, "leaf<i>:<p>" /
+// "spine<i>:<p>" / "dci<i>:<p>" for the first-visited end of a fabric cable,
+// and "longhaul" for the DCI↔DCI fiber.
+func (n *Network) applyAudit() {
+	aud := n.P.Audit
+	if aud == nil {
+		return
+	}
+	if tel := n.P.Telemetry; tel != nil {
+		aud.SetRecorder(tel.Recorder())
+	}
+	for _, h := range n.Hosts {
+		h.SetAudit(aud)
+	}
+	for _, sw := range n.Leaves {
+		sw.SetAudit(aud)
+	}
+	for _, sw := range n.Spines {
+		sw.SetAudit(aud)
+	}
+	for _, d := range n.DCIs {
+		d.SetAudit(aud)
+	}
+
+	// Walk every port once: install the fault-drop observer and register each
+	// cable the first time one of its ends is visited. Walk order (hosts,
+	// leaves, spines, DCIs) is deterministic, so link names are too.
+	seen := make(map[*link.Port]bool)
+	visit := func(name string, p *link.Port) {
+		if p == nil {
+			return
+		}
+		p.SetAuditDrop(aud.OnFaultDrop)
+		if peer := p.Peer(); peer != nil && !seen[p] && !seen[peer] {
+			aud.AddLink(name, p, peer)
+		}
+		seen[p] = true
+	}
+	for i, h := range n.Hosts {
+		visit(fmt.Sprintf("host%d", i), h.Port())
+	}
+	walk := func(prefix string, i int, sw interface {
+		NumPorts() int
+		Port(int) *link.Port
+	}) {
+		for p := 0; p < sw.NumPorts(); p++ {
+			visit(fmt.Sprintf("%s%d:%d", prefix, i, p), sw.Port(p))
+		}
+	}
+	for i, sw := range n.Leaves {
+		walk("leaf", i, sw)
+	}
+	for i, sw := range n.Spines {
+		walk("spine", i, sw)
+	}
+	lh := n.P.SpinesPerDC
+	if n.Dumbbell {
+		lh = 1
+	}
+	for i, d := range n.DCIs {
+		for p := 0; p < d.NumPorts(); p++ {
+			name := fmt.Sprintf("dci%d:%d", i, p)
+			if p == lh {
+				name = "longhaul"
+			}
+			visit(name, d.Port(p))
+		}
+	}
+}
+
+// Audit returns the network's conservation ledger (possibly nil).
+func (n *Network) Audit() *audit.Ledger { return n.P.Audit }
+
+// AuditProblems runs the ledger's end-of-run checks, telling it whether the
+// packet pool has fully drained; nil without a ledger or when clean.
+func (n *Network) AuditProblems() []string {
+	return n.P.Audit.Problems(n.Pool.Outstanding() == 0)
+}
+
+// MustAudit panics (via metrics.Violation, flight-recorder dump included)
+// on any conservation violation. A nil ledger checks nothing.
+func (n *Network) MustAudit() {
+	n.P.Audit.MustCheck(n.Pool.Outstanding() == 0)
+}

@@ -115,6 +115,7 @@ func TwoDC(p Params) *Network {
 	}
 	n.applyTelemetry()
 	n.applyFaults()
+	n.applyAudit()
 	return n
 }
 
@@ -168,6 +169,7 @@ func Dumbbell(p Params) *Network {
 	}
 	n.applyTelemetry()
 	n.applyFaults()
+	n.applyAudit()
 	return n
 }
 

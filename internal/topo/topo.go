@@ -9,6 +9,7 @@ package topo
 import (
 	"fmt"
 
+	"mlcc/internal/audit"
 	"mlcc/internal/cc"
 	"mlcc/internal/core"
 	"mlcc/internal/dci"
@@ -80,6 +81,13 @@ type Params struct {
 	// link flaps and degradation plus Bernoulli loss rules, all on seeded
 	// PRNG streams (see internal/fault). Nil or empty perturbs nothing.
 	Fault *fault.Plan
+
+	// Audit, when non-nil, is wired through every component at build time:
+	// hosts and switches report packet fates into the conservation ledger
+	// and every cable is registered for per-link accounting (see
+	// internal/audit). Nil (the default) costs nothing and leaves the run
+	// bit-identical.
+	Audit *audit.Ledger
 
 	Seed int64
 }

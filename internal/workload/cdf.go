@@ -6,6 +6,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -19,10 +20,22 @@ type CDF struct {
 	Probs []float64 // cumulative probability, ascending, ending at 1
 }
 
-// Validate checks monotonicity; builders panic on malformed tables.
+// Validate checks monotonicity and domains; builders panic on malformed
+// tables. A valid table guarantees Sample stays inside [Sizes[0], Sizes[n-1]]
+// and Mean is finite and positive. NaN probabilities are rejected explicitly:
+// they slide through ordering comparisons (every comparison with NaN is
+// false), which is exactly the kind of silent miscount fuzzing flushed out.
 func (c *CDF) Validate() error {
 	if len(c.Sizes) != len(c.Probs) || len(c.Sizes) < 2 {
 		return fmt.Errorf("workload: CDF %q needs matching sizes/probs (≥2 points)", c.Name)
+	}
+	if c.Sizes[0] < 1 {
+		return fmt.Errorf("workload: CDF %q smallest size %d < 1 byte", c.Name, c.Sizes[0])
+	}
+	for i, p := range c.Probs {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return fmt.Errorf("workload: CDF %q probability %v at %d outside [0, 1]", c.Name, p, i)
+		}
 	}
 	for i := 1; i < len(c.Sizes); i++ {
 		if c.Sizes[i] < c.Sizes[i-1] || c.Probs[i] < c.Probs[i-1] {
@@ -51,20 +64,33 @@ func (c *CDF) Sample(rng *rand.Rand) int64 {
 		return s1
 	}
 	frac := (u - p0) / (p1 - p0)
-	size := s0 + int64(frac*float64(s1-s0))
-	if size < 1 {
-		size = 1
+	// Bound the offset BEFORE converting: for spans beyond 2^53 bytes the
+	// float64 rounding of s1-s0 can push frac*span past the segment end, and
+	// converting an out-of-range float64 to int64 is implementation-defined.
+	off := frac * float64(s1-s0)
+	if !(off < float64(s1-s0)) {
+		return s1
+	}
+	size := s0 + int64(off)
+	if size < s0 {
+		size = s0
+	}
+	if size > s1 {
+		size = s1
 	}
 	return size
 }
 
-// Mean returns the distribution's expected flow size in bytes, integrating
-// the piecewise-linear segments.
+// Mean returns the distribution's expected flow size in bytes: the point
+// mass at the first size (Probs[0], zero in the built-in tables) plus the
+// integral over the piecewise-linear segments.
 func (c *CDF) Mean() float64 {
-	var mean float64
+	mean := c.Probs[0] * float64(c.Sizes[0])
 	for i := 1; i < len(c.Sizes); i++ {
 		dp := c.Probs[i] - c.Probs[i-1]
-		mean += dp * float64(c.Sizes[i-1]+c.Sizes[i]) / 2
+		// Convert each size separately: the int64 sum overflows for sizes
+		// near MaxInt64, which are legal in a validated table.
+		mean += dp * (float64(c.Sizes[i-1]) + float64(c.Sizes[i])) / 2
 	}
 	return mean
 }

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlcc/internal/sim"
+)
+
+// encodeCDF packs a CDF table into the 16-bytes-per-point wire form FuzzCDF
+// decodes, so the built-in distributions can seed the corpus.
+func encodeCDF(c *CDF) []byte {
+	buf := make([]byte, 0, 16*len(c.Sizes))
+	for i := range c.Sizes {
+		var rec [16]byte
+		binary.LittleEndian.PutUint64(rec[0:], uint64(c.Sizes[i]))
+		binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(c.Probs[i]))
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+// FuzzCDF decodes arbitrary bytes into a CDF table and checks the contract
+// Validate promises: every table it accepts yields Sample values inside
+// [Sizes[0], Sizes[n-1]] and a finite positive Mean. The raw-bits decoding
+// deliberately reaches NaN, ±Inf, negative and near-MaxInt64 values — the
+// inputs that flushed out the NaN-probability hole and the int64 overflow in
+// Mean's segment midpoints.
+func FuzzCDF(f *testing.F) {
+	f.Add(encodeCDF(Websearch()), int64(1))
+	f.Add(encodeCDF(Hadoop()), int64(7))
+	f.Add(encodeCDF(&CDF{Sizes: []int64{1, math.MaxInt64}, Probs: []float64{0, 1}}), int64(3))
+	f.Add([]byte("not a table"), int64(0))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		const rec = 16
+		n := len(data) / rec
+		if n > 64 {
+			n = 64
+		}
+		c := &CDF{Name: "fuzz"}
+		for i := 0; i < n; i++ {
+			c.Sizes = append(c.Sizes, int64(binary.LittleEndian.Uint64(data[i*rec:])))
+			c.Probs = append(c.Probs, math.Float64frombits(binary.LittleEndian.Uint64(data[i*rec+8:])))
+		}
+		if err := c.Validate(); err != nil {
+			return
+		}
+		lo, hi := c.Sizes[0], c.Sizes[len(c.Sizes)-1]
+		m := c.Mean()
+		if !(m > 0) || math.IsInf(m, 0) {
+			t.Fatalf("validated CDF has mean %v (sizes %v probs %v)", m, c.Sizes, c.Probs)
+		}
+		if m > float64(hi)*(1+1e-9) {
+			t.Fatalf("mean %v above largest size %d", m, hi)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			if s := c.Sample(rng); s < lo || s > hi {
+				t.Fatalf("Sample = %d outside support [%d, %d]", s, lo, hi)
+			}
+		}
+	})
+}
+
+// FuzzTracefile feeds arbitrary text to ReadFlows. Whatever it accepts must
+// honor the documented invariants (host range, no self flows, positive size,
+// non-negative start) and survive a Write→Read round trip with every field
+// preserved — Start within the float64 precision the CSV format carries.
+func FuzzTracefile(f *testing.F) {
+	f.Add([]byte("src,dst,size_bytes,start_us\n0,16,125000,43.125\n"), 32)
+	f.Add([]byte("# comment\n\n1,0,1,0\n"), 2)
+	f.Add([]byte("0,1,100,9e18\n"), 4)
+	f.Add([]byte("0,1,100,NaN\n"), 4)
+	f.Fuzz(func(t *testing.T, data []byte, hosts int) {
+		if hosts < 0 {
+			hosts = -hosts
+		}
+		hosts = hosts%1024 + 2
+		flows, err := ReadFlows(bytes.NewReader(data), hosts)
+		if err != nil {
+			return
+		}
+		perDC := hosts / 2
+		for i, fl := range flows {
+			if fl.Src < 0 || fl.Src >= hosts || fl.Dst < 0 || fl.Dst >= hosts || fl.Src == fl.Dst {
+				t.Fatalf("flow %d: bad endpoints %d→%d (hosts=%d)", i, fl.Src, fl.Dst, hosts)
+			}
+			if fl.Size <= 0 || fl.Start < 0 {
+				t.Fatalf("flow %d: size=%d start=%v", i, fl.Size, fl.Start)
+			}
+			if fl.Cross != ((fl.Src < perDC) != (fl.Dst < perDC)) {
+				t.Fatalf("flow %d: Cross flag wrong for %d→%d", i, fl.Src, fl.Dst)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteFlows(&buf, flows); err != nil {
+			t.Fatalf("WriteFlows: %v", err)
+		}
+		back, err := ReadFlows(&buf, hosts)
+		if err != nil {
+			t.Fatalf("round trip rejected its own output: %v", err)
+		}
+		if len(back) != len(flows) {
+			t.Fatalf("round trip: %d flows became %d", len(flows), len(back))
+		}
+		for i := range flows {
+			a, b := flows[i], back[i]
+			if a.Src != b.Src || a.Dst != b.Dst || a.Size != b.Size || a.Cross != b.Cross {
+				t.Fatalf("flow %d changed in round trip: %+v vs %+v", i, a, b)
+			}
+			// Start passes through a float64 microsecond column: exact below
+			// ~2^51 ps, up to a few µs of rounding at the int64 clock's rim.
+			d := a.Start - b.Start
+			if d < 0 {
+				d = -d
+			}
+			if tol := sim.Nanosecond + a.Start/(1<<40); d > tol {
+				t.Fatalf("flow %d: start %v became %v (Δ%v)", i, a.Start, b.Start, d)
+			}
+		}
+	})
+}

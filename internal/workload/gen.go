@@ -52,21 +52,22 @@ func Generate(spec Spec) []FlowSpec {
 	}
 	rng := rand.New(rand.NewSource(spec.Seed*0x9e3779b9 + 1))
 	mean := spec.CDF.Mean() // bytes
+	if !(mean > 0) {        // non-positive or NaN: arrival rate is meaningless
+		return nil
+	}
 	perDC := spec.Hosts / 2
 	var out []FlowSpec
 
-	crossRate := spec.CrossRate
-	if crossRate == 0 {
-		crossRate = spec.HostRate
-	}
-	intraRate := spec.IntraRate
-	if intraRate == 0 || intraRate > spec.HostRate {
-		intraRate = spec.HostRate
-	}
+	crossRate, intraRate := spec.rates()
 	for h := 0; h < spec.Hosts; h++ {
 		// flows/sec so that mean bytes * arrival rate = load * capacity/8.
 		gen := func(load float64, cross bool) {
 			if load <= 0 {
+				return
+			}
+			if !cross && perDC < 2 {
+				// A single-host DC has no intra destination: the uniform
+				// draw over other same-DC hosts would retry forever.
 				return
 			}
 			var lambda float64 // flows per second
@@ -75,6 +76,9 @@ func Generate(spec Spec) []FlowSpec {
 				lambda = load * float64(crossRate) / 8 / mean / float64(perDC)
 			} else {
 				lambda = load * float64(intraRate) / 8 / mean
+			}
+			if !(lambda > 0) || math.IsInf(lambda, 0) {
+				return
 			}
 			t := sim.Time(0)
 			for {
@@ -115,13 +119,48 @@ func Generate(spec Spec) []FlowSpec {
 	return out
 }
 
-// OfferedLoad reports the aggregate offered bytes of flows as a fraction of
-// hosts×rate×duration capacity (diagnostic for tests).
-func OfferedLoad(flows []FlowSpec, spec Spec) float64 {
-	var bytes int64
-	for _, f := range flows {
-		bytes += f.Size
+// rates resolves the capacities loads are measured against, applying the
+// same defaults Generate uses: CrossRate 0 falls back to the NIC rate, and
+// IntraRate is capped at the NIC rate (a host cannot offer more than it can
+// serialize).
+func (spec Spec) rates() (crossRate, intraRate sim.Rate) {
+	crossRate = spec.CrossRate
+	if crossRate == 0 {
+		crossRate = spec.HostRate
 	}
-	capacity := float64(spec.Hosts) * float64(spec.HostRate) / 8 * spec.Duration.Seconds()
-	return float64(bytes) / capacity
+	intraRate = spec.IntraRate
+	if intraRate == 0 || intraRate > spec.HostRate {
+		intraRate = spec.HostRate
+	}
+	return crossRate, intraRate
+}
+
+// OfferedLoads reports the realized intra- and cross-DC offered loads of
+// flows, each as a fraction of the capacity its Spec load knob is measured
+// against: intra bytes against Hosts × IntraRate × Duration, cross bytes
+// against the long-haul capacity in both directions, 2 × CrossRate ×
+// Duration — the denominators Generate sizes its Poisson processes for.
+// Normalizing cross traffic by Hosts × HostRate (as a single aggregate
+// diagnostic once did) understates the realized cross load by the ratio of
+// host to long-haul capacity.
+func OfferedLoads(flows []FlowSpec, spec Spec) (intra, cross float64) {
+	var intraBytes, crossBytes int64
+	for _, f := range flows {
+		if f.Cross {
+			crossBytes += f.Size
+		} else {
+			intraBytes += f.Size
+		}
+	}
+	crossRate, intraRate := spec.rates()
+	dur := spec.Duration.Seconds()
+	intraCap := float64(spec.Hosts) * float64(intraRate) / 8 * dur
+	crossCap := 2 * float64(crossRate) / 8 * dur
+	if intraCap > 0 {
+		intra = float64(intraBytes) / intraCap
+	}
+	if crossCap > 0 {
+		cross = float64(crossBytes) / crossCap
+	}
+	return intra, cross
 }

@@ -75,8 +75,16 @@ func ReadFlows(r io.Reader, hosts int) ([]FlowSpec, error) {
 		if src == dst {
 			return nil, fmt.Errorf("workload: trace line %d: self flow", line)
 		}
-		if size <= 0 || us < 0 {
-			return nil, fmt.Errorf("workload: trace line %d: non-positive size or negative start", line)
+		if size <= 0 {
+			return nil, fmt.Errorf("workload: trace line %d: non-positive size", line)
+		}
+		// Validate the start BEFORE converting: float→int64 conversion of
+		// NaN or out-of-range values is implementation-defined in Go, so a
+		// post-conversion check could pass garbage. The bound is the int64
+		// picosecond clock's range (~9.2e12 µs ≈ 106 simulated days).
+		const maxStartUS = float64(1<<63-1) / 1e6
+		if !(us >= 0 && us <= maxStartUS) {
+			return nil, fmt.Errorf("workload: trace line %d: start %v outside [0, %g] µs", line, us, maxStartUS)
 		}
 		perDC := hosts / 2
 		out = append(out, FlowSpec{

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"mlcc/internal/sim"
 )
@@ -21,6 +22,18 @@ func TestCDFValidate(t *testing.T) {
 	short := &CDF{Name: "s", Sizes: []int64{1}, Probs: []float64{1}}
 	if err := short.Validate(); err == nil {
 		t.Fatal("single-point CDF accepted")
+	}
+	nan := &CDF{Name: "nan", Sizes: []int64{1, 10}, Probs: []float64{math.NaN(), 1}}
+	if err := nan.Validate(); err == nil {
+		t.Fatal("NaN probability accepted (NaN passes every ordering comparison)")
+	}
+	over := &CDF{Name: "over", Sizes: []int64{1, 10}, Probs: []float64{0, 1.5}}
+	if err := over.Validate(); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	zeroSize := &CDF{Name: "z", Sizes: []int64{0, 10}, Probs: []float64{0, 1}}
+	if err := zeroSize.Validate(); err == nil {
+		t.Fatal("zero-byte smallest size accepted (Sample could return 0)")
 	}
 	if err := Websearch().Validate(); err != nil {
 		t.Fatal(err)
@@ -176,6 +189,117 @@ func TestGenerateEdgeCases(t *testing.T) {
 	spec := testSpec(0, 0)
 	if flows := Generate(spec); len(flows) != 0 {
 		t.Fatalf("zero load produced %d flows", len(flows))
+	}
+}
+
+// TestGenerateSingleHostPerDC is the livelock regression: with Hosts=2 each
+// DC has exactly one host, so the intra-DC destination draw ("uniform among
+// OTHER same-DC hosts") has an empty support and the retry loop `for dst == h`
+// used to spin forever. Generate must now skip intra generation for
+// single-host DCs — and still produce the cross traffic. The goroutine +
+// deadline guard keeps a regression from hanging the whole test binary.
+func TestGenerateSingleHostPerDC(t *testing.T) {
+	done := make(chan []FlowSpec, 1)
+	go func() {
+		spec := testSpec(0.5, 0.2)
+		spec.Hosts = 2
+		done <- Generate(spec)
+	}()
+	select {
+	case flows := <-done:
+		for _, f := range flows {
+			if !f.Cross {
+				t.Fatalf("intra flow %+v generated with one host per DC", f)
+			}
+			if f.Src == f.Dst {
+				t.Fatalf("self flow %+v", f)
+			}
+		}
+		if len(flows) == 0 {
+			t.Fatal("cross traffic missing: intra skip must not suppress cross generation")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Generate livelocked with perDC == 1 and IntraLoad > 0")
+	}
+}
+
+// TestOfferedLoadsPinned pins the split diagnostics against the spec's own
+// load knobs: the realized intra fraction is measured against Hosts ×
+// IntraRate and the cross fraction against both directions of the long haul
+// (2 × CrossRate) — NOT against Hosts × HostRate, which would understate
+// cross load by HostRate/CrossRate (the old aggregate diagnostic's bug).
+func TestOfferedLoadsPinned(t *testing.T) {
+	spec := testSpec(0.5, 0.2)
+	flows := Generate(spec)
+	intra, cross := OfferedLoads(flows, spec)
+	if math.Abs(intra-0.5)/0.5 > 0.25 {
+		t.Errorf("realized intra load %.3f, want ≈ 0.5", intra)
+	}
+	if math.Abs(cross-0.2)/0.2 > 0.35 {
+		t.Errorf("realized cross load %.3f, want ≈ 0.2", cross)
+	}
+
+	// Construct a trace where the wrong denominator is unmistakable: one
+	// cross flow filling exactly 10% of both long-haul directions for the
+	// window. Hosts × HostRate is 4× the two-way long-haul capacity here, so
+	// the old normalization would report 0.025.
+	sized := []FlowSpec{{Src: 0, Dst: 16, Size: int64(2 * 100e9 / 8 * 0.020 * 0.10), Cross: true}}
+	_, crossOnly := OfferedLoads(sized, spec)
+	if math.Abs(crossOnly-0.10) > 1e-9 {
+		t.Errorf("pinned cross load = %.6f, want 0.10 exactly", crossOnly)
+	}
+	intraOnly, _ := OfferedLoads(sized, spec)
+	if intraOnly != 0 {
+		t.Errorf("cross-only trace reported intra load %v", intraOnly)
+	}
+}
+
+// TestOfferedLoadsMatchSpecProperty checks across seeds that the realized
+// offered load tracks the requested IntraLoad/CrossLoad. Per-seed noise is
+// real — websearch's heavy tail gives aggregate bytes a ~25-35% relative
+// std at this window — so each seed gets a loose bound and the seed-averaged
+// loads get a tight one (estimator consistency, not luck).
+func TestOfferedLoadsMatchSpecProperty(t *testing.T) {
+	const seeds = 8
+	var sumIntra, sumCross float64
+	for seed := int64(1); seed <= seeds; seed++ {
+		spec := testSpec(0.5, 0.2)
+		spec.Seed = seed
+		intra, cross := OfferedLoads(Generate(spec), spec)
+		if math.Abs(intra-0.5)/0.5 > 0.6 {
+			t.Errorf("seed %d: realized intra load %.3f implausibly far from 0.5", seed, intra)
+		}
+		if math.Abs(cross-0.2)/0.2 > 0.9 {
+			t.Errorf("seed %d: realized cross load %.3f implausibly far from 0.2", seed, cross)
+		}
+		sumIntra += intra
+		sumCross += cross
+	}
+	avgIntra, avgCross := sumIntra/seeds, sumCross/seeds
+	if math.Abs(avgIntra-0.5)/0.5 > 0.15 {
+		t.Errorf("seed-averaged intra load %.3f, want ≈ 0.5 within 15%%", avgIntra)
+	}
+	if math.Abs(avgCross-0.2)/0.2 > 0.25 {
+		t.Errorf("seed-averaged cross load %.3f, want ≈ 0.2 within 25%%", avgCross)
+	}
+}
+
+// TestMeanIncludesPointMass pins the Mean fix: probability mass sitting at
+// the first size (Probs[0] > 0) is part of the expectation. The built-in
+// tables have Probs[0] = 0, so this fix cannot move their generated loads.
+func TestMeanIncludesPointMass(t *testing.T) {
+	c := &CDF{Name: "pm", Sizes: []int64{100, 200}, Probs: []float64{0.5, 1}}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// E = 0.5×100 (point mass) + 0.5×(100+200)/2 (linear segment) = 125.
+	if got := c.Mean(); math.Abs(got-125) > 1e-9 {
+		t.Errorf("Mean = %v, want 125", got)
+	}
+	for _, b := range []*CDF{Websearch(), Hadoop()} {
+		if b.Probs[0] != 0 {
+			t.Errorf("%s: Probs[0] = %v — point-mass fix would change its mean", b.Name, b.Probs[0])
+		}
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"io"
 	"time"
 
+	"mlcc/internal/audit"
 	"mlcc/internal/exp"
 	"mlcc/internal/fault"
 	"mlcc/internal/host"
@@ -163,6 +164,13 @@ type Config struct {
 	// interval, and the run manifest is filled in. Nil costs nothing.
 	Telemetry *Telemetry
 
+	// Audit enables the end-to-end conservation ledger (internal/audit):
+	// every injected byte is accounted against its fate and the run panics
+	// (flight-recorder dump included when Telemetry records one) on any
+	// conservation violation at run end. Off (the default) costs nothing
+	// and leaves the simulation bit-identical.
+	Audit bool
+
 	Seed int64
 }
 
@@ -195,6 +203,11 @@ type Result struct {
 	// Trace is the workload that was run (generated or replayed), suitable
 	// for WriteFlows so a run can be replayed exactly.
 	Trace []FlowSpec
+
+	// Audit is the conservation ledger's one-line fate summary when
+	// Config.Audit was set ("" otherwise). A populated summary means the
+	// run passed every conservation check — violations panic instead.
+	Audit string
 }
 
 // Run executes one workload simulation and returns its summary.
@@ -238,6 +251,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	p = p.WithAlgorithm(cfg.Algorithm)
 	p.Telemetry = cfg.Telemetry
+	if cfg.Audit {
+		p.Audit = audit.New()
+	}
 	if cfg.Fault != nil {
 		if err := cfg.Fault.Validate(); err != nil {
 			return nil, fmt.Errorf("mlcc: %w", err)
@@ -298,6 +314,7 @@ func Run(cfg Config) (*Result, error) {
 	tel.StartSampling(n.Eng, cfg.Deadline)
 	t0 := time.Now()
 	n.Run(cfg.Deadline)
+	n.MustAudit()
 	if tel != nil {
 		if tel.Manifest == nil {
 			tel.Manifest = metrics.NewManifest("mlccsim")
@@ -326,6 +343,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Flows: len(flows), FCT: col, Trace: flows}
+	if cfg.Audit {
+		res.Audit = n.Audit().Summary()
+	}
 	for _, h := range n.Hosts {
 		res.Aborted += int(h.Aborted)
 	}
