@@ -10,23 +10,27 @@ test:
 
 # check is the pre-merge gate: static analysis, race-enabled tests on the
 # determinism-sensitive packages (including the fault-injection layer, the
-# link/host paths it perturbs and the conservation-audit ledger), a one-shot
-# benchmark smoke run, the telemetry-overhead proof (disabled-path hot loops
-# must stay at 0 allocs/op), the three digest invariants (golden digests
-# identical with telemetry, with an empty/vacuous fault plan, and with the
-# audit ledger attached — the last also asserting zero conservation
-# violations) and a short fuzz budget on each native fuzz target so the
-# committed corpora keep being exercised beyond plain-seed replay.
+# link/host paths it perturbs, the congestion-control feedback consumers and
+# the conservation-audit ledger), a one-shot benchmark smoke run, the
+# telemetry-overhead proof (disabled-path hot loops must stay at 0
+# allocs/op), the digest invariants (golden digests identical with
+# telemetry, with an empty/vacuous fault plan, with a vacuous feedback-fault
+# plan, and with the audit ledger attached — the last also asserting zero
+# conservation violations) and a short fuzz budget on each native fuzz
+# target so the committed corpora keep being exercised beyond plain-seed
+# replay.
 check: build
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim/... ./internal/exp/... ./internal/metrics/... ./internal/fault/... ./internal/link/... ./internal/host/... ./internal/audit/...
+	$(GO) test -race ./internal/sim/... ./internal/exp/... ./internal/metrics/... ./internal/fault/... ./internal/link/... ./internal/host/... ./internal/audit/... ./internal/cc/...
 	$(GO) test -run '^$$' -bench 'BenchmarkFig02' -benchtime=1x .
 	$(GO) test -run 'TestTelemetryDisabledPathAllocFree' -count=1 .
 	$(GO) test -run 'TestDigestTelemetryInvariant' -short -count=1 ./internal/exp/
 	$(GO) test -run 'TestDigestFaultPlan' -short -count=1 ./internal/exp/
+	$(GO) test -run 'TestDigestFeedbackPlan' -short -count=1 ./internal/exp/
 	$(GO) test -run 'TestDigestAuditInvariant' -short -count=1 ./internal/exp/
 	$(GO) test -fuzz 'FuzzEngineSchedule' -fuzztime=10s -run '^$$' ./internal/sim/
 	$(GO) test -fuzz 'FuzzFaultPlanJSON' -fuzztime=10s -run '^$$' ./internal/fault/
+	$(GO) test -fuzz 'FuzzINTFeedback' -fuzztime=10s -run '^$$' ./internal/cc/
 	$(GO) test -fuzz 'FuzzCDF' -fuzztime=10s -run '^$$' ./internal/workload/
 	$(GO) test -fuzz 'FuzzTracefile' -fuzztime=10s -run '^$$' ./internal/workload/
 

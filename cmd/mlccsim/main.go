@@ -5,6 +5,7 @@
 //
 //	mlccsim -alg mlcc -workload websearch -intra 0.5 -cross 0.2
 //	mlccsim -alg dcqcn -workload hadoop -intra 0.3 -cross 0.1 -duration 10ms
+//	mlccsim -alg hpcc -fb-loss 0.3 -fb-corrupt 0.2 -audit
 package main
 
 import (
@@ -35,6 +36,12 @@ func main() {
 		faultIn  = flag.String("fault-plan", "", "inject the scripted link faults from this JSON plan file")
 		wanLoss  = flag.Float64("wan-loss", 0, "Bernoulli loss probability on the long-haul link for the whole run")
 		useAudit = flag.Bool("audit", false, "enable the end-to-end conservation audit (panics on any violation)")
+
+		fbLoss    = flag.Float64("fb-loss", 0, "drop probability for feedback frames (ACK/CNP/Switch-INT) at every host's feedback ingress")
+		fbCorrupt = flag.Float64("fb-corrupt", 0, "INT-stack corruption probability for feedback frames at every host")
+		fbDelay   = flag.Duration("fb-delay", 0, "fixed extra delay on every feedback frame")
+		fbJitter  = flag.Duration("fb-jitter", 0, "max uniform random extra feedback delay (bounded reordering)")
+		watchdogK = flag.Int("watchdog-k", 0, "arm the feedback-silence watchdog at K round-trips (0 = off, or the default K when a -fb-* flag is given)")
 
 		useMetrics = flag.Bool("metrics", false, "enable the telemetry metrics registry")
 		flightN    = flag.Int("flight-recorder", 0, "keep the last N packet-lifecycle events in a flight recorder")
@@ -88,6 +95,25 @@ func main() {
 		}
 		cfg.Fault.Loss = append(cfg.Fault.Loss, mlcc.FaultLossRule{Link: "longhaul", Prob: *wanLoss})
 	}
+	if *fbLoss > 0 || *fbCorrupt > 0 || *fbDelay > 0 || *fbJitter > 0 {
+		if cfg.Fault == nil {
+			cfg.Fault = &mlcc.FaultPlan{Seed: *seed}
+		}
+		cfg.Fault.Feedback = append(cfg.Fault.Feedback, mlcc.FaultFeedbackRule{
+			Host:    "*",
+			Drop:    *fbLoss,
+			Corrupt: *fbCorrupt,
+			Delay:   mlcc.Time(fbDelay.Nanoseconds()) * mlcc.Nanosecond,
+			Jitter:  mlcc.Time(fbJitter.Nanoseconds()) * mlcc.Nanosecond,
+		})
+		// Feedback under attack without a watchdog decays nothing; arm the
+		// default unless the user chose a K (or explicitly left it off with
+		// a JSON plan instead of flags).
+		if *watchdogK == 0 {
+			*watchdogK = mlcc.DefaultFBWatchdogK
+		}
+	}
+	cfg.FBWatchdogK = *watchdogK
 	if *flowsIn != "" {
 		f, err := os.Open(*flowsIn)
 		if err != nil {
@@ -147,6 +173,14 @@ func main() {
 	if cfg.Fault != nil {
 		fmt.Printf("aborted flows  %d\n", res.Aborted)
 		fmt.Printf("fault drops    %d\n", res.FaultDrops)
+	}
+	if res.FBDrops > 0 || res.FBCorrupts > 0 || res.InvalidINT > 0 {
+		fmt.Printf("fb faults      %d dropped, %d corrupted, %d invalid INT discarded\n",
+			res.FBDrops, res.FBCorrupts, res.InvalidINT)
+	}
+	if cfg.FBWatchdogK > 0 {
+		fmt.Printf("watchdog       K=%d: %d decays, %d recovers\n",
+			cfg.FBWatchdogK, res.WatchdogDecays, res.WatchdogRecovers)
 	}
 	fmt.Printf("avg FCT intra  %v\n", res.AvgFCTIntra)
 	fmt.Printf("avg FCT cross  %v\n", res.AvgFCTCross)

@@ -101,6 +101,14 @@ type Ledger struct {
 	// destroyed by the fault layer; they appear in per-link accounting via
 	// Port.FaultDrops.
 	ControlFaultDrops int64
+
+	// FeedbackDrops counts feedback frames (ACK/CNP/Switch-INT) the fault
+	// layer destroyed at a host's feedback ingress. These frames were
+	// already counted as received by the NIC port, so neither per-link nor
+	// per-flow data conservation is affected; the ledger carries the total
+	// so a feedback-faulted run's books still name every destroyed control
+	// frame.
+	FeedbackDrops int64
 }
 
 // New returns an empty ledger.
@@ -280,6 +288,15 @@ func (l *Ledger) OnFaultDrop(p *pkt.Packet, corrupt bool) {
 	}
 }
 
+// OnFeedbackDrop records a feedback frame destroyed by a feedback-plane
+// fault rule at a host's ingress (post port-Rx, pre consumer).
+func (l *Ledger) OnFeedbackDrop(p *pkt.Packet) {
+	if l == nil {
+		return
+	}
+	l.FeedbackDrops++
+}
+
 // AddLink registers a full-duplex link for per-link frame conservation.
 // Both directions are checked: everything a transmitter counted must be at
 // the peer, destroyed by the fault layer, on the wire, or mid-serialization.
@@ -424,8 +441,8 @@ func (l *Ledger) Summary() string {
 		t.GapPkts += r.GapPkts
 	}
 	return fmt.Sprintf(
-		"audit: flows=%d done=%d aborted=%d injected=%d pkts (%d B) delivered=%d wred=%d corrupt=%d admin_down=%d dup=%d gap=%d abort_unacked=%d B ctl_fault_drops=%d links=%d",
+		"audit: flows=%d done=%d aborted=%d injected=%d pkts (%d B) delivered=%d wred=%d corrupt=%d admin_down=%d dup=%d gap=%d abort_unacked=%d B ctl_fault_drops=%d fb_drops=%d links=%d",
 		len(l.flows), done, aborted, t.InjectedPkts, t.InjectedBytes, t.DeliveredPkts,
 		t.WREDPkts, t.CorruptPkts, t.DownPkts, t.DupPkts, t.GapPkts, abortUnacked,
-		l.ControlFaultDrops, len(l.links))
+		l.ControlFaultDrops, l.FeedbackDrops, len(l.links))
 }

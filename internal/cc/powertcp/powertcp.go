@@ -64,15 +64,26 @@ func (s *sender) OnSwitchINT(now sim.Time, p *pkt.Packet) {}
 
 // OnAck computes the normalized power Γ across hops and applies the
 // γ-smoothed window update w ← γ(w/Γ + β) + (1−γ)w.
+//
+// Corruption guards mirror cc.UtilEstimator.Update: a structurally invalid
+// stack, or one whose per-hop TS or TxBytes regressed against the remembered
+// baseline, is rejected WITHOUT overwriting s.last — folding it in would make
+// the next honest sample compute garbage deltas.
 func (s *sender) OnAck(now sim.Time, ack *pkt.Packet) {
 	hops := ack.Hops
-	if len(hops) == 0 {
+	if len(hops) == 0 || !cc.ValidINTStack(hops) {
 		return
 	}
 	if !s.init || !sameHops(s.last, hops) {
 		s.last = append(s.last[:0], hops...)
 		s.init = true
 		return
+	}
+	for i := range hops {
+		cur, prev := &hops[i], &s.last[i]
+		if cur.TS < prev.TS || cur.TxBytes < prev.TxBytes {
+			return
+		}
 	}
 	tau := s.flow.BaseRTT.Seconds()
 	gamma := 0.0 // normalized power Γ

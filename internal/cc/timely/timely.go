@@ -59,6 +59,8 @@ type sender struct {
 	haveRTT  bool
 	negCount int
 	lastUpd  sim.Time
+	lastEcho sim.Time // newest echoed send timestamp seen
+	haveEcho bool
 }
 
 // Rate implements cc.Sender.
@@ -81,6 +83,14 @@ func (s *sender) OnAck(now sim.Time, ack *pkt.Packet) {
 	if rtt <= 0 {
 		return
 	}
+	if s.haveEcho && ack.EchoTS < s.lastEcho {
+		// Reordered ACK: it echoes an older send than one already folded in,
+		// so its delivery delay is not this path's current RTT — a burst of
+		// such stale samples would read as a spurious positive gradient.
+		return
+	}
+	s.lastEcho = ack.EchoTS
+	s.haveEcho = true
 	if !s.haveRTT {
 		s.prevRTT = rtt
 		s.haveRTT = true

@@ -14,10 +14,11 @@ import (
 // Hops are matched positionally; when the path (hop count or node ids)
 // changes, stale state is discarded.
 type UtilEstimator struct {
-	T    sim.Time // base RTT of the controlled segment
-	last []pkt.INTHop
-	u    float64 // smoothed utilization
-	init bool
+	T        sim.Time // base RTT of the controlled segment
+	last     []pkt.INTHop
+	u        float64 // smoothed utilization
+	init     bool
+	rejected int64 // samples discarded by the corruption guards
 }
 
 // NewUtilEstimator returns an estimator for a control segment with base RTT t.
@@ -27,6 +28,9 @@ func NewUtilEstimator(t sim.Time) *UtilEstimator {
 
 // U returns the current smoothed utilization estimate.
 func (e *UtilEstimator) U() float64 { return e.u }
+
+// Rejected reports how many samples the corruption guards discarded.
+func (e *UtilEstimator) Rejected() int64 { return e.rejected }
 
 // Reset discards all hop state.
 func (e *UtilEstimator) Reset() {
@@ -49,9 +53,23 @@ func (e *UtilEstimator) sameHops(hops []pkt.INTHop) bool {
 }
 
 // Update folds a new INT stack into the estimate and returns the smoothed U.
-// Returns (u, false) when this sample only primed the estimator.
+// Returns (u, false) when this sample only primed the estimator or was
+// rejected by the corruption guards.
+//
+// Guards: a structurally invalid stack (ValidINTStack) or one with a
+// regressed per-hop TS or TxBytes relative to the remembered baseline is
+// rejected WITHOUT overwriting e.last — a corrupted sample folded into the
+// baseline would make the NEXT honest sample read wrong (a regressed TS
+// yields a huge dt, a regressed TxBytes a huge txRate), which is worse than
+// the corrupt sample itself. A stack with no hop advancing in time (an exact
+// duplicate, e.g. a reordered copy) likewise leaves both the EWMA and the
+// baseline untouched.
 func (e *UtilEstimator) Update(hops []pkt.INTHop) (float64, bool) {
 	if len(hops) == 0 {
+		return e.u, false
+	}
+	if !ValidINTStack(hops) {
+		e.rejected++
 		return e.u, false
 	}
 	if !e.init || !e.sameHops(hops) {
@@ -59,14 +77,23 @@ func (e *UtilEstimator) Update(hops []pkt.INTHop) (float64, bool) {
 		e.init = true
 		return e.u, false
 	}
+	for i := range hops {
+		cur, prev := &hops[i], &e.last[i]
+		if cur.TS < prev.TS || cur.TxBytes < prev.TxBytes {
+			e.rejected++
+			return e.u, false
+		}
+	}
 	u := 0.0
 	tau := e.T
+	sawDT := false
 	for i := range hops {
 		cur, prev := &hops[i], &e.last[i]
 		dt := cur.TS - prev.TS
 		if dt <= 0 {
 			continue
 		}
+		sawDT = true
 		txRate := float64(cur.TxBytes-prev.TxBytes) * 8 / dt.Seconds()
 		band := float64(cur.Band)
 		qlen := cur.QLen
@@ -79,6 +106,11 @@ func (e *UtilEstimator) Update(hops []pkt.INTHop) (float64, bool) {
 			u = ui
 			tau = dt
 		}
+	}
+	if !sawDT {
+		// No hop advanced in time: an exact duplicate carries no new
+		// information, so it must not zero the EWMA or touch the baseline.
+		return e.u, false
 	}
 	if tau > e.T {
 		tau = e.T

@@ -112,6 +112,62 @@ func TestDigestFaultPlanStable(t *testing.T) {
 	}
 }
 
+// TestDigestFeedbackPlanVacuous proves the reverse-path fault layer is
+// pay-for-what-you-break: a plan whose feedback rules can never fire still
+// installs ingress filters (and the INT validation behind them) on every
+// host, yet must reproduce the golden digests byte for byte. The "zero" rule
+// is vacuous (no probability, no delay) and draws no randomness;
+// "beyond-horizon" carries a total blackout whose window opens after the
+// 60 ms scenario ends. Either drifting means the defenses perturb healthy
+// runs — exactly what they must not do. (This is also why the watchdog is
+// not auto-armed by feedback plans: armed at 4·RTT it decays through
+// genuine PFC-pause silences on µs-RTT flows and moves dcqcn/timely off
+// golden.)
+func TestDigestFeedbackPlanVacuous(t *testing.T) {
+	plans := map[string]*fault.Plan{
+		"zero": {Seed: 42, Feedback: []fault.FeedbackRule{{Host: "*"}}},
+		"beyond-horizon": {Seed: 42, Feedback: []fault.FeedbackRule{
+			{Host: "*", Drop: 1, Start: 10 * sim.Second},
+		}},
+	}
+	algs := []string{"mlcc", "dcqcn"}
+	if !testing.Short() {
+		algs = append(algs, "timely", "hpcc", "powertcp")
+	}
+	for name, plan := range plans {
+		for _, alg := range algs {
+			name, plan, alg := name, plan, alg
+			t.Run(name+"/"+alg, func(t *testing.T) {
+				t.Parallel()
+				if got, want := DeterminismDigestPlan(alg, 1, plan), goldenDigests[alg]; got != want {
+					t.Errorf("digest with %s feedback plan = %#016x, want golden %#016x", name, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestDigestFeedbackPlanStable pins the active half: a plan that drops and
+// corrupts feedback must be reproducible seed-for-seed and must actually move
+// the outcome off the fault-free golden — otherwise it silently failed to
+// bind at host ingress.
+func TestDigestFeedbackPlanStable(t *testing.T) {
+	plan := &fault.Plan{
+		Seed: 5,
+		Feedback: []fault.FeedbackRule{
+			{Host: "*", Drop: 0.2, Corrupt: 0.3, Start: 2 * sim.Millisecond},
+		},
+	}
+	a := DeterminismDigestPlan("hpcc", 1, plan)
+	b := DeterminismDigestPlan("hpcc", 1, plan)
+	if a != b {
+		t.Fatalf("same seed+plan digests differ: %#016x vs %#016x", a, b)
+	}
+	if a == goldenDigests["hpcc"] {
+		t.Errorf("active feedback plan left the digest at the fault-free golden %#016x", a)
+	}
+}
+
 // TestDigestTelemetryInvariant proves passive telemetry is behaviour-free:
 // running with the registry and flight recorder attached must reproduce the
 // golden digest bit for bit. If a metrics call ever schedules an event,

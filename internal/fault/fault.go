@@ -19,6 +19,7 @@ package fault
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"mlcc/internal/sim"
 )
@@ -76,19 +77,98 @@ type LossRule struct {
 	End   sim.Time
 }
 
+// FBKind is a bit set selecting which feedback frame kinds a FeedbackRule
+// applies to. Zero means all kinds.
+type FBKind uint8
+
+// Feedback frame kinds.
+const (
+	FBAck       FBKind = 1 << iota // cumulative ACKs (and their INT stacks)
+	FBCNP                          // DCQCN congestion notifications
+	FBSwitchINT                    // MLCC near-source Switch-INT reflections
+	FBAllKinds  = FBAck | FBCNP | FBSwitchINT
+)
+
+// String names the kind set using the JSON plan vocabulary.
+func (k FBKind) String() string {
+	if k == 0 || k == FBAllKinds {
+		return "all"
+	}
+	s := ""
+	add := func(bit FBKind, name string) {
+		if k&bit != 0 {
+			if s != "" {
+				s += "+"
+			}
+			s += name
+		}
+	}
+	add(FBAck, "ack")
+	add(FBCNP, "cnp")
+	add(FBSwitchINT, "sint")
+	return s
+}
+
+// CorruptMode is a bit set selecting how INT telemetry is corrupted. Zero
+// means all modes.
+type CorruptMode uint8
+
+// INT corruption modes.
+const (
+	CorruptTruncate CorruptMode = 1 << iota // drop records off the stack tail
+	CorruptStaleTS                          // regress one hop's timestamp
+	CorruptGarbage                          // garbage QLen/TxBytes/Band on one hop
+	CorruptAllModes = CorruptTruncate | CorruptStaleTS | CorruptGarbage
+)
+
+// FeedbackRule impairs the reverse path: feedback frames (ACKs, CNPs,
+// Switch-INT reflections) arriving at the matched sending hosts are dropped,
+// delayed (with bounded reordering via jitter) or have their INT telemetry
+// corrupted, each with independent probability, while the rule's window
+// [Start, End) is open. Faults apply at the host's feedback ingress — after
+// the NIC port counted the frame as received — so link-level conservation
+// books are untouched and the drop is attributed to the feedback plane.
+//
+// Unlike data-path LossRule, Drop may be exactly 1: a total feedback
+// blackout (the watchdog experiment) is a meaningful configuration, whereas
+// a data link at 100% loss is just a down link.
+type FeedbackRule struct {
+	Host    string      // "" or "*" = every host; "host<i>" = one sender
+	Kinds   FBKind      // frame kinds affected; 0 = all
+	Drop    float64     // P(destroy frame), [0, 1]
+	Delay   sim.Time    // fixed extra delivery delay per frame
+	Jitter  sim.Time    // max uniform random extra delay (bounded reordering)
+	Corrupt float64     // P(corrupt the frame's INT stack), [0, 1]
+	Modes   CorruptMode // corruption modes drawn from; 0 = all
+	Start   sim.Time
+	End     sim.Time // 0 = until the end of the run
+}
+
+// vacuous reports whether the rule can never alter a frame.
+func (r *FeedbackRule) vacuous() bool {
+	return r.Drop <= 0 && r.Corrupt <= 0 && r.Delay <= 0 && r.Jitter <= 0
+}
+
 // Plan is a complete fault schedule. The zero value (and nil) is the empty
 // plan: applying it installs nothing and perturbs nothing.
 type Plan struct {
 	// Seed decorrelates the plan's PRNG streams from the simulation seed;
 	// streams are further decorrelated per link name and per rule index.
-	Seed   int64
-	Events []Event
-	Loss   []LossRule
+	Seed     int64
+	Events   []Event
+	Loss     []LossRule
+	Feedback []FeedbackRule
 }
 
 // Empty reports whether the plan (possibly nil) schedules nothing.
 func (p *Plan) Empty() bool {
-	return p == nil || (len(p.Events) == 0 && len(p.Loss) == 0)
+	return p == nil || (len(p.Events) == 0 && len(p.Loss) == 0 && len(p.Feedback) == 0)
+}
+
+// HasFeedback reports whether the plan (possibly nil) carries feedback-plane
+// rules.
+func (p *Plan) HasFeedback() bool {
+	return p != nil && len(p.Feedback) > 0
 }
 
 // Validate checks the plan's parameters (not link names, which only the
@@ -127,6 +207,47 @@ func (p *Plan) Validate() error {
 		}
 		if r.Start < 0 || (r.End != 0 && r.End <= r.Start) {
 			return fmt.Errorf("fault: loss rule %d (%s): bad window [%v, %v)", i, r.Link, r.Start, r.End)
+		}
+	}
+	for i, r := range p.Feedback {
+		if err := checkHostName(r.Host); err != nil {
+			return fmt.Errorf("fault: feedback rule %d: %w", i, err)
+		}
+		if math.IsNaN(r.Drop) || r.Drop < 0 || r.Drop > 1 {
+			return fmt.Errorf("fault: feedback rule %d (%s): drop probability %v outside [0, 1]", i, r.Host, r.Drop)
+		}
+		if math.IsNaN(r.Corrupt) || r.Corrupt < 0 || r.Corrupt > 1 {
+			return fmt.Errorf("fault: feedback rule %d (%s): corrupt probability %v outside [0, 1]", i, r.Host, r.Corrupt)
+		}
+		if r.Delay < 0 || r.Jitter < 0 {
+			return fmt.Errorf("fault: feedback rule %d (%s): negative delay/jitter", i, r.Host)
+		}
+		if r.Kinds&^FBAllKinds != 0 {
+			return fmt.Errorf("fault: feedback rule %d (%s): unknown kind bits %#x", i, r.Host, r.Kinds&^FBAllKinds)
+		}
+		if r.Modes&^CorruptAllModes != 0 {
+			return fmt.Errorf("fault: feedback rule %d (%s): unknown corrupt-mode bits %#x", i, r.Host, r.Modes&^CorruptAllModes)
+		}
+		if r.Start < 0 || (r.End != 0 && r.End <= r.Start) {
+			return fmt.Errorf("fault: feedback rule %d (%s): bad window [%v, %v)", i, r.Host, r.Start, r.End)
+		}
+	}
+	return nil
+}
+
+// checkHostName validates a feedback rule's host selector: "", "*" (every
+// host) or "host<i>".
+func checkHostName(name string) error {
+	if name == "" || name == "*" {
+		return nil
+	}
+	rest, ok := strings.CutPrefix(name, "host")
+	if !ok || rest == "" {
+		return fmt.Errorf("bad host %q (want \"\", \"*\" or \"host<i>\")", name)
+	}
+	for i := 0; i < len(rest); i++ {
+		if rest[i] < '0' || rest[i] > '9' {
+			return fmt.Errorf("bad host %q (want \"\", \"*\" or \"host<i>\")", name)
 		}
 	}
 	return nil

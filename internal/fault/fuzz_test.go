@@ -19,6 +19,9 @@ func FuzzFaultPlanJSON(f *testing.F) {
 	f.Add([]byte(`{"loss":[{"link":"longhaul","prob":0.001,"start_us":0,"end_us":0}]}`))
 	f.Add([]byte(`{"events":[{"at_us":9.3e18,"link":"l","action":"down"}]}`))
 	f.Add([]byte(`{"loss":[{"link":"l","prob":"NaN"}]}`))
+	f.Add([]byte(`{"feedback":[{"host":"*","kinds":["ack","cnp"],"drop":0.3,"delay_us":100,"jitter_us":50,"corrupt":0.1,"modes":["truncate","stale_ts"],"start_us":5000,"end_us":10000}]}`))
+	f.Add([]byte(`{"feedback":[{"host":"host0","drop":1}]}`))
+	f.Add([]byte(`{"feedback":[{"host":"hostX","drop":0.5}]}`))
 	f.Add([]byte(`{}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := ReadPlan(bytes.NewReader(data))
@@ -36,7 +39,8 @@ func FuzzFaultPlanJSON(f *testing.F) {
 		if err != nil {
 			t.Fatalf("round trip rejected its own output: %v\n%s", err, buf.Bytes())
 		}
-		if p2.Seed != p.Seed || len(p2.Events) != len(p.Events) || len(p2.Loss) != len(p.Loss) {
+		if p2.Seed != p.Seed || len(p2.Events) != len(p.Events) || len(p2.Loss) != len(p.Loss) ||
+			len(p2.Feedback) != len(p.Feedback) {
 			t.Fatalf("round trip changed shape: %+v vs %+v", p, p2)
 		}
 		// Microsecond fields pass through float64: exact below ~2^51 ps,
@@ -64,6 +68,17 @@ func FuzzFaultPlanJSON(f *testing.F) {
 			}
 			if !timeClose(a.Start, b.Start) || !timeClose(a.End, b.End) {
 				t.Fatalf("loss rule %d window drifted: %+v vs %+v", i, a, b)
+			}
+		}
+		for i := range p.Feedback {
+			a, b := p.Feedback[i], p2.Feedback[i]
+			if a.Host != b.Host || a.Drop != b.Drop || a.Corrupt != b.Corrupt ||
+				a.Kinds != b.Kinds || a.Modes != b.Modes {
+				t.Fatalf("feedback rule %d changed in round trip: %+v vs %+v", i, a, b)
+			}
+			if !timeClose(a.Delay, b.Delay) || !timeClose(a.Jitter, b.Jitter) ||
+				!timeClose(a.Start, b.Start) || !timeClose(a.End, b.End) {
+				t.Fatalf("feedback rule %d times drifted: %+v vs %+v", i, a, b)
 			}
 		}
 	})

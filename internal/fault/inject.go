@@ -25,11 +25,16 @@ type Resolver func(name string) (Link, error)
 // and loss rules are installed as port fault hooks. All state is owned by
 // the single engine goroutine.
 type Injector struct {
-	eng *sim.Engine
-	fr  *metrics.FlightRecorder
+	eng  *sim.Engine
+	fr   *metrics.FlightRecorder
+	plan *Plan
 
 	links  []*linkState // resolution order — plan order, never map order
 	byName map[string]*linkState
+
+	// fbMatched[i] records whether feedback rule i bound to at least one
+	// host (see FeedbackFilterFor / FeedbackResolved).
+	fbMatched []bool
 
 	// Counters (registered as fault.* when telemetry is attached).
 	LossDrops     int64 // frames destroyed by Bernoulli loss rules
@@ -37,6 +42,11 @@ type Injector struct {
 	DataDrops     int64 // data-frame subset of all fault drops (conservation checks)
 	DownEvents    int64
 	DegradeEvents int64
+
+	// Feedback-plane counters (registered as fault.fb.*).
+	FBDrops    int64 // feedback frames destroyed at host ingress
+	FBDelays   int64 // feedback frames deferred
+	FBCorrupts int64 // INT stacks corrupted
 }
 
 type linkState struct {
@@ -65,7 +75,10 @@ func Apply(eng *sim.Engine, plan *Plan, resolve Resolver, tel *metrics.Telemetry
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
-	inj := &Injector{eng: eng, fr: tel.Recorder(), byName: map[string]*linkState{}}
+	inj := &Injector{eng: eng, fr: tel.Recorder(), plan: plan,
+		byName:    map[string]*linkState{},
+		fbMatched: make([]bool, len(plan.Feedback)),
+	}
 
 	// Resolve links in plan order (events, then loss rules) so stream
 	// seeding and counter layout never depend on map iteration.
@@ -197,6 +210,11 @@ func (inj *Injector) register(reg *metrics.Registry) {
 	reg.CounterFunc("fault.data_drops", func() int64 { return inj.DataDrops })
 	reg.CounterFunc("fault.link_down_events", func() int64 { return inj.DownEvents })
 	reg.CounterFunc("fault.degrade_events", func() int64 { return inj.DegradeEvents })
+	if len(inj.plan.Feedback) > 0 {
+		reg.CounterFunc("fault.fb.drops", func() int64 { return inj.FBDrops })
+		reg.CounterFunc("fault.fb.delays", func() int64 { return inj.FBDelays })
+		reg.CounterFunc("fault.fb.corrupts", func() int64 { return inj.FBCorrupts })
+	}
 	for _, ls := range inj.links {
 		ls := ls
 		reg.CounterFunc("fault.link."+ls.Name+".drops",
@@ -223,6 +241,23 @@ func (inj *Injector) DataDropped() int64 {
 		return 0
 	}
 	return inj.DataDrops
+}
+
+// FeedbackDropped reports feedback frames destroyed at host ingress by
+// feedback rules. Nil-safe.
+func (inj *Injector) FeedbackDropped() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.FBDrops
+}
+
+// FeedbackCorrupted reports INT stacks corrupted by feedback rules. Nil-safe.
+func (inj *Injector) FeedbackCorrupted() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.FBCorrupts
 }
 
 // Down reports whether the named link is currently admin-down. Nil-safe.

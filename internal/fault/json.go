@@ -23,15 +23,24 @@ import (
 //	  ],
 //	  "loss": [
 //	    {"link": "longhaul", "prob": 0.001, "start_us": 0, "end_us": 0}
+//	  ],
+//	  "feedback": [
+//	    {"host": "*", "kinds": ["ack", "cnp"], "drop": 0.3,
+//	     "delay_us": 100, "jitter_us": 50, "corrupt": 0.1,
+//	     "modes": ["truncate", "stale_ts", "garbage"],
+//	     "start_us": 5000, "end_us": 10000}
 //	  ]
 //	}
 //
 // Link names are resolved by the topology (topo.Network.LinkByName):
 // "longhaul", "host<i>", "leaf<i>:<p>", "spine<i>:<p>", "dci<i>:<p>".
+// Feedback rules select hosts ("*" or "host<i>"); empty "kinds"/"modes"
+// means all.
 type jsonPlan struct {
-	Seed   int64       `json:"seed,omitempty"`
-	Events []jsonEvent `json:"events,omitempty"`
-	Loss   []jsonLoss  `json:"loss,omitempty"`
+	Seed     int64          `json:"seed,omitempty"`
+	Events   []jsonEvent    `json:"events,omitempty"`
+	Loss     []jsonLoss     `json:"loss,omitempty"`
+	Feedback []jsonFeedback `json:"feedback,omitempty"`
 }
 
 type jsonEvent struct {
@@ -48,6 +57,37 @@ type jsonLoss struct {
 	Prob    float64 `json:"prob"`
 	StartUS float64 `json:"start_us,omitempty"`
 	EndUS   float64 `json:"end_us,omitempty"`
+}
+
+type jsonFeedback struct {
+	Host     string   `json:"host,omitempty"`
+	Kinds    []string `json:"kinds,omitempty"`
+	Drop     float64  `json:"drop,omitempty"`
+	DelayUS  float64  `json:"delay_us,omitempty"`
+	JitterUS float64  `json:"jitter_us,omitempty"`
+	Corrupt  float64  `json:"corrupt,omitempty"`
+	Modes    []string `json:"modes,omitempty"`
+	StartUS  float64  `json:"start_us,omitempty"`
+	EndUS    float64  `json:"end_us,omitempty"`
+}
+
+// fbKindNames / fbModeNames are the JSON vocabularies, in bit order.
+var fbKindNames = []struct {
+	bit  FBKind
+	name string
+}{
+	{FBAck, "ack"},
+	{FBCNP, "cnp"},
+	{FBSwitchINT, "sint"},
+}
+
+var fbModeNames = []struct {
+	bit  CorruptMode
+	name string
+}{
+	{CorruptTruncate, "truncate"},
+	{CorruptStaleTS, "stale_ts"},
+	{CorruptGarbage, "garbage"},
 }
 
 // maxPlanUS bounds every microsecond field of a JSON plan: the int64
@@ -125,6 +165,52 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 			End:   usTime(jl.EndUS),
 		})
 	}
+	for i, jf := range jp.Feedback {
+		for _, f := range []struct {
+			what string
+			us   float64
+		}{{"delay", jf.DelayUS}, {"jitter", jf.JitterUS}, {"start", jf.StartUS}, {"end", jf.EndUS}} {
+			if err := checkUS("feedback rule "+f.what, i, f.us); err != nil {
+				return nil, err
+			}
+		}
+		r := FeedbackRule{
+			Host:    jf.Host,
+			Drop:    jf.Drop,
+			Delay:   usTime(jf.DelayUS),
+			Jitter:  usTime(jf.JitterUS),
+			Corrupt: jf.Corrupt,
+			Start:   usTime(jf.StartUS),
+			End:     usTime(jf.EndUS),
+		}
+		for _, name := range jf.Kinds {
+			bit := FBKind(0)
+			for _, k := range fbKindNames {
+				if k.name == name {
+					bit = k.bit
+					break
+				}
+			}
+			if bit == 0 {
+				return nil, fmt.Errorf("fault: feedback rule %d: unknown kind %q (want ack|cnp|sint)", i, name)
+			}
+			r.Kinds |= bit
+		}
+		for _, name := range jf.Modes {
+			bit := CorruptMode(0)
+			for _, m := range fbModeNames {
+				if m.name == name {
+					bit = m.bit
+					break
+				}
+			}
+			if bit == 0 {
+				return nil, fmt.Errorf("fault: feedback rule %d: unknown corrupt mode %q (want truncate|stale_ts|garbage)", i, name)
+			}
+			r.Modes |= bit
+		}
+		p.Feedback = append(p.Feedback, r)
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -151,6 +237,29 @@ func WritePlan(w io.Writer, p *Plan) error {
 			StartUS: r.Start.Micros(),
 			EndUS:   r.End.Micros(),
 		})
+	}
+	for _, r := range p.Feedback {
+		jf := jsonFeedback{
+			Host:     r.Host,
+			Drop:     r.Drop,
+			DelayUS:  r.Delay.Micros(),
+			JitterUS: r.Jitter.Micros(),
+			Corrupt:  r.Corrupt,
+			StartUS:  r.Start.Micros(),
+			EndUS:    r.End.Micros(),
+		}
+		// A zero bit set means "all" and round-trips as an absent list.
+		for _, k := range fbKindNames {
+			if r.Kinds&k.bit != 0 {
+				jf.Kinds = append(jf.Kinds, k.name)
+			}
+		}
+		for _, m := range fbModeNames {
+			if r.Modes&m.bit != 0 {
+				jf.Modes = append(jf.Modes, m.name)
+			}
+		}
+		jp.Feedback = append(jp.Feedback, jf)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

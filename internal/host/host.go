@@ -85,7 +85,28 @@ type Config struct {
 	// retrying forever into a dead path. 0 means the default (16);
 	// negative disables aborting.
 	MaxRetrans int
+
+	// FBWatchdogK arms the feedback-silence watchdog: with data outstanding
+	// and no feedback (ACK, CNP or Switch-INT) for K·BaseRTT, the flow's
+	// pacing rate is halved once per further silent RTT (graceful decay
+	// toward cc.MinRate), and recovers one halving per feedback frame once
+	// the reverse path returns. 0 (the default) disarms the watchdog
+	// entirely: pacing reads the CC rate untouched, so clean runs are
+	// bit-identical to pre-watchdog builds.
+	FBWatchdogK int
 }
+
+// DefaultWatchdogK is the silence threshold (in base RTTs) callers arm when
+// they configure feedback faults without choosing a K (mlccsim's feedback
+// flags use it). 4·RTT matches the go-back-N RTO base: the watchdog starts
+// decaying at the same silence scale where loss recovery would suspect a
+// dead path. The library default is off — congestion pauses (PFC storms)
+// also silence feedback, so arming is a policy decision, not a topology one.
+const DefaultWatchdogK = 4
+
+// wdMaxShift caps the watchdog's halving exponent; 2^30 is far below
+// cc.MinRate for any real line rate, so deeper decay is unobservable.
+const wdMaxShift = 30
 
 // Host is one server with a single NIC port.
 type Host struct {
@@ -126,12 +147,27 @@ type Host struct {
 	algName string
 	perFlow bool
 
+	// fbFilter, if set, screens every feedback frame (ACK, CNP, Switch-INT)
+	// at ingress — the fault layer's reverse-path hook. It returns whether to
+	// destroy the frame and how long to defer it. The signature matches
+	// fault.FeedbackFilter structurally so the topology can hand one over
+	// without this package importing the fault layer.
+	fbFilter func(now sim.Time, p *pkt.Packet) (drop bool, delay sim.Time)
+
 	// Counters.
 	Retransmits int64
 	OutOfOrder  int64
 	SentData    int64
 	RecvData    int64
 	Aborted     int64 // sender-side flows given up after the retransmission budget
+
+	// Feedback-plane counters.
+	FBDropped        int64 // feedback frames destroyed by the fault filter
+	FBDelayed        int64 // feedback frames deferred by the fault filter
+	InvalidINT       int64 // structurally invalid INT stacks discarded at ingress
+	WatchdogDecays   int64 // rate halvings applied by the feedback-silence watchdog
+	WatchdogRecovers int64 // halvings unwound after feedback resumed
+	wdPeakShift      int   // deepest halving exponent any flow reached
 }
 
 type sendState struct {
@@ -141,6 +177,8 @@ type sendState struct {
 	acked    int64 // cumulative acknowledged
 	nextTime sim.Time
 	progress sim.Time // last time acked advanced
+	lastFB   sim.Time // last feedback frame seen (watchdog silence clock)
+	wdShift  int      // current watchdog halving exponent (0 = no decay)
 	rtoEv    sim.Timer
 	rtoFn    func() // bound checkRTO closure, one per flow (not per re-arm)
 	backoff  uint   // consecutive-timeout RTO exponent; reset on progress
@@ -192,6 +230,17 @@ func (h *Host) SetRecorder(fr *metrics.FlightRecorder) { h.fr = fr }
 // SetAudit attaches the conservation-audit ledger (nil detaches).
 func (h *Host) SetAudit(a *audit.Ledger) { h.aud = a }
 
+// SetFeedbackFilter installs the fault layer's reverse-path filter (nil
+// detaches). The parameter is a bare func type so fault.FeedbackFilter
+// assigns directly without an import edge from host to fault.
+func (h *Host) SetFeedbackFilter(f func(now sim.Time, p *pkt.Packet) (drop bool, delay sim.Time)) {
+	h.fbFilter = f
+}
+
+// WatchdogShiftMax reports the deepest halving exponent the feedback-silence
+// watchdog reached on any of this host's flows (0 = never decayed).
+func (h *Host) WatchdogShiftMax() int { return h.wdPeakShift }
+
 // RegisterMetrics registers the host's counters under prefix (e.g.
 // "host.h0"). alg names the CC algorithm for per-flow rate gauges; perFlow
 // opts into one cc.<alg>.flow<id>.rate_bps gauge per sender-side flow.
@@ -208,6 +257,11 @@ func (h *Host) RegisterMetrics(reg *metrics.Registry, prefix, alg string, perFlo
 	reg.CounterFunc(prefix+".out_of_order", func() int64 { return h.OutOfOrder })
 	reg.CounterFunc(prefix+".aborted_flows", func() int64 { return h.Aborted })
 	reg.CounterFunc(prefix+".tx_bytes", func() int64 { return h.port.TxBytes })
+	reg.CounterFunc(prefix+".fb_dropped", func() int64 { return h.FBDropped })
+	reg.CounterFunc(prefix+".fb_delayed", func() int64 { return h.FBDelayed })
+	reg.CounterFunc(prefix+".fb_invalid_int", func() int64 { return h.InvalidINT })
+	reg.CounterFunc(prefix+".watchdog_decays", func() int64 { return h.WatchdogDecays })
+	reg.CounterFunc(prefix+".watchdog_recovers", func() int64 { return h.WatchdogRecovers })
 }
 
 // ID returns the host's node id.
@@ -225,6 +279,7 @@ func (h *Host) StartFlow(f *Flow) {
 		sender:   h.newSender(f.Info),
 		nextTime: h.Eng.Now(),
 		progress: h.Eng.Now(),
+		lastFB:   h.Eng.Now(),
 	}
 	s.rtoFn = func() { h.checkRTO(s) }
 	h.sending = append(h.sending, s)
@@ -302,7 +357,10 @@ func (h *Host) emit(s *sendState, now sim.Time) *pkt.Packet {
 		// The outstanding window opens with this frame: start the no-progress
 		// clock here, not at flow start, so time spent parked with nothing on
 		// the wire (e.g. behind a down egress port) never looks like a stall.
+		// The watchdog's silence clock restarts for the same reason: no
+		// feedback was owed while nothing was outstanding.
 		s.progress = now
+		s.lastFB = now
 	}
 	s.next += size
 	if s.next >= s.flow.Info.Size {
@@ -312,7 +370,7 @@ func (h *Host) emit(s *sendState, now sim.Time) *pkt.Packet {
 	if now > base {
 		base = now
 	}
-	s.nextTime = base + sim.TxTime(int(size), s.sender.Rate())
+	s.nextTime = base + sim.TxTime(int(size), h.pacingRate(s, now))
 	h.SentData++
 	return p
 }
@@ -331,17 +389,62 @@ func (h *Host) Receive(p *pkt.Packet, on *link.Port) {
 	switch p.Kind {
 	case pkt.Data:
 		h.onData(p)
+	case pkt.Ack, pkt.CNP, pkt.SwitchINT:
+		h.onFeedback(p)
+	default:
+		h.Pool.Put(p)
+	}
+}
+
+// onFeedback screens an incoming feedback frame through the fault filter
+// (after the port's Rx accounting, so link conservation books stay balanced),
+// then delivers it — immediately, or after the filter's imposed delay.
+func (h *Host) onFeedback(p *pkt.Packet) {
+	if h.fbFilter != nil {
+		drop, delay := h.fbFilter(h.Eng.Now(), p)
+		if drop {
+			h.FBDropped++
+			h.aud.OnFeedbackDrop(p)
+			h.Pool.Put(p)
+			return
+		}
+		if delay > 0 {
+			h.FBDelayed++
+			h.Eng.After(delay, func() { h.deliverFeedback(p) })
+			return
+		}
+	}
+	h.deliverFeedback(p)
+}
+
+// deliverFeedback validates any carried INT stack and dispatches the frame to
+// the flow's CC sender. A structurally invalid stack (corrupted in flight) is
+// discarded and counted rather than folded into estimator state; the frame's
+// other fields (cumulative ack, ECE) still apply.
+func (h *Host) deliverFeedback(p *pkt.Packet) {
+	now := h.Eng.Now()
+	if len(p.Hops) > 0 && !cc.ValidINTStack(p.Hops) {
+		h.InvalidINT++
+		if h.fr.Wants(metrics.EvFBInvalid) {
+			h.fr.Record(metrics.Event{T: now, Kind: metrics.EvFBInvalid,
+				Node: int32(h.Cfg.ID), Port: 0, Flow: int32(p.Flow), Val: int64(len(p.Hops))})
+		}
+		p.ClearHops()
+	}
+	switch p.Kind {
 	case pkt.Ack:
 		h.onAck(p)
 	case pkt.CNP:
 		if s, ok := h.byFlow[p.Flow]; ok {
-			s.sender.OnCNP(h.Eng.Now())
+			h.noteFeedback(s, now)
+			s.sender.OnCNP(now)
 			h.recordRate(s)
 		}
 		h.Pool.Put(p)
 	case pkt.SwitchINT:
 		if s, ok := h.byFlow[p.Flow]; ok {
-			s.sender.OnSwitchINT(h.Eng.Now(), p)
+			h.noteFeedback(s, now)
+			s.sender.OnSwitchINT(now, p)
 			h.recordRate(s)
 		}
 		h.Pool.Put(p)
@@ -426,6 +529,7 @@ func (h *Host) onAck(p *pkt.Packet) {
 		s.backoff = 0 // forward progress resets the backoff and the budget
 		s.retrans = 0
 	}
+	h.noteFeedback(s, now)
 	s.sender.OnAck(now, p)
 	if h.fr != nil {
 		h.fr.Record(metrics.Event{T: now, Kind: metrics.EvAck,
@@ -437,6 +541,66 @@ func (h *Host) onAck(p *pkt.Packet) {
 		h.finishSend(s)
 	}
 	h.Pool.Put(p)
+}
+
+// noteFeedback feeds the watchdog's silence clock: every feedback frame
+// stamps lastFB and, if the flow had decayed, unwinds one halving —
+// multiplicative recovery paced by the feedback stream itself, so a trickle
+// of surviving frames recovers slowly and a healthy stream recovers fast.
+func (h *Host) noteFeedback(s *sendState, now sim.Time) {
+	if h.Cfg.FBWatchdogK <= 0 {
+		return
+	}
+	s.lastFB = now
+	if s.wdShift > 0 {
+		s.wdShift--
+		h.WatchdogRecovers++
+		if h.fr.Wants(metrics.EvWatchdog) {
+			h.fr.Record(metrics.Event{T: now, Kind: metrics.EvWatchdog,
+				Node: int32(h.Cfg.ID), Port: 0, Flow: int32(s.flow.Info.ID), Val: int64(s.wdShift)})
+		}
+	}
+}
+
+// pacingRate is the effective emission rate: the CC sender's rate, decayed by
+// the feedback-silence watchdog when armed. With data outstanding and no
+// feedback for K·BaseRTT, the rate halves once per further silent RTT,
+// flooring at cc.MinRate — the sender stops trusting a stale rate it can no
+// longer confirm. Disarmed (K ≤ 0) this is exactly s.sender.Rate().
+func (h *Host) pacingRate(s *sendState, now sim.Time) sim.Rate {
+	rate := s.sender.Rate()
+	if h.Cfg.FBWatchdogK <= 0 {
+		return rate
+	}
+	rtt := s.flow.Info.BaseRTT
+	if rtt > 0 && s.next > s.acked {
+		silence := now - s.lastFB
+		thresh := sim.Time(h.Cfg.FBWatchdogK) * rtt
+		if silence >= thresh {
+			shift := 1 + int((silence-thresh)/rtt)
+			if shift > wdMaxShift {
+				shift = wdMaxShift
+			}
+			if shift > s.wdShift {
+				h.WatchdogDecays += int64(shift - s.wdShift)
+				s.wdShift = shift
+				if shift > h.wdPeakShift {
+					h.wdPeakShift = shift
+				}
+				if h.fr.Wants(metrics.EvWatchdog) {
+					h.fr.Record(metrics.Event{T: now, Kind: metrics.EvWatchdog,
+						Node: int32(h.Cfg.ID), Port: 0, Flow: int32(s.flow.Info.ID), Val: int64(shift)})
+				}
+			}
+		}
+	}
+	if s.wdShift > 0 {
+		rate >>= uint(s.wdShift)
+		if rate < cc.MinRate {
+			rate = cc.MinRate
+		}
+	}
+	return rate
 }
 
 // recordRate flight-records the flow's pacing rate after a CC callback.

@@ -206,6 +206,7 @@ func (n *Network) newHost(h int, delay sim.Time) *host.Host {
 		RTOMin:      n.P.RTOMin,
 		RTOMax:      n.P.RTOMax,
 		MaxRetrans:  n.P.MaxRetrans,
+		FBWatchdogK: n.P.FBWatchdogK,
 	}
 	hh := host.New(n.Eng, n.Pool, cfg, n.Table, n.Alg.NewSender, n.Alg.NewReceiver, delay)
 	n.Hosts = append(n.Hosts, hh)

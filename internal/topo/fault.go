@@ -95,4 +95,17 @@ func (n *Network) applyFaults() {
 		panic(fmt.Sprintf("topo: bad fault plan: %v", err))
 	}
 	n.Faults = inj
+	if inj == nil {
+		return
+	}
+	// Reverse-path rules bind at host feedback ingress; a rule that selects
+	// no host is as broken as an unknown link name.
+	for i, h := range n.Hosts {
+		if f := inj.FeedbackFilterFor(fmt.Sprintf("host%d", i), h.ID()); f != nil {
+			h.SetFeedbackFilter(f)
+		}
+	}
+	if err := inj.FeedbackResolved(); err != nil {
+		panic(fmt.Sprintf("topo: bad fault plan: %v", err))
+	}
 }

@@ -3,6 +3,7 @@ package topo
 import (
 	"fmt"
 
+	"mlcc/internal/host"
 	"mlcc/internal/metrics"
 )
 
@@ -28,6 +29,26 @@ func (n *Network) applyTelemetry() {
 	for i, h := range n.Hosts {
 		h.SetRecorder(fr)
 		h.RegisterMetrics(reg, fmt.Sprintf("host.h%d", i), alg, tel.PerFlow())
+	}
+	if reg != nil {
+		// Fleet-wide feedback-plane aggregates (the per-host host.h<i>.fb_*
+		// counters are the breakdown). Registered once here — the registry
+		// rejects duplicate instrument names.
+		hosts := n.Hosts
+		sum := func(f func(h *host.Host) int64) func() int64 {
+			return func() int64 {
+				var t int64
+				for _, h := range hosts {
+					t += f(h)
+				}
+				return t
+			}
+		}
+		reg.CounterFunc("cc.fb.dropped", sum(func(h *host.Host) int64 { return h.FBDropped }))
+		reg.CounterFunc("cc.fb.delayed", sum(func(h *host.Host) int64 { return h.FBDelayed }))
+		reg.CounterFunc("cc.fb.invalid_int", sum(func(h *host.Host) int64 { return h.InvalidINT }))
+		reg.CounterFunc("cc.fb.watchdog_decays", sum(func(h *host.Host) int64 { return h.WatchdogDecays }))
+		reg.CounterFunc("cc.fb.watchdog_recovers", sum(func(h *host.Host) int64 { return h.WatchdogRecovers }))
 	}
 	for i, sw := range n.Leaves {
 		sw.SetRecorder(fr)

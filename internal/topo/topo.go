@@ -66,6 +66,15 @@ type Params struct {
 	RTOMax     sim.Time
 	MaxRetrans int
 
+	// FBWatchdogK is the feedback-silence watchdog threshold in base RTTs
+	// (see host.Config.FBWatchdogK). Zero — the default — leaves it off:
+	// the watchdog cannot distinguish a severed reverse path from a long
+	// congestion pause (PFC storms silence feedback for many RTTs on
+	// µs-RTT intra-DC flows), so arming is an explicit choice made where
+	// feedback faults are configured (mlccsim arms host.DefaultWatchdogK
+	// whenever a feedback-fault flag is given; fb-resilience sets its own).
+	FBWatchdogK int
+
 	// Congestion control.
 	Alg AlgFactory
 

@@ -65,6 +65,41 @@ const (
 	Restore  = fault.Restore  // clear a degradation
 )
 
+// FaultFeedbackRule is one windowed reverse-path rule in a FaultPlan: it
+// drops, delays/jitters, or corrupts ACK/CNP/Switch-INT frames at the
+// matched hosts' feedback ingress. Host selectors use the topology
+// vocabulary ("host3"; "" or "*" for all hosts).
+type FaultFeedbackRule = fault.FeedbackRule
+
+// FaultFBKind selects which feedback kinds a FaultFeedbackRule applies to.
+type FaultFBKind = fault.FBKind
+
+// Feedback kinds for FaultFeedbackRule.Kinds (zero means all).
+const (
+	FBAck       = fault.FBAck       // cumulative ACKs (and their INT stacks)
+	FBCNP       = fault.FBCNP       // DCQCN congestion notifications
+	FBSwitchINT = fault.FBSwitchINT // MLCC near-source Switch-INT reflections
+	FBAllKinds  = fault.FBAllKinds
+)
+
+// FaultCorruptMode selects which INT-stack corruptions a FaultFeedbackRule
+// may apply.
+type FaultCorruptMode = fault.CorruptMode
+
+// INT corruption modes for FaultFeedbackRule.Modes (zero means all).
+const (
+	CorruptTruncate = fault.CorruptTruncate // drop records off the stack tail
+	CorruptStaleTS  = fault.CorruptStaleTS  // regress one hop's timestamp
+	CorruptGarbage  = fault.CorruptGarbage  // garbage QLen/TxBytes/Band on one hop
+	CorruptAllModes = fault.CorruptAllModes
+)
+
+// DefaultFBWatchdogK is the recommended Config.FBWatchdogK when running
+// under feedback faults: conservative enough to ride out transient
+// congestion-induced feedback gaps, fast enough to decay well before the
+// retransmission budget is at risk.
+const DefaultFBWatchdogK = host.DefaultWatchdogK
+
 // ReadFaultPlan parses a fault plan from its JSON form (see EXPERIMENTS.md
 // for the format) and validates it.
 func ReadFaultPlan(r io.Reader) (*FaultPlan, error) { return fault.ReadPlan(r) }
@@ -153,10 +188,21 @@ type Config struct {
 	Flows []FlowSpec
 
 	// Fault, when non-nil, injects the scripted link faults (flaps,
-	// degradation, loss) during the run. Link names resolve against the
-	// selected topology; "longhaul" is always the inter-DC link. Nil costs
-	// nothing and leaves the simulation bit-identical to a fault-free run.
+	// degradation, loss) and feedback-plane faults (ACK/CNP/Switch-INT
+	// loss, delay, INT corruption) during the run. Link names resolve
+	// against the selected topology; "longhaul" is always the inter-DC
+	// link. Nil costs nothing and leaves the simulation bit-identical to a
+	// fault-free run.
 	Fault *FaultPlan
+
+	// FBWatchdogK arms the per-flow feedback-silence watchdog: with data
+	// outstanding and no feedback for K round-trips, the host halves the
+	// pacing rate each further silent RTT (floored at the algorithm's
+	// minimum) and unwinds one halving per feedback frame once the reverse
+	// path heals. Zero (the default) disarms it entirely; clean runs are
+	// then bit-identical. Arming is deliberate opt-in: genuine PFC-pause
+	// silences on µs-RTT intra-DC flows would otherwise trigger decay.
+	FBWatchdogK int
 
 	// Telemetry, when non-nil, is wired through the whole simulation:
 	// every component registers instruments, the flight recorder captures
@@ -187,6 +233,21 @@ type Result struct {
 	// FaultDrops counts frames destroyed by the fault layer (down-link
 	// discards plus Bernoulli loss); 0 when no plan was attached.
 	FaultDrops int64
+
+	// FBDrops and FBCorrupts count feedback frames destroyed and INT
+	// stacks damaged by the plan's feedback rules; 0 without one.
+	FBDrops    int64
+	FBCorrupts int64
+
+	// InvalidINT counts feedback frames whose INT stack failed ingress
+	// validation and was discarded before reaching the control loops.
+	InvalidINT int64
+
+	// WatchdogDecays and WatchdogRecovers count feedback-silence watchdog
+	// rate halvings and their unwindings; always 0 unless Config.FBWatchdogK
+	// armed the watchdog.
+	WatchdogDecays   int64
+	WatchdogRecovers int64
 
 	AvgFCTIntra Time
 	AvgFCTCross Time
@@ -251,6 +312,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	p = p.WithAlgorithm(cfg.Algorithm)
 	p.Telemetry = cfg.Telemetry
+	if cfg.FBWatchdogK > 0 {
+		p.FBWatchdogK = cfg.FBWatchdogK
+	}
 	if cfg.Audit {
 		p.Audit = audit.New()
 	}
@@ -339,6 +403,10 @@ func Run(cfg Config) (*Result, error) {
 			m.Config["fault_seed"] = cfg.Fault.Seed
 			m.Config["fault_events"] = len(cfg.Fault.Events)
 			m.Config["fault_loss_rules"] = len(cfg.Fault.Loss)
+			m.Config["fault_feedback_rules"] = len(cfg.Fault.Feedback)
+		}
+		if cfg.FBWatchdogK > 0 {
+			m.Config["fb_watchdog_k"] = cfg.FBWatchdogK
 		}
 	}
 
@@ -348,8 +416,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for _, h := range n.Hosts {
 		res.Aborted += int(h.Aborted)
+		res.InvalidINT += h.InvalidINT
+		res.WatchdogDecays += h.WatchdogDecays
+		res.WatchdogRecovers += h.WatchdogRecovers
 	}
 	res.FaultDrops = n.Faults.TotalDrops()
+	res.FBDrops = n.Faults.FeedbackDropped()
+	res.FBCorrupts = n.Faults.FeedbackCorrupted()
 	res.Completed = col.Len() - res.Aborted
 	res.Unfinished = res.Flows - res.Completed - res.Aborted
 	res.AvgFCTIntra, _ = col.Avg(stats.Intra)
