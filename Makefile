@@ -16,9 +16,10 @@ test:
 # allocs/op), the digest invariants (golden digests identical with
 # telemetry, with an empty/vacuous fault plan, with a vacuous feedback-fault
 # plan, and with the audit ledger attached — the last also asserting zero
-# conservation violations) and a short fuzz budget on each native fuzz
-# target so the committed corpora keep being exercised beyond plain-seed
-# replay.
+# conservation violations), the shard digest-equality property (sharded runs
+# byte-identical to single-engine, merged shard ledgers closing clean) and a
+# short fuzz budget on each native fuzz target so the committed corpora keep
+# being exercised beyond plain-seed replay.
 check: build
 	$(GO) vet ./...
 	$(GO) test -race ./internal/sim/... ./internal/exp/... ./internal/metrics/... ./internal/fault/... ./internal/link/... ./internal/host/... ./internal/audit/... ./internal/cc/...
@@ -28,6 +29,7 @@ check: build
 	$(GO) test -run 'TestDigestFaultPlan' -short -count=1 ./internal/exp/
 	$(GO) test -run 'TestDigestFeedbackPlan' -short -count=1 ./internal/exp/
 	$(GO) test -run 'TestDigestAuditInvariant' -short -count=1 ./internal/exp/
+	$(GO) test -run 'TestShardDigest' -short -count=1 ./internal/exp/
 	$(GO) test -fuzz 'FuzzEngineSchedule' -fuzztime=10s -run '^$$' ./internal/sim/
 	$(GO) test -fuzz 'FuzzFaultPlanJSON' -fuzztime=10s -run '^$$' ./internal/fault/
 	$(GO) test -fuzz 'FuzzINTFeedback' -fuzztime=10s -run '^$$' ./internal/cc/

@@ -13,7 +13,9 @@ package mlcc
 
 import (
 	"testing"
+	"time"
 
+	"mlcc/internal/audit"
 	"mlcc/internal/exp"
 	"mlcc/internal/fabric"
 	"mlcc/internal/link"
@@ -146,7 +148,78 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			n.AddFlow(n.RackHost(1, j), n.RackHost(5, j), 1<<24, 0)
 		}
 		n.Run(5 * sim.Millisecond)
-		b.ReportMetric(float64(n.Eng.Fired()), "events/op")
+		b.ReportMetric(float64(n.Fired()), "events/op")
+	}
+}
+
+// shardBenchRun executes the full-scale dumbbell workload (§4.6 shape at the
+// paper's 32-hosts-per-rack scale) on the given shard count, with the
+// conservation audit attached. It returns the wall time, total fired events,
+// and the busiest single shard's fired events (the per-window critical path,
+// which bounds parallel speedup at total/max).
+func shardBenchRun(b *testing.B, shards int) (time.Duration, uint64, uint64) {
+	b.Helper()
+	p := topo.DefaultParams().WithAlgorithm(topo.AlgMLCC)
+	p.HostsPerLeaf = 32
+	p.HostRate = 100 * sim.Gbps
+	p.Seed = 1
+	p.Shards = shards
+	p.Audit = audit.New()
+	n := topo.Dumbbell(p)
+	flows := workload.Generate(workload.Spec{
+		CDF:       workload.Websearch(),
+		IntraLoad: 0.5,
+		CrossLoad: 0.2,
+		HostRate:  n.P.HostRate,
+		IntraRate: n.PerHostBisection(),
+		CrossRate: n.P.FabricRate,
+		Hosts:     n.NumHosts(),
+		Duration:  5 * sim.Millisecond,
+		Seed:      1,
+	})
+	for _, fs := range flows {
+		n.AddFlow(fs.Src, fs.Dst, fs.Size, fs.Start)
+	}
+	t0 := time.Now()
+	n.Run(60 * sim.Millisecond)
+	wall := time.Since(t0)
+	if got := n.ShardCount(); got != shards {
+		b.Fatalf("network built with %d shards, want %d", got, shards)
+	}
+	if probs := n.AuditProblems(); len(probs) != 0 {
+		b.Fatalf("shards=%d: conservation audit failed: %v", shards, probs)
+	}
+	var maxShard uint64
+	for _, e := range n.Engines {
+		if f := e.Fired(); f > maxShard {
+			maxShard = f
+		}
+	}
+	return wall, n.Fired(), maxShard
+}
+
+// BenchmarkShardSpeedup measures the tentpole's payoff: the same full-scale
+// dumbbell workload on one engine versus one engine per DC. Both runs must
+// fire the same event count (the determinism property) and close the merged
+// conservation books. Reported metrics:
+//
+//   - "speedup": wall(shards=1)/wall(shards=2) as measured on this machine.
+//     Needs ≥2 CPUs to show parallelism; on one CPU the residual gain comes
+//     from halving the event-heap depth.
+//   - "bound-speedup": total events / busiest shard's events — the
+//     workload-balance bound the barrier design achieves given enough CPUs
+//     (each window's wall time is its slowest shard).
+func BenchmarkShardSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w1, f1, _ := shardBenchRun(b, 1)
+		w2, f2, maxShard := shardBenchRun(b, 2)
+		if f1 != f2 {
+			b.Fatalf("event counts diverged: shards=1 fired %d, shards=2 fired %d", f1, f2)
+		}
+		b.ReportMetric(w1.Seconds()/w2.Seconds(), "speedup")
+		b.ReportMetric(float64(f2)/float64(maxShard), "bound-speedup")
+		b.ReportMetric(w1.Seconds()*1000, "single-ms")
+		b.ReportMetric(w2.Seconds()*1000, "sharded-ms")
 	}
 }
 

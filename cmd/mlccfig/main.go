@@ -20,6 +20,7 @@ func main() {
 		full    = flag.Bool("full", false, "run at the paper's full scale (slow)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		shards  = flag.Int("shards", 2, "per-DC simulation engines (1 = single engine; figures are bit-identical either way)")
 		fig     = flag.String("fig", "", "experiment id (fig2..fig16, ablation) or 'all'")
 		csvDir  = flag.String("csv", "", "directory to write per-figure time-series CSVs")
 		manDir  = flag.String("manifests", "", "directory to write per-figure run manifests (JSON)")
@@ -40,7 +41,11 @@ func main() {
 	if *fig == "all" {
 		ids = exp.IDs()
 	}
-	cfg := exp.Config{Scale: exp.Quick, Seed: *seed, Workers: *workers}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "mlccfig: -shards must be at least 1, got %d\n", *shards)
+		os.Exit(2)
+	}
+	cfg := exp.Config{Scale: exp.Quick, Seed: *seed, Workers: *workers, Shards: *shards}
 	if *full {
 		cfg.Scale = exp.Full
 	}

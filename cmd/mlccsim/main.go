@@ -28,6 +28,7 @@ func main() {
 		hosts    = flag.Int("hosts-per-leaf", 8, "servers per rack (paper scale: 32)")
 		longhaul = flag.Duration("longhaul", 3*time.Millisecond, "inter-DC propagation delay")
 		dumbbell = flag.Bool("dumbbell", false, "use the testbed dumbbell topology")
+		shards   = flag.Int("shards", 1, "per-DC simulation engines (2 = parallel shards; results are bit-identical)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		flowsIn  = flag.String("flows", "", "replay a flow trace file instead of generating traffic")
 		flowsOut = flag.String("save-flows", "", "write the generated workload to a trace file")
@@ -114,6 +115,15 @@ func main() {
 		}
 	}
 	cfg.FBWatchdogK = *watchdogK
+	nShards, warns, err := validateShards(*shards, cfg.Fault != nil, *flightN > 0, *sampleIvl > 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlccsim:", err)
+		os.Exit(2)
+	}
+	for _, w := range warns {
+		fmt.Fprintln(os.Stderr, "mlccsim:", w)
+	}
+	cfg.Shards = nShards
 	if *flowsIn != "" {
 		f, err := os.Open(*flowsIn)
 		if err != nil {

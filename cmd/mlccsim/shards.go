@@ -1,0 +1,37 @@
+package main
+
+import "fmt"
+
+// validateShards sanity-checks the -shards argument before the run starts,
+// so a bad value is a CLI error rather than a silent clamp deep in the
+// topology builder. It returns the shard count to use plus any warnings to
+// print: counts above the per-DC maximum clamp with a warning, and features
+// that pin the simulation to a single timeline (fault plans, time-series
+// sampling, the flight recorder) downgrade to one engine with a warning —
+// mirroring topo.Params.ShardFallback, but visibly.
+func validateShards(n int, haveFault, haveRecorder, haveSampling bool) (int, []string, error) {
+	if n < 1 {
+		return 0, nil, fmt.Errorf("-shards must be at least 1, got %d", n)
+	}
+	var warns []string
+	if n > 2 {
+		warns = append(warns, fmt.Sprintf("-shards %d clamped to 2: one engine-shard per datacenter", n))
+		n = 2
+	}
+	if n > 1 {
+		reason := ""
+		switch {
+		case haveFault:
+			reason = "fault plans script both sides of the long-haul link from one timeline"
+		case haveRecorder:
+			reason = "the flight recorder is shared hot-path state"
+		case haveSampling:
+			reason = "time-series sampling ticks on a single engine"
+		}
+		if reason != "" {
+			warns = append(warns, "-shards ignored ("+reason+"); running on a single engine")
+			n = 1
+		}
+	}
+	return n, warns, nil
+}

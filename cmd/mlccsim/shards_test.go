@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateShards(t *testing.T) {
+	cases := []struct {
+		name                             string
+		in                               int
+		haveFault, haveRec, haveSampling bool
+		want                             int
+		wantErr                          bool
+		wantWarn                         string // substring of a warning, "" = no warnings
+	}{
+		{name: "zero rejected", in: 0, wantErr: true},
+		{name: "negative rejected", in: -3, wantErr: true},
+		{name: "one is silent", in: 1, want: 1},
+		{name: "two is silent", in: 2, want: 2},
+		{name: "excess clamps", in: 8, want: 2, wantWarn: "clamped to 2"},
+		{name: "fault falls back", in: 2, haveFault: true, want: 1, wantWarn: "fault plans"},
+		{name: "recorder falls back", in: 2, haveRec: true, want: 1, wantWarn: "flight recorder"},
+		{name: "sampling falls back", in: 2, haveSampling: true, want: 1, wantWarn: "sampling"},
+		{name: "one ignores fault", in: 1, haveFault: true, want: 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, warns, err := validateShards(c.in, c.haveFault, c.haveRec, c.haveSampling)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("validateShards(%d) accepted, want error", c.in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("validateShards(%d): %v", c.in, err)
+			}
+			if got != c.want {
+				t.Errorf("shards = %d, want %d", got, c.want)
+			}
+			if c.wantWarn == "" {
+				if len(warns) != 0 {
+					t.Errorf("unexpected warnings %q", warns)
+				}
+				return
+			}
+			found := false
+			for _, w := range warns {
+				if strings.Contains(w, c.wantWarn) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("warnings %q missing %q", warns, c.wantWarn)
+			}
+		})
+	}
+}

@@ -109,6 +109,15 @@ type Ledger struct {
 	// so a feedback-faulted run's books still name every destroyed control
 	// frame.
 	FeedbackDrops int64
+
+	// partial marks a shard-local ledger in a sharded run: it sees only the
+	// hooks fired on its own shard, so for a cross-DC flow the sender-side
+	// counters (injections, acks) and receiver-side counters (deliveries,
+	// prefix) live in different ledgers. The two mid-run checks that compare
+	// across that split — "delivered but never injected" and "acked beyond
+	// the receiver prefix" — are deferred to the merged ledger, where both
+	// sides are present. Everything single-sided still checks mid-run.
+	partial bool
 }
 
 // New returns an empty ledger.
@@ -126,6 +135,74 @@ func (l *Ledger) SetRecorder(fr *metrics.FlightRecorder) {
 		return
 	}
 	l.fr = fr
+}
+
+// SetPartial marks the ledger shard-local: cross-side mid-run checks are
+// skipped (see the partial field). End-of-run accounting must go through
+// Merged — Problems on a partial ledger would report one-sided books as
+// violations.
+func (l *Ledger) SetPartial(partial bool) {
+	if l == nil {
+		return
+	}
+	l.partial = partial
+}
+
+// Merged combines shard-local ledgers into one ledger with closed books: the
+// per-flow sender-side and receiver-side halves recombine, so the full check
+// suite (Problems, MustCheck, Summary) applies to the whole run. Fate
+// counters sum; lifecycle flags OR; the prefix fields (Size, AckedMax,
+// RecvPrefix, injectEnd) take the maximum, since each is advanced by exactly
+// one side and stays zero in the other shard's record. Links and the fault
+// counters are owned by whichever part registered them, so concatenation and
+// summation keep every frame counted exactly once. Flow order is parts-major
+// creation order, which is deterministic because the shard merge order is.
+func Merged(parts ...*Ledger) *Ledger {
+	m := New()
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if m.fr == nil {
+			m.fr = p.fr
+		}
+		m.ControlFaultDrops += p.ControlFaultDrops
+		m.FeedbackDrops += p.FeedbackDrops
+		m.links = append(m.links, p.links...)
+		for _, id := range p.order {
+			r := p.flows[id]
+			t := m.rec(id)
+			t.Started = t.Started || r.Started
+			t.Done = t.Done || r.Done
+			t.Aborted = t.Aborted || r.Aborted
+			if r.Size > t.Size {
+				t.Size = r.Size
+			}
+			t.InjectedPkts += r.InjectedPkts
+			t.InjectedBytes += r.InjectedBytes
+			t.DeliveredPkts += r.DeliveredPkts
+			t.DeliveredBytes += r.DeliveredBytes
+			t.WREDPkts += r.WREDPkts
+			t.WREDBytes += r.WREDBytes
+			t.CorruptPkts += r.CorruptPkts
+			t.CorruptBytes += r.CorruptBytes
+			t.DownPkts += r.DownPkts
+			t.DownBytes += r.DownBytes
+			t.DupPkts += r.DupPkts
+			t.GapPkts += r.GapPkts
+			if r.AckedMax > t.AckedMax {
+				t.AckedMax = r.AckedMax
+			}
+			if r.RecvPrefix > t.RecvPrefix {
+				t.RecvPrefix = r.RecvPrefix
+			}
+			if r.injectEnd > t.injectEnd {
+				t.injectEnd = r.injectEnd
+			}
+			t.AbortUnacked += r.AbortUnacked
+		}
+	}
+	return m
 }
 
 // rec returns (creating if needed) the record for a flow.
@@ -188,7 +265,7 @@ func (l *Ledger) OnDeliver(id pkt.FlowID, seq int64, size int) {
 	r := l.rec(id)
 	r.DeliveredPkts++
 	r.DeliveredBytes += int64(size)
-	if seq > r.injectEnd-int64(size) {
+	if !l.partial && seq > r.injectEnd-int64(size) {
 		l.violatef("flow %d delivered frame [%d, %d) that was never injected", id, seq, seq+int64(size))
 	}
 	switch {
@@ -222,7 +299,7 @@ func (l *Ledger) OnAckAdvance(id pkt.FlowID, from, to int64) {
 	if r.Size > 0 && to > r.Size {
 		l.violatef("flow %d acked %d bytes beyond size %d", id, to, r.Size)
 	}
-	if to > r.RecvPrefix {
+	if !l.partial && to > r.RecvPrefix {
 		l.violatef("flow %d acked %d bytes but receiver prefix is %d", id, to, r.RecvPrefix)
 	}
 	r.AckedMax = to

@@ -228,3 +228,60 @@ func TestNilLedgerIsInert(t *testing.T) {
 		t.Fatalf("nil summary: %s", l.Summary())
 	}
 }
+
+// TestPartialShardLedgersMerge models a cross-DC flow in a sharded run: the
+// sender's hooks land in one shard-local ledger, the receiver's in another.
+// Each partial ledger must tolerate seeing only its half (deliveries it never
+// saw injected, acks beyond its zero receiver prefix), and Merged must
+// recombine the halves into closed books.
+func TestPartialShardLedgersMerge(t *testing.T) {
+	sender, receiver := New(), New()
+	sender.SetPartial(true)
+	receiver.SetPartial(true)
+
+	sender.OnFlowStart(7, 2000)
+	sender.OnInject(7, 0, 1000)
+	sender.OnInject(7, 1000, 1000)
+	// On a full ledger these deliveries would trip the never-injected check.
+	receiver.OnDeliver(7, 0, 1000)
+	receiver.OnDeliver(7, 1000, 1000)
+	receiver.OnFlowDone(7)
+	// On a full ledger this ack would trip the receiver-prefix check.
+	sender.OnAckAdvance(7, 0, 2000)
+
+	m := Merged(sender, receiver)
+	if probs := m.Problems(true); len(probs) != 0 {
+		t.Fatalf("merged books dirty: %v", probs)
+	}
+	r := m.Flow(7)
+	if r == nil || !r.Started || !r.Done {
+		t.Fatalf("merged flow record incomplete: %+v", r)
+	}
+	if r.Size != 2000 || r.AckedMax != 2000 || r.RecvPrefix != 2000 {
+		t.Fatalf("merged prefixes wrong: size=%d acked=%d recv=%d", r.Size, r.AckedMax, r.RecvPrefix)
+	}
+	if r.InjectedPkts != 2 || r.DeliveredPkts != 2 {
+		t.Fatalf("merged counters wrong: injected=%d delivered=%d", r.InjectedPkts, r.DeliveredPkts)
+	}
+
+	// The same one-sided books on a single partial ledger must NOT balance:
+	// partial mode defers, it does not forgive.
+	if probs := receiver.Problems(true); len(probs) == 0 {
+		t.Fatal("one-sided receiver ledger reported clean books")
+	}
+}
+
+// TestPartialSkipsOnlyCrossSideChecks pins that partial mode still enforces
+// every single-sided invariant mid-run.
+func TestPartialSkipsOnlyCrossSideChecks(t *testing.T) {
+	l := New()
+	l.SetPartial(true)
+	l.OnFlowStart(1, 1000)
+	wantViolation(t, "beyond size", func() { l.OnInject(1, 500, 1000) })
+
+	l2 := New()
+	l2.SetPartial(true)
+	l2.OnFlowStart(2, 1000)
+	l2.OnInject(2, 0, 1000)
+	wantViolation(t, "moved backward", func() { l2.OnAckAdvance(2, 0, 0) })
+}

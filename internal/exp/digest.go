@@ -53,11 +53,38 @@ func DeterminismDigestAudit(alg string, seed int64) (uint64, []string) {
 	return d, probs
 }
 
-// hooks threads optional audit wiring through determinismDigest without
-// growing its signature for every caller.
+// DeterminismDigestShards is DeterminismDigest built with the given shard
+// count, on the dumbbell (§4.6 testbed) or the two-DC fabric. The shard
+// property the engine guarantees — and the digest test enforces — is that
+// sharded runs are byte-identical to shards=1 for the same configuration:
+// the conservative barrier schedule delivers every cross-DC frame at the
+// exact time a single engine would have.
+func DeterminismDigestShards(alg string, seed int64, shards int, dumbbell bool) uint64 {
+	return determinismDigest(alg, seed, nil, nil, &hooks{shards: shards, dumbbell: dumbbell})
+}
+
+// DeterminismDigestAuditShards is DeterminismDigestShards with the
+// conservation ledger attached: the per-shard partial ledgers must merge to
+// closed books, and attaching them must leave the digest untouched.
+func DeterminismDigestAuditShards(alg string, seed int64, shards int, dumbbell bool) (uint64, []string) {
+	aud := audit.New()
+	var probs []string
+	d := determinismDigest(alg, seed, nil, nil, &hooks{
+		audit:    aud,
+		shards:   shards,
+		dumbbell: dumbbell,
+		after:    func(n *topo.Network) { probs = n.AuditProblems() },
+	})
+	return d, probs
+}
+
+// hooks threads optional audit/shard wiring through determinismDigest
+// without growing its signature for every caller.
 type hooks struct {
-	audit *audit.Ledger
-	after func(n *topo.Network)
+	audit    *audit.Ledger
+	shards   int
+	dumbbell bool
+	after    func(n *topo.Network)
 }
 
 func determinismDigest(alg string, seed int64, tel *metrics.Telemetry, plan *fault.Plan, hk *hooks) uint64 {
@@ -65,10 +92,18 @@ func determinismDigest(alg string, seed int64, tel *metrics.Telemetry, plan *fau
 	p.Seed = seed
 	p.Telemetry = tel
 	p.Fault = plan
+	dumbbell := false
 	if hk != nil {
 		p.Audit = hk.audit
+		p.Shards = hk.shards
+		dumbbell = hk.dumbbell
 	}
-	n := topo.TwoDC(p.WithAlgorithm(alg))
+	var n *topo.Network
+	if dumbbell {
+		n = topo.Dumbbell(p.WithAlgorithm(alg))
+	} else {
+		n = topo.TwoDC(p.WithAlgorithm(alg))
+	}
 
 	flows := workload.Generate(workload.Spec{
 		CDF:       workload.Websearch(),
@@ -90,8 +125,8 @@ func determinismDigest(alg string, seed int64, tel *metrics.Telemetry, plan *fau
 	}
 
 	d := NewDigest()
-	d.Add(n.Eng.Fired())
-	d.Add(uint64(n.Eng.Now()))
+	d.Add(n.Fired())
+	d.Add(uint64(n.Now()))
 	d.Add(uint64(n.Table.Len()))
 	for id := 1; id <= n.Table.Len(); id++ {
 		f := n.Table.Get(pkt.FlowID(id))

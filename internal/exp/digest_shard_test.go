@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// shardTestAlgs returns the algorithms the shard-parity tests sweep: the
+// full register under the normal loop, mlcc+dcqcn under -short (matching
+// the golden-digest test's policy).
+func shardTestAlgs(t *testing.T) []string {
+	algs := []string{"mlcc", "dcqcn"}
+	if !testing.Short() {
+		algs = append(algs, "timely", "hpcc", "powertcp")
+	}
+	return algs
+}
+
+// TestShardDigestEquality is the tentpole property test: for every
+// algorithm, a sharded run (one engine per DC, conservative barriers at the
+// long-haul delay, fixed DC0→DC1 mailbox flush order) must produce a
+// byte-identical determinism digest to the single-engine run — on both the
+// §4.6 dumbbell and the full two-DC spine-leaf fabric. The digest hashes the
+// fired-event count, the final clock, and every flow's completion record, so
+// equality means the sharded engine delivered every cross-DC frame at the
+// exact time a single engine would have, and fired the same number of events
+// doing it.
+func TestShardDigestEquality(t *testing.T) {
+	for _, alg := range shardTestAlgs(t) {
+		for _, dumbbell := range []bool{true, false} {
+			alg, dumbbell := alg, dumbbell
+			name := fmt.Sprintf("%s/twodc", alg)
+			if dumbbell {
+				name = fmt.Sprintf("%s/dumbbell", alg)
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				single := DeterminismDigestShards(alg, 1, 1, dumbbell)
+				sharded := DeterminismDigestShards(alg, 1, 2, dumbbell)
+				if single != sharded {
+					t.Errorf("shards=2 digest %#016x != shards=1 digest %#016x", sharded, single)
+				}
+				if !dumbbell {
+					// The TwoDC single-engine digest is itself pinned: a
+					// sharded build with shards=1 must go through the exact
+					// single-engine code path the goldens were recorded on.
+					if want := goldenDigests[alg]; single != want {
+						t.Errorf("shards=1 digest %#016x != golden %#016x", single, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardDigestAudit proves the conservation plane survives sharding: with
+// per-shard partial ledgers merging to one set of books, (a) attaching the
+// audit must leave the sharded digest byte-identical — the ledger is
+// passive in each shard exactly as it is on one engine — and (b) the merged
+// books must close with zero problems, meaning every frame that crossed the
+// shard boundary was debited from its sender-side ledger and credited to the
+// receiver-side one.
+func TestShardDigestAudit(t *testing.T) {
+	for _, alg := range shardTestAlgs(t) {
+		for _, dumbbell := range []bool{true, false} {
+			alg, dumbbell := alg, dumbbell
+			name := fmt.Sprintf("%s/twodc", alg)
+			if dumbbell {
+				name = fmt.Sprintf("%s/dumbbell", alg)
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				bare := DeterminismDigestShards(alg, 1, 2, dumbbell)
+				audited, probs := DeterminismDigestAuditShards(alg, 1, 2, dumbbell)
+				if audited != bare {
+					t.Errorf("audited sharded digest %#016x != unaudited %#016x", audited, bare)
+				}
+				if len(probs) != 0 {
+					t.Errorf("merged shard ledgers report problems: %v", probs)
+				}
+			})
+		}
+	}
+}

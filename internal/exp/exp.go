@@ -34,6 +34,11 @@ type Config struct {
 	Seed  int64
 	// Workers bounds concurrent simulations; 0 = GOMAXPROCS.
 	Workers int
+	// Shards is the per-DC engine count handed to topo.Params.Shards:
+	// 0/1 = single engine, 2 = one engine per datacenter running under the
+	// conservative barrier scheduler. Digests are identical either way
+	// (TestShardDigestEquality), so this is purely a wall-time knob.
+	Shards int
 }
 
 // Table is an ordered labelled grid of measurements.

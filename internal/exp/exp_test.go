@@ -148,7 +148,9 @@ func TestFig16EndToEnd(t *testing.T) {
 }
 
 // TestFCTCacheReuse verifies the memoization that lets fig11 and fig13 share
-// simulations.
+// simulations. Reuse is observed through the cache itself (the canonical
+// entry survives the second call); the results handed out must be clones,
+// never the same pointer (see TestFCTCacheHitsDoNotAlias).
 func TestFCTCacheReuse(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
@@ -159,19 +161,29 @@ func TestFCTCacheReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	canon, ok := fctCache.Load(k)
+	if !ok {
+		t.Fatal("run was not memoized")
+	}
 	r2, err := runFCT(k)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1 != r2 {
-		t.Fatal("cache did not reuse the simulation")
+	if got, _ := fctCache.Load(k); got != canon {
+		t.Fatal("cache hit replaced the canonical entry instead of reusing it")
+	}
+	if r1 == r2 {
+		t.Fatal("cache handed out aliased results")
+	}
+	if a1, _ := r1.Col.Avg(nil); func() bool { a2, _ := r2.Col.Avg(nil); return a1 != a2 }() {
+		t.Fatal("clone of cached run diverged from original")
 	}
 	ClearCache()
 	r3, err := runFCT(k)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r3 == r1 {
+	if got, _ := fctCache.Load(k); got == canon {
 		t.Fatal("ClearCache did not drop the entry")
 	}
 	// Determinism: same seed, same results.

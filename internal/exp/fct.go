@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sync"
 
-	"mlcc/internal/host"
 	"mlcc/internal/metrics"
+	"mlcc/internal/pkt"
 	"mlcc/internal/sim"
 	"mlcc/internal/stats"
 	"mlcc/internal/topo"
@@ -13,7 +13,9 @@ import (
 )
 
 // fctKey identifies one FCT simulation for memoization: the avg-FCT and
-// tail-FCT figures (11↔13, 12↔14) share the same underlying runs.
+// tail-FCT figures (11↔13, 12↔14) share the same underlying runs. The shard
+// count is part of the key even though digests are shard-invariant — a
+// cached result must say how it was produced so manifests stay honest.
 type fctKey struct {
 	alg      string
 	cdf      string
@@ -23,6 +25,7 @@ type fctKey struct {
 	dumbbell bool
 	scale    Scale
 	seed     int64
+	shards   int
 }
 
 // fctResult is the outcome of one workload simulation.
@@ -35,7 +38,16 @@ type fctResult struct {
 	Manifest   *metrics.Manifest
 }
 
-var fctCache sync.Map // fctKey -> *fctResult
+// clone returns a deep-enough copy for handing to callers: the collector
+// and manifest are the two mutable components, and both support Clone.
+func (r *fctResult) clone() *fctResult {
+	c := *r
+	c.Col = r.Col.Clone()
+	c.Manifest = r.Manifest.Clone()
+	return &c
+}
+
+var fctCache sync.Map // fctKey -> *fctResult (canonical; callers get clones)
 
 // scaleTopo returns the base topology parameters for a scale.
 func scaleTopo(s Scale) topo.Params {
@@ -56,10 +68,13 @@ func windows(s Scale) (sim.Time, sim.Time) {
 	return 5 * sim.Millisecond, 120 * sim.Millisecond
 }
 
-// runFCT runs (or recalls) one workload simulation.
+// runFCT runs (or recalls) one workload simulation. Both hits and misses
+// return a clone of the cached canonical result: two figures sharing a run
+// (11↔13, 12↔14) must never alias one collector or manifest, or a consumer
+// that sorts samples in place or stamps the manifest corrupts its sibling.
 func runFCT(k fctKey) (*fctResult, error) {
 	if v, ok := fctCache.Load(k); ok {
-		return v.(*fctResult), nil
+		return v.(*fctResult).clone(), nil
 	}
 	cdf, err := workload.ByName(k.cdf)
 	if err != nil {
@@ -73,6 +88,7 @@ func runFCT(k fctKey) (*fctResult, error) {
 		p.LongHaulDelay = k.longHaul
 	}
 	p.Seed = k.seed
+	p.Shards = k.shards
 	pa := p.WithAlgorithm(k.alg)
 	// Passive telemetry: registry only, no sampling, so the run's event
 	// sequence — and thus its determinism digest — is unchanged.
@@ -101,21 +117,30 @@ func runFCT(k fctKey) (*fctResult, error) {
 		return nil, fmt.Errorf("exp: workload %v generated no flows", k)
 	}
 
-	col := stats.NewFCTCollector()
-	for _, h := range n.Hosts {
-		h.OnFlowDone = func(f *host.Flow) {
-			col.Add(stats.FCTSample{
-				Size:  f.Info.Size,
-				FCT:   f.FCT(),
-				Cross: f.Info.CrossDC,
-				Start: f.Start,
-			})
-		}
-	}
 	for _, fs := range flows {
 		n.AddFlow(fs.Src, fs.Dst, fs.Size, fs.Start)
 	}
 	n.Run(deadline)
+
+	// Collect completions post-run in flow-ID order rather than via
+	// OnFlowDone closures: on a sharded build the closures would write one
+	// collector from two engines' goroutines, and even single-engine the
+	// completion-order walk made sample order depend on event timing.
+	// Flow-ID order is identical for shards=1 and shards=N (the digest
+	// test proves the Table states match), so the collections are too.
+	col := stats.NewFCTCollector()
+	for id := 1; id <= n.Table.Len(); id++ {
+		f := n.Table.Get(pkt.FlowID(id))
+		if !f.Done {
+			continue
+		}
+		col.Add(stats.FCTSample{
+			Size:  f.Info.Size,
+			FCT:   f.FCT(),
+			Cross: f.Info.CrossDC,
+			Start: f.Start,
+		})
+	}
 
 	man := metrics.NewManifest("mlccfig")
 	man.Algorithm = k.alg
@@ -128,8 +153,9 @@ func runFCT(k fctKey) (*fctResult, error) {
 		"longhaul_ms": p.LongHaulDelay.Millis(),
 		"dumbbell":    k.dumbbell,
 		"full_scale":  k.scale == Full,
+		"shards":      n.ShardCount(),
 	}
-	man.FillSim(n.Eng.Now(), n.Eng.Fired())
+	man.FillSim(n.Now(), n.Fired())
 	man.AddCounters(tel.Registry())
 
 	res := &fctResult{Col: col, Flows: len(flows), Manifest: man}
@@ -147,7 +173,7 @@ func runFCT(k fctKey) (*fctResult, error) {
 		res.Drops += sw.Drops
 	}
 	fctCache.Store(k, res)
-	return res, nil
+	return res.clone(), nil
 }
 
 // ClearCache drops memoized simulations (tests use it to force reruns).
@@ -170,7 +196,7 @@ func fctForAlgs(cfg Config, algs []string, cdf string, intra, cross float64, lon
 			res, err := runFCT(fctKey{
 				alg: alg, cdf: cdf, intra: intra, cross: cross,
 				longHaul: longHaul, dumbbell: dumbbell,
-				scale: cfg.Scale, seed: cfg.Seed,
+				scale: cfg.Scale, seed: cfg.Seed, shards: cfg.Shards,
 			})
 			mu.Lock()
 			defer mu.Unlock()

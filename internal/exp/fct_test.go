@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"testing"
+
+	"mlcc/internal/stats"
+)
+
+// TestFCTCacheHitsDoNotAlias is the regression test for the cache-aliasing
+// bug: runFCT used to hand every caller the same *fctResult, so the
+// avg-FCT and tail-FCT figures sharing a run could corrupt each other
+// through the shared collector and manifest. Now each call — hit or miss —
+// must get an independent clone: mutating one result's collector, manifest
+// counters, and scalar fields must leave a fresh recall untouched.
+func TestFCTCacheHitsDoNotAlias(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	k := fctKey{
+		alg: "mlcc", cdf: "websearch", intra: 0.3, cross: 0.1,
+		dumbbell: true, scale: Quick, seed: 321,
+	}
+	a, err := runFCT(k) // miss: runs the simulation
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runFCT(k) // hit: recalled from cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b || a.Col == b.Col || a.Manifest == b.Manifest {
+		t.Fatal("cache returned aliased results")
+	}
+	wantLen, wantFlows := b.Col.Len(), b.Flows
+	wantEvents := b.Manifest.EventsFired
+
+	// Vandalize the first result every way a consumer could.
+	a.Col.Add(stats.FCTSample{Size: 1, Aborted: true})
+	a.Flows = -1
+	a.Manifest.EventsFired = 0
+	a.Manifest.Config["shards"] = "corrupted"
+	a.Manifest.Counters = map[string]float64{"bogus": 1}
+
+	c, err := runFCT(k) // fresh recall must be pristine
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Col.Len() != wantLen {
+		t.Errorf("recalled collector has %d samples, want %d", c.Col.Len(), wantLen)
+	}
+	if c.Flows != wantFlows {
+		t.Errorf("recalled Flows = %d, want %d", c.Flows, wantFlows)
+	}
+	if c.Manifest.EventsFired != wantEvents {
+		t.Errorf("recalled EventsFired = %d, want %d", c.Manifest.EventsFired, wantEvents)
+	}
+	if v := c.Manifest.Config["shards"]; v == "corrupted" {
+		t.Error("recalled manifest config aliased the mutated map")
+	}
+	if _, ok := c.Manifest.Counters["bogus"]; ok {
+		t.Error("recalled manifest counters aliased the mutated map")
+	}
+}
+
+// TestFCTKeyCoversShards pins that the shard count participates in
+// memoization: a shards=2 run must not be served a shards=1 cache entry
+// (the digests match, but the manifest must record how the run was made).
+func TestFCTKeyCoversShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	base := fctKey{
+		alg: "mlcc", cdf: "websearch", intra: 0.3, cross: 0.1,
+		dumbbell: true, scale: Quick, seed: 321,
+	}
+	sharded := base
+	sharded.shards = 2
+	a, err := runFCT(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runFCT(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Manifest.Config["shards"]; got != 1 {
+		t.Errorf("shards=0 run recorded shards=%v, want 1", got)
+	}
+	if got := b.Manifest.Config["shards"]; got != 2 {
+		t.Errorf("shards=2 run recorded shards=%v, want 2", got)
+	}
+	// Same physical scenario: the sharded run must reproduce the flow
+	// outcome of the single-engine one.
+	if a.Col.Len() != b.Col.Len() || a.Unfinished != b.Unfinished {
+		t.Errorf("sharded run diverged: %d/%d samples, %d/%d unfinished",
+			b.Col.Len(), a.Col.Len(), b.Unfinished, a.Unfinished)
+	}
+}

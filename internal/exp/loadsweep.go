@@ -38,7 +38,7 @@ func runLoadSweep(cfg Config) (*Report, error) {
 			jobs = append(jobs, func() {
 				res, err := runFCT(fctKey{
 					alg: alg, cdf: "websearch", intra: load, cross: 0.2,
-					scale: cfg.Scale, seed: cfg.Seed,
+					scale: cfg.Scale, seed: cfg.Seed, shards: cfg.Shards,
 				})
 				mu.Lock()
 				defer mu.Unlock()

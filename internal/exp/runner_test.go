@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelPanicDrainsAndRethrows is the regression test for the worker-
+// pool panic bug: a panicking job used to kill its worker goroutine with the
+// feed loop still blocked on an unbuffered channel, deadlocking the whole
+// experiment run (or, with spare workers, silently crashing the process from
+// a goroutine with no recover). Now the pool must (a) keep running the
+// remaining jobs, and (b) re-panic on the caller's goroutine with the dead
+// job's index in the message.
+func TestParallelPanicDrainsAndRethrows(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		workers := workers
+		var ran [8]int32
+		jobs := make([]func(), len(ran))
+		for i := range jobs {
+			i := i
+			if i == 2 {
+				jobs[i] = func() { panic("boom") }
+				continue
+			}
+			jobs[i] = func() { atomic.AddInt32(&ran[i], 1) }
+		}
+
+		got := func() (r any) {
+			defer func() { r = recover() }()
+			parallel(workers, jobs)
+			return nil
+		}()
+		if got == nil {
+			t.Fatalf("workers=%d: panic was swallowed", workers)
+		}
+		msg, ok := got.(string)
+		if !ok || !strings.Contains(msg, "job 2") || !strings.Contains(msg, "boom") {
+			t.Errorf("workers=%d: panic %q does not name job 2 and the original value", workers, got)
+		}
+		for i, c := range ran {
+			if i == 2 {
+				continue
+			}
+			if c != 1 {
+				t.Errorf("workers=%d: job %d ran %d times after peer panic, want 1", workers, i, c)
+			}
+		}
+	}
+}

@@ -63,6 +63,22 @@ type Port struct {
 	pipeArmed bool
 	drain     func()
 
+	// Cross-shard mode (ConnectCross): the two ends of this link live on
+	// different engines, so the sender must not schedule delivery events on
+	// the peer's engine. Instead launch stages frames in the pipe (which
+	// doubles as the outbound mailbox — same monotone FIFO, same lastAt
+	// clamp, same SendPause tail semantics) without arming the drain, and
+	// FlushCross moves them into the peer's inbox at each shard barrier. The
+	// inbox is the receiving half: a monotone FIFO of inbound frames drained
+	// by a single event on the receiver's own engine, firing at each frame's
+	// exact arrival time — one firing per distinct arrival time, exactly as
+	// the single-engine drain, so event counts (and digests) match.
+	cross      bool
+	inbox      []flight
+	inboxHd    int
+	inboxArmed bool
+	inboxDrain func()
+
 	// Fault-injection state, driven by internal/fault (see DESIGN.md,
 	// "Fault model"). All of it covers the transmit direction only; taking
 	// a full-duplex link down means calling SetDown on both ports. effRate
@@ -131,8 +147,16 @@ func (p *Port) SetAuditDrop(fn func(p *pkt.Packet, corrupt bool)) { p.auditDrop 
 
 // InFlightFrames reports frames currently on the wire toward the peer
 // (launched, not yet delivered) — the in-flight term of the per-link
-// conservation equation.
-func (p *Port) InFlightFrames() int { return len(p.pipe) - p.pipeHd }
+// conservation equation. On a cross-shard link this spans both halves of the
+// wire: frames staged in this port's outbound pipe awaiting a barrier flush
+// plus frames parked in the peer's inbox awaiting their arrival time.
+func (p *Port) InFlightFrames() int {
+	n := len(p.pipe) - p.pipeHd
+	if p.cross && p.peer != nil {
+		n += len(p.peer.inbox) - p.peer.inboxHd
+	}
+	return n
+}
 
 // Down reports whether the transmit direction is administratively down.
 func (p *Port) Down() bool { return p.down }
@@ -212,6 +236,66 @@ func (p *Port) SetSource(s Source) { p.src = s }
 func Connect(a, b *Port) {
 	a.peer = b
 	b.peer = a
+}
+
+// ConnectCross joins a and b as the two ends of a cross-shard link: the
+// ports live on different engines, launched frames are staged instead of
+// scheduled, and FlushCross moves them to the receiving side at each shard
+// barrier. Cross links do not support the fault layer (admin-down, loss,
+// impairment) — sharded builds fall back to one shard under a fault plan.
+func ConnectCross(a, b *Port) {
+	Connect(a, b)
+	a.cross = true
+	b.cross = true
+	a.inboxDrain = a.drainInbox
+	b.inboxDrain = b.drainInbox
+}
+
+// FlushCross moves every frame staged in this port's outbound pipe into the
+// peer's inbox and arms the peer's inbox drain. Called at a shard barrier
+// with both engines quiescent; every staged arrival time is strictly after
+// the barrier (arrival ≥ launch + propagation > barrier − lookahead +
+// lookahead), so the drain is always armed in the peer's future.
+func (p *Port) FlushCross() {
+	if !p.cross {
+		return
+	}
+	if p.pipeHd == len(p.pipe) {
+		p.pipe = p.pipe[:0]
+		p.pipeHd = 0
+		return
+	}
+	q := p.peer
+	for i := p.pipeHd; i < len(p.pipe); i++ {
+		q.inbox = append(q.inbox, p.pipe[i])
+		p.pipe[i] = flight{}
+	}
+	p.pipe = p.pipe[:0]
+	p.pipeHd = 0
+	if !q.inboxArmed {
+		q.inboxArmed = true
+		q.Eng.At(q.inbox[q.inboxHd].at, q.inboxDrain)
+	}
+}
+
+// drainInbox delivers every inbox frame whose arrival time has come and
+// re-arms the single pending event for the next head — the receiving-side
+// mirror of drainPipe.
+func (p *Port) drainInbox() {
+	now := p.Eng.Now()
+	for p.inboxHd < len(p.inbox) && p.inbox[p.inboxHd].at <= now {
+		f := p.inbox[p.inboxHd]
+		p.inbox[p.inboxHd] = flight{}
+		p.inboxHd++
+		p.deliver(f.p)
+	}
+	if p.inboxHd == len(p.inbox) {
+		p.inbox = p.inbox[:0]
+		p.inboxHd = 0
+		p.inboxArmed = false
+		return
+	}
+	p.Eng.At(p.inbox[p.inboxHd].at, p.inboxDrain)
 }
 
 // Peer returns the other end of the link, or nil if unconnected.
@@ -294,7 +378,9 @@ func (p *Port) launch(frame *pkt.Packet, at sim.Time) {
 	}
 	p.lastAt = at
 	p.pipe = append(p.pipe, flight{at: at, p: frame})
-	if !p.pipeArmed {
+	// Cross-shard links never arm the sender-side drain: the staged pipe is
+	// the outbound mailbox, flushed to the peer's inbox at the next barrier.
+	if !p.pipeArmed && !p.cross {
 		p.pipeArmed = true
 		p.Eng.At(at, p.drain)
 	}

@@ -3,6 +3,7 @@ package metrics
 import (
 	"encoding/json"
 	"io"
+	"maps"
 	"runtime"
 	"runtime/debug"
 
@@ -50,6 +51,16 @@ func NewManifest(tool string) *Manifest {
 		}
 	}
 	return m
+}
+
+// Clone returns an independent copy: mutating either manifest's maps leaves
+// the other untouched. Config values are treated as immutable (the repo only
+// stores scalars there), so a one-level map copy suffices.
+func (m *Manifest) Clone() *Manifest {
+	c := *m
+	c.Config = maps.Clone(m.Config)
+	c.Counters = maps.Clone(m.Counters)
+	return &c
 }
 
 // FillSim records the simulation outcome: final clock and fired-event count.

@@ -177,10 +177,26 @@ func (e *Engine) Run() {
 	e.RunUntil(maxTime)
 }
 
-// RunUntil executes events with timestamps <= deadline, then advances the
-// clock to deadline (if the queue drained earlier). It returns early if Stop
-// is called; each Run/RunUntil return consumes at most one Stop, so a
-// stopped run can be resumed by calling Run/RunUntil again.
+// RunUntil executes events with timestamps <= deadline. Where Now() lands on
+// return is part of the contract — callers that alternate RunUntil barriers
+// (the shard scheduler in shard.go) depend on it:
+//
+//   - drained: the queue emptied at or before the deadline. Now() == deadline
+//     for any finite deadline; a Run() (deadline = sentinel max) leaves the
+//     clock at the last fired event.
+//   - deadline: events remain beyond the deadline. Now() == deadline.
+//   - stopped: Stop was called from a callback. Now() stays at that event's
+//     timestamp — NOT the deadline — so a resumed RunUntil continues from the
+//     stopping point without skipping the remaining window.
+//   - pre-stopped: a Stop issued before the call is consumed and RunUntil
+//     returns immediately with the clock (and queue) untouched.
+//   - past deadline: a deadline at or before Now() executes nothing and
+//     leaves the clock unchanged (events cannot be scheduled in the past, so
+//     none can be due).
+//
+// Each Run/RunUntil return consumes at most one Stop, so a stopped run can
+// be resumed by calling Run/RunUntil again. TestRunUntilClockContract pins
+// every path above.
 func (e *Engine) RunUntil(deadline Time) {
 	if e.stopped {
 		e.stopped = false

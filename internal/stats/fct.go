@@ -47,6 +47,12 @@ func (c *FCTCollector) Add(s FCTSample) { c.samples = append(c.samples, s) }
 // Len reports recorded samples.
 func (c *FCTCollector) Len() int { return len(c.samples) }
 
+// Clone returns an independent copy: appending to either collector leaves
+// the other untouched. Samples are plain values, so a slice copy suffices.
+func (c *FCTCollector) Clone() *FCTCollector {
+	return &FCTCollector{samples: append([]FCTSample(nil), c.samples...)}
+}
+
 // Filter selects samples; nil keeps everything.
 type Filter func(FCTSample) bool
 

@@ -17,6 +17,11 @@ import (
 // the same vocabulary: "host<i>" for NIC cables, "leaf<i>:<p>" /
 // "spine<i>:<p>" / "dci<i>:<p>" for the first-visited end of a fabric cable,
 // and "longhaul" for the DCI↔DCI fiber.
+// On a sharded build the caller's ledger becomes shard 0's and a fresh
+// partial ledger is created per further shard: every component reports into
+// its own shard's ledger only (no cross-engine writes mid-run), and the
+// end-of-run accessors recombine the halves with audit.Merged so the books
+// still close across the shard boundary.
 func (n *Network) applyAudit() {
 	aud := n.P.Audit
 	if aud == nil {
@@ -25,49 +30,63 @@ func (n *Network) applyAudit() {
 	if tel := n.P.Telemetry; tel != nil {
 		aud.SetRecorder(tel.Recorder())
 	}
-	for _, h := range n.Hosts {
-		h.SetAudit(aud)
+	n.auds = []*audit.Ledger{aud}
+	if n.shards > 1 {
+		aud.SetPartial(true)
+		for i := 1; i < n.shards; i++ {
+			a := audit.New()
+			a.SetPartial(true)
+			n.auds = append(n.auds, a)
+		}
 	}
-	for _, sw := range n.Leaves {
-		sw.SetAudit(aud)
+	audOf := func(dc int) *audit.Ledger { return n.auds[n.shardOf(dc)] }
+	for i, h := range n.Hosts {
+		h.SetAudit(audOf(n.DC(i)))
 	}
-	for _, sw := range n.Spines {
-		sw.SetAudit(aud)
+	for i, sw := range n.Leaves {
+		sw.SetAudit(audOf(n.leafDC(i)))
 	}
-	for _, d := range n.DCIs {
-		d.SetAudit(aud)
+	for i, sw := range n.Spines {
+		sw.SetAudit(audOf(n.spineDC(i)))
+	}
+	for d, sw := range n.DCIs {
+		sw.SetAudit(audOf(d))
 	}
 
-	// Walk every port once: install the fault-drop observer and register each
-	// cable the first time one of its ends is visited. Walk order (hosts,
-	// leaves, spines, DCIs) is deterministic, so link names are too.
+	// Walk every port once: install the fault-drop observer (reporting into
+	// the owning device's shard ledger) and register each cable the first
+	// time one of its ends is visited. Walk order (hosts, leaves, spines,
+	// DCIs) is deterministic, so link names are too. The long-haul cable is
+	// registered in the first-visited end's ledger; its per-link equation
+	// reads both ports' counters, which is safe because Problems only runs
+	// with all shards quiescent.
 	seen := make(map[*link.Port]bool)
-	visit := func(name string, p *link.Port) {
+	visit := func(led *audit.Ledger, name string, p *link.Port) {
 		if p == nil {
 			return
 		}
-		p.SetAuditDrop(aud.OnFaultDrop)
+		p.SetAuditDrop(led.OnFaultDrop)
 		if peer := p.Peer(); peer != nil && !seen[p] && !seen[peer] {
-			aud.AddLink(name, p, peer)
+			led.AddLink(name, p, peer)
 		}
 		seen[p] = true
 	}
 	for i, h := range n.Hosts {
-		visit(fmt.Sprintf("host%d", i), h.Port())
+		visit(audOf(n.DC(i)), fmt.Sprintf("host%d", i), h.Port())
 	}
-	walk := func(prefix string, i int, sw interface {
+	walk := func(led *audit.Ledger, prefix string, i int, sw interface {
 		NumPorts() int
 		Port(int) *link.Port
 	}) {
 		for p := 0; p < sw.NumPorts(); p++ {
-			visit(fmt.Sprintf("%s%d:%d", prefix, i, p), sw.Port(p))
+			visit(led, fmt.Sprintf("%s%d:%d", prefix, i, p), sw.Port(p))
 		}
 	}
 	for i, sw := range n.Leaves {
-		walk("leaf", i, sw)
+		walk(audOf(n.leafDC(i)), "leaf", i, sw)
 	}
 	for i, sw := range n.Spines {
-		walk("spine", i, sw)
+		walk(audOf(n.spineDC(i)), "spine", i, sw)
 	}
 	lh := n.P.SpinesPerDC
 	if n.Dumbbell {
@@ -79,22 +98,34 @@ func (n *Network) applyAudit() {
 			if p == lh {
 				name = "longhaul"
 			}
-			visit(name, d.Port(p))
+			visit(audOf(i), name, d.Port(p))
 		}
 	}
 }
 
-// Audit returns the network's conservation ledger (possibly nil).
-func (n *Network) Audit() *audit.Ledger { return n.P.Audit }
+// ledger returns the ledger end-of-run checks should use: the caller's on a
+// single-engine build, the merge of every shard's on a sharded one. Merging
+// is cheap (per-flow record combination) relative to a run, and re-merging
+// per call keeps the partial ledgers live for further simulation.
+func (n *Network) ledger() *audit.Ledger {
+	if len(n.auds) > 1 {
+		return audit.Merged(n.auds...)
+	}
+	return n.P.Audit
+}
+
+// Audit returns the network's conservation ledger (possibly nil). On a
+// sharded build this is a merged snapshot of the per-shard ledgers.
+func (n *Network) Audit() *audit.Ledger { return n.ledger() }
 
 // AuditProblems runs the ledger's end-of-run checks, telling it whether the
-// packet pool has fully drained; nil without a ledger or when clean.
+// packet pools have fully drained; nil without a ledger or when clean.
 func (n *Network) AuditProblems() []string {
-	return n.P.Audit.Problems(n.Pool.Outstanding() == 0)
+	return n.ledger().Problems(n.Drained())
 }
 
 // MustAudit panics (via metrics.Violation, flight-recorder dump included)
 // on any conservation violation. A nil ledger checks nothing.
 func (n *Network) MustAudit() {
-	n.P.Audit.MustCheck(n.Pool.Outstanding() == 0)
+	n.ledger().MustCheck(n.Drained())
 }

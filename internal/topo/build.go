@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"mlcc/internal/cc"
 	"mlcc/internal/dci"
 	"mlcc/internal/fabric"
 	"mlcc/internal/host"
@@ -24,15 +25,17 @@ func TwoDC(p Params) *Network {
 	leavesTotal := 2 * p.LeavesPerDC
 	spinesTotal := 2 * p.SpinesPerDC
 
-	// Create switches.
+	// Create switches, each on its DC's engine and pool.
 	for i := 0; i < leavesTotal; i++ {
-		n.Leaves = append(n.Leaves, fabric.New(n.Eng, n.Pool, n.dcSwitchCfg(pkt.NodeID(leafIDBase+i))))
+		d := n.leafDC(i)
+		n.Leaves = append(n.Leaves, fabric.New(n.engOf(d), n.poolOf(d), n.dcSwitchCfg(pkt.NodeID(leafIDBase+i))))
 	}
 	for i := 0; i < spinesTotal; i++ {
-		n.Spines = append(n.Spines, fabric.New(n.Eng, n.Pool, n.dcSwitchCfg(pkt.NodeID(spineIDBase+i))))
+		d := n.spineDC(i)
+		n.Spines = append(n.Spines, fabric.New(n.engOf(d), n.poolOf(d), n.dcSwitchCfg(pkt.NodeID(spineIDBase+i))))
 	}
 	for d := 0; d < 2; d++ {
-		n.DCIs = append(n.DCIs, dci.New(n.Eng, n.Pool, n.dciCfg(pkt.NodeID(dciIDBase+d), p.SpinesPerDC)))
+		n.DCIs = append(n.DCIs, dci.New(n.engOf(d), n.poolOf(d), n.dciCfg(pkt.NodeID(dciIDBase+d), p.SpinesPerDC)))
 	}
 
 	// Create hosts and host↔leaf links.
@@ -71,7 +74,7 @@ func TwoDC(p Params) *Network {
 	// Long-haul link: DCI port SpinesPerDC on each side.
 	lh0 := n.DCIs[0].AddPort(p.FabricRate, p.LongHaulDelay)
 	lh1 := n.DCIs[1].AddPort(p.FabricRate, p.LongHaulDelay)
-	link.Connect(lh0, lh1)
+	n.connectLongHaul(lh0, lh1)
 
 	// Routes.
 	for h := 0; h < n.NumHosts(); h++ {
@@ -113,6 +116,7 @@ func TwoDC(p Params) *Network {
 	for _, d := range n.DCIs {
 		d.Finalize()
 	}
+	n.finishShards()
 	n.applyTelemetry()
 	n.applyFaults()
 	n.applyAudit()
@@ -130,8 +134,8 @@ func Dumbbell(p Params) *Network {
 	n := newNetwork(p, 2*p.HostsPerLeaf, true)
 
 	for i := 0; i < 2; i++ {
-		n.Leaves = append(n.Leaves, fabric.New(n.Eng, n.Pool, n.dcSwitchCfg(pkt.NodeID(leafIDBase+i))))
-		n.DCIs = append(n.DCIs, dci.New(n.Eng, n.Pool, n.dciCfg(pkt.NodeID(dciIDBase+i), 1)))
+		n.Leaves = append(n.Leaves, fabric.New(n.engOf(i), n.poolOf(i), n.dcSwitchCfg(pkt.NodeID(leafIDBase+i))))
+		n.DCIs = append(n.DCIs, dci.New(n.engOf(i), n.poolOf(i), n.dciCfg(pkt.NodeID(dciIDBase+i), 1)))
 	}
 
 	for h := 0; h < n.NumHosts(); h++ {
@@ -148,7 +152,7 @@ func Dumbbell(p Params) *Network {
 	}
 	lh0 := n.DCIs[0].AddPort(p.FabricRate, p.LongHaulDelay)
 	lh1 := n.DCIs[1].AddPort(p.FabricRate, p.LongHaulDelay)
-	link.Connect(lh0, lh1)
+	n.connectLongHaul(lh0, lh1)
 
 	for h := 0; h < n.NumHosts(); h++ {
 		id := n.HostID(h)
@@ -167,6 +171,7 @@ func Dumbbell(p Params) *Network {
 	for _, d := range n.DCIs {
 		d.Finalize()
 	}
+	n.finishShards()
 	n.applyTelemetry()
 	n.applyFaults()
 	n.applyAudit()
@@ -174,27 +179,78 @@ func Dumbbell(p Params) *Network {
 }
 
 func newNetwork(p Params, numHosts int, dumbbell bool) *Network {
-	eng := sim.NewEngine()
-	pool := pkt.NewPool()
+	shards := p.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > 2 {
+		shards = 2 // one shard per DC; both topologies have two
+	}
+	if shards > 1 && p.ShardFallback() != "" {
+		shards = 1
+	}
+	engines := make([]*sim.Engine, shards)
+	pools := make([]*pkt.Pool, shards)
+	for i := range engines {
+		engines[i] = sim.NewEngine()
+		pools[i] = pkt.NewPool()
+	}
 	n := &Network{
 		P:          p,
-		Eng:        eng,
-		Pool:       pool,
+		Eng:        engines[0],
+		Pool:       pools[0],
+		Engines:    engines,
+		Pools:      pools,
 		Table:      host.NewTable(),
 		HostsPerDC: numHosts / 2,
 		Dumbbell:   dumbbell,
 		numHosts:   numHosts,
+		shards:     shards,
 	}
 	if p.Alg == nil {
 		panic("topo: Params.Alg is required")
 	}
-	n.Alg = p.Alg(eng)
+	// One CC bundle per shard: algorithms with timers (DCQCN) bind the
+	// engine, so each shard's hosts must draw senders from their own bundle.
+	n.algs = make([]cc.Algorithm, shards)
+	for i := range n.algs {
+		n.algs[i] = p.Alg(engines[i])
+	}
+	n.Alg = n.algs[0]
 	// Fill topology-dependent DQM parameters.
 	n.P.DQM.RTTc = n.CrossRTT()
 	n.P.DQM.RTTd = n.FarRTT(0)
 	n.P.DQM.MTU = p.MTU
 	n.P.DQM.MaxRate = p.HostRate
 	return n
+}
+
+// connectLongHaul joins the two DCI long-haul ports: a plain link on a
+// single-engine build, a cross-shard mailbox link on a sharded one.
+func (n *Network) connectLongHaul(lh0, lh1 *link.Port) {
+	if n.shards > 1 {
+		link.ConnectCross(lh0, lh1)
+		n.crossA, n.crossB = lh0, lh1
+		return
+	}
+	link.Connect(lh0, lh1)
+}
+
+// finishShards arms the conservative barrier scheduler over the per-DC
+// engines. The lookahead is the long-haul propagation delay — the minimum
+// delay of any cross-shard link — so every frame launched inside a window
+// arrives strictly after the window's barrier and can be scheduled at its
+// exact arrival time by the exchange. The exchange flushes the two mailbox
+// directions in fixed DC0→DC1 order at every barrier, keeping sharded runs
+// bit-deterministic (see DESIGN.md, "Parallel engine").
+func (n *Network) finishShards() {
+	if n.shards == 1 {
+		return
+	}
+	n.group = sim.NewShardGroup(n.Engines, n.P.LongHaulDelay, func(sim.Time) {
+		n.crossA.FlushCross()
+		n.crossB.FlushCross()
+	})
 }
 
 func (n *Network) newHost(h int, delay sim.Time) *host.Host {
@@ -208,7 +264,9 @@ func (n *Network) newHost(h int, delay sim.Time) *host.Host {
 		MaxRetrans:  n.P.MaxRetrans,
 		FBWatchdogK: n.P.FBWatchdogK,
 	}
-	hh := host.New(n.Eng, n.Pool, cfg, n.Table, n.Alg.NewSender, n.Alg.NewReceiver, delay)
+	dc := n.DC(h)
+	alg := n.algOf(dc)
+	hh := host.New(n.engOf(dc), n.poolOf(dc), cfg, n.Table, alg.NewSender, alg.NewReceiver, delay)
 	n.Hosts = append(n.Hosts, hh)
 	return hh
 }

@@ -21,9 +21,13 @@ func (n *Network) applyTelemetry() {
 	fr := tel.Recorder()
 
 	if reg != nil {
-		reg.CounterFunc("sim.events_fired", func() int64 { return int64(n.Eng.Fired()) })
-		reg.GaugeFunc("sim.events_pending", func() float64 { return float64(n.Eng.Pending()) })
-		reg.GaugeFunc("sim.now_ms", func() float64 { return n.Eng.Now().Millis() })
+		// Shard-wide aggregates; on a single-engine build these reduce to
+		// the engine's own counters. The closures read across engines, which
+		// is safe because registry instruments are only evaluated with the
+		// simulation quiescent (post-run dump or between Run windows).
+		reg.CounterFunc("sim.events_fired", func() int64 { return int64(n.Fired()) })
+		reg.GaugeFunc("sim.events_pending", func() float64 { return float64(n.PendingEvents()) })
+		reg.GaugeFunc("sim.now_ms", func() float64 { return n.Now().Millis() })
 	}
 	alg := n.Alg.Name
 	for i, h := range n.Hosts {

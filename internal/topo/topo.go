@@ -16,6 +16,7 @@ import (
 	"mlcc/internal/fabric"
 	"mlcc/internal/fault"
 	"mlcc/internal/host"
+	"mlcc/internal/link"
 	"mlcc/internal/metrics"
 	"mlcc/internal/pkt"
 	"mlcc/internal/sim"
@@ -98,7 +99,42 @@ type Params struct {
 	// bit-identical.
 	Audit *audit.Ledger
 
+	// Shards selects conservative parallel execution: the topology is
+	// partitioned per DC, each partition owns its own engine and packet
+	// pool, and the partitions run in lookahead-bounded lockstep with the
+	// long-haul frames exchanged through mailboxes at every barrier (the
+	// lookahead is LongHaulDelay; see sim.ShardGroup and DESIGN.md,
+	// "Parallel engine"). 0 or 1 runs everything on one engine —
+	// bit-identical to historical builds; values above the DC count clamp
+	// to it. Some features pin the build to one engine regardless; see
+	// ShardFallback. Sharded runs stay bit-deterministic and produce the
+	// same determinism digests as shards=1.
+	Shards int
+
 	Seed int64
+}
+
+// ShardFallback reports why a multi-shard request must fall back to a single
+// engine under this parameter set, or "" when sharding is usable. The fault
+// plane drives ports on both sides of the long-haul link from one scripted
+// timeline, and the active telemetry planes (flight recorder, time-series
+// sampling, per-flow gauges) mutate shared state from hot paths — all
+// single-engine by construction. Passive telemetry (registry of CounterFunc/
+// GaugeFunc instruments, read only after the run) is shard-safe.
+func (p Params) ShardFallback() string {
+	switch {
+	case p.LongHaulDelay <= 0:
+		return "no positive long-haul delay to bound the shard lookahead"
+	case !p.Fault.Empty():
+		return "fault plans script both sides of the long-haul link from one timeline"
+	case p.Telemetry.Recorder() != nil:
+		return "the flight recorder is shared hot-path state"
+	case p.Telemetry != nil && p.Telemetry.Opts.SampleInterval > 0:
+		return "time-series sampling ticks on a single engine"
+	case p.Telemetry.PerFlow():
+		return "per-flow gauges register mid-run in the shared registry"
+	}
+	return ""
 }
 
 // DefaultParams returns the paper's simulation setup (§4.1) without an
@@ -127,11 +163,18 @@ func DefaultParams() Params {
 	}
 }
 
-// Network is a built simulation: engine, hosts, switches and metadata.
+// Network is a built simulation: engine(s), hosts, switches and metadata.
 type Network struct {
 	P    Params
 	Eng  *sim.Engine
 	Pool *pkt.Pool
+
+	// Engines and Pools hold the per-shard engines and packet pools in
+	// shard (= DC) order. Engines[0] == Eng and Pools[0] == Pool always, so
+	// single-engine code paths are untouched; both have length 1 unless the
+	// build is sharded.
+	Engines []*sim.Engine
+	Pools   []*pkt.Pool
 
 	Table *host.Table
 	Alg   cc.Algorithm
@@ -149,10 +192,84 @@ type Network struct {
 	Dumbbell   bool
 
 	numHosts int
+	shards   int
+
+	algs  []cc.Algorithm  // per-shard CC bundles; algs[0] == Alg
+	group *sim.ShardGroup // barrier scheduler; nil on single-engine builds
+	auds  []*audit.Ledger // per-shard partial ledgers (len > 1 only when sharded)
+
+	// crossA/crossB are the long-haul cross-shard mailbox ports, flushed in
+	// fixed A→B order at every barrier (nil on single-engine builds).
+	crossA, crossB *link.Port
 }
 
 // NumHosts reports the total host count.
 func (n *Network) NumHosts() int { return n.numHosts }
+
+// ShardCount reports how many engines the build actually runs on: P.Shards
+// clamped to the DC count, or 1 when a feature forced the single-engine
+// fallback (see Params.ShardFallback).
+func (n *Network) ShardCount() int { return n.shards }
+
+// shardOf maps a DC index to its shard: identity on sharded builds, 0
+// otherwise.
+func (n *Network) shardOf(dc int) int {
+	if n.shards > 1 {
+		return dc
+	}
+	return 0
+}
+
+func (n *Network) engOf(dc int) *sim.Engine  { return n.Engines[n.shardOf(dc)] }
+func (n *Network) poolOf(dc int) *pkt.Pool   { return n.Pools[n.shardOf(dc)] }
+func (n *Network) algOf(dc int) cc.Algorithm { return n.algs[n.shardOf(dc)] }
+
+// leafDC returns the DC index of leaf switch i (LeavesPerDC is 1 on the
+// dumbbell, so the identity mapping falls out).
+func (n *Network) leafDC(i int) int { return i / n.P.LeavesPerDC }
+
+// spineDC returns the DC index of spine switch i.
+func (n *Network) spineDC(i int) int { return i / n.P.SpinesPerDC }
+
+// Now returns the current simulation time: the group clock on sharded
+// builds (every engine's clock equals it between runs), the engine clock
+// otherwise.
+func (n *Network) Now() sim.Time {
+	if n.group != nil {
+		return n.group.Now()
+	}
+	return n.Eng.Now()
+}
+
+// Fired reports the total events executed across all shards.
+func (n *Network) Fired() uint64 {
+	var t uint64
+	for _, e := range n.Engines {
+		t += e.Fired()
+	}
+	return t
+}
+
+// PendingEvents reports the total live events across all shards.
+func (n *Network) PendingEvents() int {
+	var t int
+	for _, e := range n.Engines {
+		t += e.Pending()
+	}
+	return t
+}
+
+// Drained reports whether every packet has returned to a pool. Summing
+// across shards is exact even though long-haul frames are freed into the
+// receiving shard's pool: each Get is +1 on its pool and each Put −1 on
+// whichever pool receives the frame, so the sum counts packets in flight.
+func (n *Network) Drained() bool {
+	var t int64
+	for _, pl := range n.Pools {
+		t += pl.Outstanding()
+	}
+	return t == 0
+}
 
 // DC returns the datacenter index (0 or 1) of host h.
 func (n *Network) DC(h int) int { return h / n.HostsPerDC }
@@ -266,13 +383,23 @@ func (n *Network) FlowInfo(src, dst int, size int64) cc.FlowInfo {
 	}
 }
 
-// AddFlow registers a flow starting at time start and schedules its launch.
+// AddFlow registers a flow starting at time start and schedules its launch
+// on the source host's engine. On sharded builds AddFlow must be called
+// before Run (the harnesses pre-schedule every flow), since scheduling into
+// a foreign shard mid-run would break the single-goroutine engine contract.
 func (n *Network) AddFlow(src, dst int, size int64, start sim.Time) *host.Flow {
 	f := n.Table.Add(n.FlowInfo(src, dst, size), start)
 	h := n.Hosts[src]
-	n.Eng.At(start, func() { h.StartFlow(f) })
+	n.engOf(n.DC(src)).At(start, func() { h.StartFlow(f) })
 	return f
 }
 
-// Run advances the simulation to the given time.
-func (n *Network) Run(until sim.Time) { n.Eng.RunUntil(until) }
+// Run advances the simulation to the given time — through the conservative
+// barrier scheduler on sharded builds, directly on the engine otherwise.
+func (n *Network) Run(until sim.Time) {
+	if n.group != nil {
+		n.group.RunUntil(until)
+		return
+	}
+	n.Eng.RunUntil(until)
+}

@@ -40,6 +40,7 @@ import (
 	"mlcc/internal/fault"
 	"mlcc/internal/host"
 	"mlcc/internal/metrics"
+	"mlcc/internal/pkt"
 	"mlcc/internal/sim"
 	"mlcc/internal/stats"
 	"mlcc/internal/topo"
@@ -217,6 +218,16 @@ type Config struct {
 	// and leaves the simulation bit-identical.
 	Audit bool
 
+	// Shards selects the per-DC engine count: 0 or 1 runs the whole
+	// topology on one engine; 2 gives each datacenter its own engine under
+	// the conservative barrier scheduler (lookahead = the long-haul
+	// propagation delay). Results are bit-identical either way — sharding
+	// is purely a wall-time optimization for multi-DC runs. The build
+	// silently falls back to one engine when a feature pins the run to a
+	// single timeline (fault plans, time-series sampling, the flight
+	// recorder, per-flow gauges); see topo.Params.ShardFallback.
+	Shards int
+
 	Seed int64
 }
 
@@ -300,6 +311,7 @@ func Run(cfg Config) (*Result, error) {
 		p.LongHaulDelay = cfg.LongHaulDelay
 	}
 	p.Seed = cfg.Seed
+	p.Shards = cfg.Shards
 	found := false
 	for _, a := range topo.Algorithms() {
 		if a == cfg.Algorithm {
@@ -362,16 +374,6 @@ func Run(cfg Config) (*Result, error) {
 
 	tel := cfg.Telemetry
 	fctHist := tel.Registry().Histogram("cc." + cfg.Algorithm + ".fct_us")
-	col := stats.NewFCTCollector()
-	for _, h := range n.Hosts {
-		h.OnFlowDone = func(f *host.Flow) {
-			col.Add(stats.FCTSample{Size: f.Info.Size, FCT: f.FCT(), Cross: f.Info.CrossDC, Start: f.Start})
-			fctHist.Observe(f.FCT().Micros())
-		}
-		h.OnFlowAbort = func(f *host.Flow) {
-			col.Add(stats.FCTSample{Size: f.Info.Size, Cross: f.Info.CrossDC, Start: f.Start, Aborted: true})
-		}
-	}
 	for _, fs := range flows {
 		n.AddFlow(fs.Src, fs.Dst, fs.Size, fs.Start)
 	}
@@ -379,6 +381,23 @@ func Run(cfg Config) (*Result, error) {
 	t0 := time.Now()
 	n.Run(cfg.Deadline)
 	n.MustAudit()
+
+	// Collect completions post-run in flow-ID order rather than via
+	// OnFlowDone/OnFlowAbort closures: on a sharded build the closures
+	// would write one collector from two engines' goroutines, and the
+	// flow-ID walk gives the same sample order for any shard count (the
+	// digest tests prove the per-flow outcomes are identical).
+	col := stats.NewFCTCollector()
+	for id := 1; id <= n.Table.Len(); id++ {
+		f := n.Table.Get(pkt.FlowID(id))
+		switch {
+		case f.Done:
+			col.Add(stats.FCTSample{Size: f.Info.Size, FCT: f.FCT(), Cross: f.Info.CrossDC, Start: f.Start})
+			fctHist.Observe(f.FCT().Micros())
+		case f.Aborted:
+			col.Add(stats.FCTSample{Size: f.Info.Size, Cross: f.Info.CrossDC, Start: f.Start, Aborted: true})
+		}
+	}
 	if tel != nil {
 		if tel.Manifest == nil {
 			tel.Manifest = metrics.NewManifest("mlccsim")
@@ -389,7 +408,7 @@ func Run(cfg Config) (*Result, error) {
 		m.Seed = cfg.Seed
 		m.Flows = len(flows)
 		m.WallSeconds = time.Since(t0).Seconds()
-		m.FillSim(n.Eng.Now(), n.Eng.Fired())
+		m.FillSim(n.Now(), n.Fired())
 		m.Config = map[string]any{
 			"intra_load":     cfg.IntraLoad,
 			"cross_load":     cfg.CrossLoad,
@@ -398,6 +417,7 @@ func Run(cfg Config) (*Result, error) {
 			"hosts_per_leaf": p.HostsPerLeaf,
 			"longhaul_ms":    p.LongHaulDelay.Millis(),
 			"dumbbell":       cfg.Dumbbell,
+			"shards":         n.ShardCount(),
 		}
 		if cfg.Fault != nil {
 			m.Config["fault_seed"] = cfg.Fault.Seed

@@ -113,7 +113,7 @@ func (nw *Network) IntraRTT() Time { return nw.n.IntraRTT() }
 func (nw *Network) CrossRTT() Time { return nw.n.CrossRTT() }
 
 // Now returns the current simulation time.
-func (nw *Network) Now() Time { return nw.n.Eng.Now() }
+func (nw *Network) Now() Time { return nw.n.Now() }
 
 // AddFlow schedules a transfer of size bytes from host src to host dst
 // starting at the given simulation time.
