@@ -17,12 +17,17 @@ test:
 # telemetry, with an empty/vacuous fault plan, with a vacuous feedback-fault
 # plan, and with the audit ledger attached — the last also asserting zero
 # conservation violations), the shard digest-equality property (sharded runs
-# byte-identical to single-engine, merged shard ledgers closing clean) and a
-# short fuzz budget on each native fuzz target so the committed corpora keep
-# being exercised beyond plain-seed replay.
+# byte-identical to single-engine — including with every telemetry plane
+# active, via TestShardDigestTelemetry — and merged shard ledgers closing
+# clean), the observability-server invariant (digest untouched with the live
+# HTTP server attached and publishing) and a short fuzz budget on each native
+# fuzz target so the committed corpora keep being exercised beyond plain-seed
+# replay. The race line carries an explicit -timeout: the exp digest sweeps
+# take ~10 min under the race detector, right at go test's default 600s
+# per-binary limit, so the default would flake on loaded machines.
 check: build
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim/... ./internal/exp/... ./internal/metrics/... ./internal/fault/... ./internal/link/... ./internal/host/... ./internal/audit/... ./internal/cc/...
+	$(GO) test -race -timeout 1800s ./internal/sim/... ./internal/exp/... ./internal/metrics/... ./internal/obs/... ./internal/fault/... ./internal/link/... ./internal/host/... ./internal/audit/... ./internal/cc/...
 	$(GO) test -run '^$$' -bench 'BenchmarkFig02' -benchtime=1x .
 	$(GO) test -run 'TestTelemetryDisabledPathAllocFree' -count=1 .
 	$(GO) test -run 'TestDigestTelemetryInvariant' -short -count=1 ./internal/exp/
@@ -30,6 +35,7 @@ check: build
 	$(GO) test -run 'TestDigestFeedbackPlan' -short -count=1 ./internal/exp/
 	$(GO) test -run 'TestDigestAuditInvariant' -short -count=1 ./internal/exp/
 	$(GO) test -run 'TestShardDigest' -short -count=1 ./internal/exp/
+	$(GO) test -run 'TestDigestObsInvariant' -short -count=1 ./internal/obs/
 	$(GO) test -fuzz 'FuzzEngineSchedule' -fuzztime=10s -run '^$$' ./internal/sim/
 	$(GO) test -fuzz 'FuzzFaultPlanJSON' -fuzztime=10s -run '^$$' ./internal/fault/
 	$(GO) test -fuzz 'FuzzINTFeedback' -fuzztime=10s -run '^$$' ./internal/cc/

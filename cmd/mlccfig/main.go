@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mlcc/internal/exp"
+	"mlcc/internal/obs"
 	"mlcc/internal/trace"
 )
 
@@ -24,6 +25,7 @@ func main() {
 		fig     = flag.String("fig", "", "experiment id (fig2..fig16, ablation) or 'all'")
 		csvDir  = flag.String("csv", "", "directory to write per-figure time-series CSVs")
 		manDir  = flag.String("manifests", "", "directory to write per-figure run manifests (JSON)")
+		serve   = flag.String("serve", "", "serve observability HTTP (/healthz, /manifest, /debug/pprof) on this address while figures run; each figure's manifests appear as it completes")
 	)
 	flag.Parse()
 	if *list {
@@ -49,6 +51,17 @@ func main() {
 	if *full {
 		cfg.Scale = exp.Full
 	}
+	var srv *obs.Server
+	if *serve != "" {
+		srv = obs.NewServer()
+		addr, err := srv.Serve(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlccfig:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mlccfig: observability server on http://%s\n", addr)
+	}
 	for _, id := range ids {
 		e, ok := exp.Lookup(id)
 		if !ok {
@@ -62,6 +75,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s\n(elapsed %v)\n\n", rep, time.Since(t0).Round(time.Millisecond))
+		for _, w := range rep.Warnings {
+			fmt.Fprintf(os.Stderr, "mlccfig: %s: warning: %s\n", id, w)
+		}
+		if srv != nil {
+			for _, m := range rep.Manifests {
+				srv.AddManifest(m)
+			}
+		}
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: csv: %v\n", id, err)

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -48,6 +49,7 @@ func main() {
 		flightN    = flag.Int("flight-recorder", 0, "keep the last N packet-lifecycle events in a flight recorder")
 		telOut     = flag.String("telemetry-out", "", "write manifest.json/series.csv/flight.log to this directory (implies -metrics)")
 		sampleIvl  = flag.Duration("sample", 0, "telemetry time-series sampling interval (default 100µs when -telemetry-out is set)")
+		serveAddr  = flag.String("serve", "", "serve live observability HTTP (/metrics, /manifest, /flight, /trace, /debug/pprof) on this address during and after the run (implies -metrics); Ctrl-C to exit")
 	)
 	flag.Parse()
 
@@ -68,6 +70,9 @@ func main() {
 		if *sampleIvl == 0 {
 			*sampleIvl = 100 * time.Microsecond
 		}
+	}
+	if *serveAddr != "" {
+		*useMetrics = true
 	}
 	if *useMetrics || *flightN > 0 {
 		cfg.Telemetry = mlcc.NewTelemetry(mlcc.TelemetryOptions{
@@ -115,7 +120,7 @@ func main() {
 		}
 	}
 	cfg.FBWatchdogK = *watchdogK
-	nShards, warns, err := validateShards(*shards, cfg.Fault != nil, *flightN > 0, *sampleIvl > 0)
+	nShards, warns, err := validateShards(*shards, cfg.Fault != nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mlccsim:", err)
 		os.Exit(2)
@@ -140,6 +145,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mlccsim:", err)
 			os.Exit(1)
 		}
+	}
+	var obsSrv *mlcc.ObsServer
+	if *serveAddr != "" {
+		obsSrv = mlcc.NewObsServer()
+		addr, err := obsSrv.Serve(*serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlccsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mlccsim: observability server on http://%s\n", addr)
+		cfg.Obs = obsSrv
 	}
 	t0 := time.Now()
 	res, err := mlcc.Run(cfg)
@@ -203,4 +219,11 @@ func main() {
 		fmt.Printf("%s\n", res.Audit)
 	}
 	fmt.Printf("elapsed        %v\n", time.Since(t0).Round(time.Millisecond))
+	if obsSrv != nil {
+		fmt.Fprintf(os.Stderr, "mlccsim: serving final snapshot on http://%s; Ctrl-C to exit\n", obsSrv.Addr())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		obsSrv.Close()
+	}
 }

@@ -7,12 +7,12 @@ import (
 
 func TestValidateShards(t *testing.T) {
 	cases := []struct {
-		name                             string
-		in                               int
-		haveFault, haveRec, haveSampling bool
-		want                             int
-		wantErr                          bool
-		wantWarn                         string // substring of a warning, "" = no warnings
+		name      string
+		in        int
+		haveFault bool
+		want      int
+		wantErr   bool
+		wantWarn  string // substring of a warning, "" = no warnings
 	}{
 		{name: "zero rejected", in: 0, wantErr: true},
 		{name: "negative rejected", in: -3, wantErr: true},
@@ -20,13 +20,11 @@ func TestValidateShards(t *testing.T) {
 		{name: "two is silent", in: 2, want: 2},
 		{name: "excess clamps", in: 8, want: 2, wantWarn: "clamped to 2"},
 		{name: "fault falls back", in: 2, haveFault: true, want: 1, wantWarn: "fault plans"},
-		{name: "recorder falls back", in: 2, haveRec: true, want: 1, wantWarn: "flight recorder"},
-		{name: "sampling falls back", in: 2, haveSampling: true, want: 1, wantWarn: "sampling"},
 		{name: "one ignores fault", in: 1, haveFault: true, want: 1},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			got, warns, err := validateShards(c.in, c.haveFault, c.haveRec, c.haveSampling)
+			got, warns, err := validateShards(c.in, c.haveFault)
 			if c.wantErr {
 				if err == nil {
 					t.Fatalf("validateShards(%d) accepted, want error", c.in)
@@ -55,5 +53,14 @@ func TestValidateShards(t *testing.T) {
 				t.Errorf("warnings %q missing %q", warns, c.wantWarn)
 			}
 		})
+	}
+}
+
+// TestTelemetryNeverFallsBack pins the shard-safety contract at the CLI:
+// flight recorder and sampling flags must not downgrade -shards 2.
+func TestTelemetryNeverFallsBack(t *testing.T) {
+	got, warns, err := validateShards(2, false)
+	if err != nil || got != 2 || len(warns) != 0 {
+		t.Fatalf("validateShards(2, no fault) = (%d, %q, %v), want (2, none, nil)", got, warns, err)
 	}
 }

@@ -1,6 +1,9 @@
 package exp
 
 import (
+	"math"
+	"sort"
+
 	"mlcc/internal/audit"
 	"mlcc/internal/fault"
 	"mlcc/internal/metrics"
@@ -22,10 +25,11 @@ func DeterminismDigest(alg string, seed int64) uint64 {
 }
 
 // DeterminismDigestTel is DeterminismDigest with a telemetry layer attached
-// to the build. Passive telemetry (registry + flight recorder, no time-series
-// sampling) schedules no events and draws no randomness, so the digest must
-// be byte-identical to the telemetry-off run; the digest test enforces this.
-// Sampling intentionally adds engine tick events, so it is excluded here.
+// to the build. Telemetry never schedules events or draws randomness — the
+// registry and flight recorder are passive, and time-series sampling is
+// pump-driven with the engines quiescent — so the digest must be
+// byte-identical to the telemetry-off run; the digest tests enforce this for
+// every plane.
 func DeterminismDigestTel(alg string, seed int64, tel *metrics.Telemetry) uint64 {
 	return determinismDigest(alg, seed, tel, nil, nil)
 }
@@ -78,12 +82,61 @@ func DeterminismDigestAuditShards(alg string, seed int64, shards int, dumbbell b
 	return d, probs
 }
 
+// DeterminismDigestShardsTel is DeterminismDigestShards with every telemetry
+// plane active — flight recorder, time-series sampling with SampleAll, and
+// per-flow gauges. It returns the base digest, which must equal the plane-off
+// run's (telemetry schedules nothing), plus a separate fold of the sampled
+// time series, which must be shard-count invariant (every series is read at
+// quiescent boundaries where all shards agree on simulation state).
+func DeterminismDigestShardsTel(alg string, seed int64, shards int, dumbbell bool) (uint64, uint64) {
+	tel := metrics.New(metrics.Options{
+		Metrics:            true,
+		FlightRecorderSize: 4096,
+		SampleInterval:     100 * sim.Microsecond,
+		SampleAll:          true,
+		PerFlow:            true,
+	})
+	base := determinismDigest(alg, seed, tel, nil, &hooks{shards: shards, dumbbell: dumbbell})
+	return base, foldSeries(tel)
+}
+
+// DeterminismDigestPrep is DeterminismDigestShards with a telemetry layer
+// attached and a prep hook called on the built network — flows scheduled,
+// clock still at zero — before the run. internal/obs uses it to pin that
+// attaching the live observability server leaves the digest untouched.
+func DeterminismDigestPrep(alg string, seed int64, shards int, dumbbell bool, tel *metrics.Telemetry, prep func(n *topo.Network)) uint64 {
+	return determinismDigest(alg, seed, tel, nil, &hooks{shards: shards, dumbbell: dumbbell, prep: prep})
+}
+
+// foldSeries hashes every sampled time series, name-sorted, sample by sample.
+// sim.events_pending is excluded: staged cross-shard mailbox frames are not
+// engine events until their drain is armed, so the pending count legitimately
+// differs mid-run between shard layouts while all physical state agrees.
+func foldSeries(tel *metrics.Telemetry) uint64 {
+	names := tel.Tracer.Names()
+	sort.Strings(names)
+	d := NewDigest()
+	for _, name := range names {
+		if name == "sim.events_pending" {
+			continue
+		}
+		ts, vs := tel.Series(name)
+		d.Add(uint64(len(ts)))
+		for i := range ts {
+			d.Add(uint64(ts[i]))
+			d.Add(math.Float64bits(vs[i]))
+		}
+	}
+	return d.Sum()
+}
+
 // hooks threads optional audit/shard wiring through determinismDigest
 // without growing its signature for every caller.
 type hooks struct {
 	audit    *audit.Ledger
 	shards   int
 	dumbbell bool
+	prep     func(n *topo.Network)
 	after    func(n *topo.Network)
 }
 
@@ -118,6 +171,10 @@ func determinismDigest(alg string, seed int64, tel *metrics.Telemetry, plan *fau
 	})
 	for _, fs := range flows {
 		n.AddFlow(fs.Src, fs.Dst, fs.Size, fs.Start)
+	}
+	tel.StartSampling(60 * sim.Millisecond)
+	if hk != nil && hk.prep != nil {
+		hk.prep(n)
 	}
 	n.Run(60 * sim.Millisecond)
 	if hk != nil && hk.after != nil {

@@ -53,6 +53,46 @@ func TestShardDigestEquality(t *testing.T) {
 	}
 }
 
+// TestShardDigestTelemetry proves every telemetry plane survives sharding:
+// with the flight recorder, time-series sampling (SampleAll) and per-flow
+// gauges all active, (a) the sharded digest must stay byte-identical to the
+// shards=1 run — telemetry schedules no events on any shard count because
+// sampling is pump-driven at quiescent barriers and each shard records into
+// its own ring — (b) the sampled series must fold to the same hash for both
+// shard layouts, and (c) the TwoDC base digest must still equal the
+// telemetry-off golden, pinning that the planes are passive, not merely
+// consistently active. Unlike the bare equality test this sweeps only
+// mlcc+dcqcn: the property under test is the telemetry machinery, which is
+// algorithm-independent, and SampleAll runs are expensive enough that the
+// full register would blow the race-enabled `make check` time budget.
+func TestShardDigestTelemetry(t *testing.T) {
+	for _, alg := range []string{"mlcc", "dcqcn"} {
+		for _, dumbbell := range []bool{true, false} {
+			alg, dumbbell := alg, dumbbell
+			name := fmt.Sprintf("%s/twodc", alg)
+			if dumbbell {
+				name = fmt.Sprintf("%s/dumbbell", alg)
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				base1, series1 := DeterminismDigestShardsTel(alg, 1, 1, dumbbell)
+				base2, series2 := DeterminismDigestShardsTel(alg, 1, 2, dumbbell)
+				if base1 != base2 {
+					t.Errorf("telemetry-on shards=2 digest %#016x != shards=1 digest %#016x", base2, base1)
+				}
+				if series1 != series2 {
+					t.Errorf("sampled series fold differs: shards=2 %#016x != shards=1 %#016x", series2, series1)
+				}
+				if !dumbbell {
+					if want := goldenDigests[alg]; base1 != want {
+						t.Errorf("telemetry-on digest %#016x != telemetry-off golden %#016x", base1, want)
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestShardDigestAudit proves the conservation plane survives sharding: with
 // per-shard partial ledgers merging to one set of books, (a) attaching the
 // audit must leave the sharded digest byte-identical — the ledger is

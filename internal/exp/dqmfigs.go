@@ -22,6 +22,7 @@ func init() {
 func dqmScenario(cfg Config, theta sim.Time, starts func(i int) sim.Time, size int64, window sim.Time) (*stats.Series, *scenario) {
 	p := topo.DefaultParams().WithAlgorithm(topo.AlgMLCC)
 	p.Seed = cfg.Seed
+	p.Shards = cfg.Shards
 	p.DQM.Theta = theta
 	sc := newScenario(p, window, 200*sim.Microsecond)
 	n := sc.n
@@ -56,6 +57,7 @@ func runFig9(cfg Config) (*Report, error) {
 		q     *stats.Series
 		per   float64
 		man   *metrics.Manifest
+		warn  string
 	}
 	results := make([]*out, len(thetas))
 	var mu sync.Mutex
@@ -77,7 +79,7 @@ func runFig9(cfg Config) (*Report, error) {
 				per /= float64(live)
 			}
 			mu.Lock()
-			results[i] = &out{theta: th, q: q, per: per / (1 << 20), man: sc.manifest()}
+			results[i] = &out{theta: th, q: q, per: per / (1 << 20), man: sc.manifest(), warn: sc.warn}
 			mu.Unlock()
 		})
 	}
@@ -89,6 +91,7 @@ func runFig9(cfg Config) (*Report, error) {
 			o.per)
 		rep.Series = append(rep.Series, o.q)
 		rep.Manifests = append(rep.Manifests, o.man)
+		rep.AddWarning("%s", o.warn)
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.AddNote("expected shape: queue falls from its startup peak to a few MB; θ=6ms is aggressive/jittery, θ=30ms slow, θ=18ms in between")
@@ -116,6 +119,7 @@ func runFig10(cfg Config) (*Report, error) {
 	rep.Tables = append(rep.Tables, tbl)
 	rep.Series = append(rep.Series, q)
 	rep.Manifests = append(rep.Manifests, sc.manifest())
+	rep.AddWarning("%s", sc.warn)
 
 	done := 0
 	for _, f := range sc.groups["flows"] {

@@ -14,6 +14,7 @@ import (
 	"mlcc/internal/metrics"
 	"mlcc/internal/sim"
 	"mlcc/internal/stats"
+	"mlcc/internal/topo"
 )
 
 // Scale selects the simulation size. Quick keeps benchmark runs in seconds
@@ -129,11 +130,44 @@ type Report struct {
 	// Manifests records one run manifest (provenance + final counter
 	// snapshot) per underlying simulation, in row order.
 	Manifests []*metrics.Manifest
+
+	// Warnings lists degradations the harness noticed — e.g. a requested
+	// multi-shard build falling back to one engine. cmd/mlccfig prints them
+	// to stderr, mirroring mlccsim's behaviour for the same conditions.
+	Warnings []string
 }
 
 // AddNote appends a free-form observation line.
 func (r *Report) AddNote(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddWarning appends a warning line, skipping empties and duplicates (the
+// same fallback fires once per parallel simulation otherwise).
+func (r *Report) AddWarning(format string, args ...any) {
+	w := fmt.Sprintf(format, args...)
+	if w == "" {
+		return
+	}
+	for _, have := range r.Warnings {
+		if have == w {
+			return
+		}
+	}
+	r.Warnings = append(r.Warnings, w)
+}
+
+// shardWarning describes a requested-but-refused multi-shard build, or ""
+// when the request was honoured (or none was made). The wording matches
+// mlccsim's fallback warning so both tools speak the same vocabulary.
+func shardWarning(p topo.Params) string {
+	if p.Shards <= 1 {
+		return ""
+	}
+	if why := p.ShardFallback(); why != "" {
+		return fmt.Sprintf("shards=%d fell back to a single engine: %s", p.Shards, why)
+	}
+	return ""
 }
 
 // String renders the full report.

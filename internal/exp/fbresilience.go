@@ -84,6 +84,12 @@ type fbOutcome struct {
 // across the blackout?
 func runFBResilience(cfg Config) (*Report, error) {
 	rep := &Report{ID: "fb-resilience", Title: "Feedback-plane resilience (dumbbell, all algorithms)"}
+	if cfg.Shards > 1 {
+		wp := topo.DefaultParams()
+		wp.Shards = cfg.Shards
+		wp.Fault = fbPhases[0].plan(cfg.Seed)
+		rep.AddWarning("%s", shardWarning(wp))
+	}
 
 	type key struct{ alg, phase string }
 	var mu sync.Mutex

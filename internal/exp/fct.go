@@ -36,6 +36,10 @@ type fctResult struct {
 	PFCPauses  int64
 	Drops      int64
 	Manifest   *metrics.Manifest
+
+	// Warning is the shard-fallback warning for this run ("" when none);
+	// figures surface it through Report.AddWarning.
+	Warning string
 }
 
 // clone returns a deep-enough copy for handing to callers: the collector
@@ -158,7 +162,7 @@ func runFCT(k fctKey) (*fctResult, error) {
 	man.FillSim(n.Now(), n.Fired())
 	man.AddCounters(tel.Registry())
 
-	res := &fctResult{Col: col, Flows: len(flows), Manifest: man}
+	res := &fctResult{Col: col, Flows: len(flows), Manifest: man, Warning: shardWarning(pa)}
 	for _, f := range n.Table.All() {
 		if !f.Done {
 			res.Unfinished++

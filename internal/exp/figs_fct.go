@@ -29,6 +29,7 @@ func avgFCTReport(id, title string, cfg Config, intra, cross float64, longHaul s
 				rep.AddNote("%s/%s: %d of %d flows unfinished at deadline", alg, cdf, r.Unfinished, r.Flows)
 			}
 			rep.Manifests = append(rep.Manifests, r.Manifest)
+			rep.AddWarning("%s", r.Warning)
 		}
 		rep.Tables = append(rep.Tables, tbl)
 		// The paper reports MLCC's reduction vs each baseline.
@@ -84,6 +85,7 @@ func tailFCTReport(id, title string, cfg Config, intra, cross float64) (*Report,
 		}
 		for _, alg := range evalAlgs {
 			rep.Manifests = append(rep.Manifests, res[alg].Manifest)
+			rep.AddWarning("%s", res[alg].Warning)
 		}
 	}
 	return rep, nil
@@ -149,6 +151,7 @@ func runFig16(cfg Config) (*Report, error) {
 		ao, _ := res[alg].Col.Avg(nil)
 		tbl.AddRow(alg, msOf(ai), msOf(ac), msOf(ao))
 		rep.Manifests = append(rep.Manifests, res[alg].Manifest)
+		rep.AddWarning("%s", res[alg].Warning)
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	mo, _ := res[topo.AlgMLCC].Col.Avg(nil)

@@ -74,6 +74,7 @@ func runLoadSweep(cfg Config) (*Report, error) {
 		unfinished.AddRow(alg, vu...)
 		for _, load := range loads {
 			rep.Manifests = append(rep.Manifests, results[key{alg, load}].Manifest)
+			rep.AddWarning("%s", results[key{alg, load}].Warning)
 		}
 	}
 	rep.Tables = append(rep.Tables, intra, unfinished)

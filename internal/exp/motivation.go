@@ -27,6 +27,10 @@ type scenario struct {
 	groups map[string][]*host.Flow
 	series map[string]*stats.Series
 	fills  []func()
+
+	// warn is the shard-fallback warning for this build ("" when none);
+	// figures surface it through Report.AddWarning.
+	warn string
 }
 
 // newScenario builds a two-DC network with telemetry sampling every interval.
@@ -46,6 +50,7 @@ func newScenarioIn(build func(topo.Params) *topo.Network, p topo.Params, window 
 		window: window,
 		groups: map[string][]*host.Flow{},
 		series: map[string]*stats.Series{},
+		warn:   shardWarning(p),
 	}
 }
 
@@ -92,7 +97,7 @@ func (s *scenario) trackGauge(name string, fn func() float64) *stats.Series {
 // run starts sampling, executes the scenario to its window end, copies the
 // sampled streams into the figure-facing series, and fills the run manifest.
 func (s *scenario) run(window sim.Time) {
-	s.tel.StartSampling(s.n.Eng, s.window)
+	s.tel.StartSampling(s.window)
 	s.n.Run(window)
 	for _, fill := range s.fills {
 		fill()
@@ -100,7 +105,7 @@ func (s *scenario) run(window sim.Time) {
 	m := metrics.NewManifest("mlccfig")
 	m.Algorithm = s.n.Alg.Name
 	m.Seed = s.n.P.Seed
-	m.FillSim(s.n.Eng.Now(), s.n.Eng.Fired())
+	m.FillSim(s.n.Now(), s.n.Fired())
 	m.AddCounters(s.tel.Registry())
 	s.tel.Manifest = m
 }
@@ -148,6 +153,7 @@ func runFig2(cfg Config) (*Report, error) {
 		pfc                   int64
 		leafQ, intraS, crossS *stats.Series
 		man                   *metrics.Manifest
+		warn                  string
 	}
 	results := map[string]*out{}
 	for _, alg := range motivAlgs {
@@ -155,6 +161,7 @@ func runFig2(cfg Config) (*Report, error) {
 		jobs = append(jobs, func() {
 			p := topo.DefaultParams().WithAlgorithm(alg)
 			p.Seed = cfg.Seed
+			p.Shards = cfg.Shards
 			sc := newScenario(p, window, 100*sim.Microsecond)
 			// Rack 5 → Rack 6 (intra DC1), one flow per server pair.
 			for i := 0; i < 4; i++ {
@@ -177,7 +184,7 @@ func runFig2(cfg Config) (*Report, error) {
 				qMB:    leafQ.Max() / (1 << 20),
 				pfc:    sc.totalPFC(),
 				leafQ:  leafQ, intraS: intraS, crossS: crossS,
-				man: sc.manifest(),
+				man: sc.manifest(), warn: sc.warn,
 			}
 			mu.Lock()
 			results[alg] = o
@@ -190,6 +197,7 @@ func runFig2(cfg Config) (*Report, error) {
 		tbl.AddRow(alg, o.intraG, o.crossG, o.qMB, float64(o.pfc))
 		rep.Series = append(rep.Series, o.leafQ, o.intraS, o.crossS)
 		rep.Manifests = append(rep.Manifests, o.man)
+		rep.AddWarning("%s", o.warn)
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.AddNote("expected shape: cross-DC arrival at ~5 ms spikes the leaf queue and PFC pause count jumps above zero")
@@ -215,6 +223,7 @@ func runFig3(cfg Config) (*Report, error) {
 		intraG, crossG float64
 		intraS, crossS *stats.Series
 		man            *metrics.Manifest
+		warn           string
 	}
 	results := map[string]*out{}
 	jobs := make([]func(), 0, len(algs))
@@ -223,6 +232,7 @@ func runFig3(cfg Config) (*Report, error) {
 		jobs = append(jobs, func() {
 			p := topo.DefaultParams().WithAlgorithm(alg)
 			p.Seed = cfg.Seed
+			p.Shards = cfg.Shards
 			// One spine and eight hosts per rack: rack 1's single 100G
 			// uplink is the shared sender-side bottleneck (8×25G offered).
 			p.SpinesPerDC = 1
@@ -241,7 +251,7 @@ func runFig3(cfg Config) (*Report, error) {
 			o := &out{alg: alg,
 				intraG: intraS.AvgAfter(steady) / 1e9,
 				crossG: crossS.AvgAfter(steady) / 1e9,
-				intraS: intraS, crossS: crossS, man: sc.manifest()}
+				intraS: intraS, crossS: crossS, man: sc.manifest(), warn: sc.warn}
 			mu.Lock()
 			results[alg] = o
 			mu.Unlock()
@@ -257,6 +267,7 @@ func runFig3(cfg Config) (*Report, error) {
 		tbl.AddRow(alg, o.intraG, o.crossG, share)
 		rep.Series = append(rep.Series, o.intraS, o.crossS)
 		rep.Manifests = append(rep.Manifests, o.man)
+		rep.AddWarning("%s", o.warn)
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.AddNote("expected shape: baselines give intra flows well under the fair 0.5 share; MLCC's near-source loop restores it")
@@ -281,6 +292,7 @@ func runFig4(cfg Config) (*Report, error) {
 		rx               float64
 		q, rate          *stats.Series
 		man              *metrics.Manifest
+		warn             string
 	}
 	results := map[string]*out{}
 	algs := motivAlgs
@@ -290,6 +302,7 @@ func runFig4(cfg Config) (*Report, error) {
 		jobs = append(jobs, func() {
 			p := topo.DefaultParams().WithAlgorithm(alg)
 			p.Seed = cfg.Seed
+			p.Shards = cfg.Shards
 			sc := newScenario(p, window, 100*sim.Microsecond)
 			dst := sc.n.RackHost(6, 0)
 			for i := 0; i < 4; i++ {
@@ -307,7 +320,7 @@ func runFig4(cfg Config) (*Report, error) {
 				avg:   q.AvgAfter(steady) / (1 << 20),
 				final: q.Last() / (1 << 20),
 				rx:    rate.AvgAfter(steady) / 1e9,
-				q:     q, rate: rate, man: sc.manifest()}
+				q:     q, rate: rate, man: sc.manifest(), warn: sc.warn}
 			mu.Lock()
 			results[alg] = o
 			mu.Unlock()
@@ -319,6 +332,7 @@ func runFig4(cfg Config) (*Report, error) {
 		tbl.AddRow(alg, o.peak, o.avg, o.final, o.rx)
 		rep.Series = append(rep.Series, o.q, o.rate)
 		rep.Manifests = append(rep.Manifests, o.man)
+		rep.AddWarning("%s", o.warn)
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.AddNote("expected shape: deep-buffer DCI queue builds to tens of MB and oscillates under end-to-end feedback")

@@ -60,6 +60,12 @@ func resilFlapPlan(seed int64) *fault.Plan {
 // intra-DC traffic is untouched?).
 func runResilience(cfg Config) (*Report, error) {
 	rep := &Report{ID: "resilience", Title: "Resilience under long-haul faults (dumbbell)"}
+	if cfg.Shards > 1 {
+		wp := topo.DefaultParams()
+		wp.Shards = cfg.Shards
+		wp.Fault = resilFlapPlan(cfg.Seed)
+		rep.AddWarning("%s", shardWarning(wp))
+	}
 
 	flapTbl := NewTable("Flap + degrade + loss (cross-DC goodput)", "",
 		"preGbps", "recoveryMs", "steadyGbps", "probeP99ms", "faultDrops")

@@ -353,6 +353,10 @@ func (h *Host) emit(s *sendState, now sim.Time) *pkt.Packet {
 	p := h.Pool.NewData(s.flow.Info.ID, s.flow.Info.Src, s.flow.Info.Dst, s.next, int(size))
 	p.SendTS = now
 	h.aud.OnInject(s.flow.Info.ID, p.Seq, int(size))
+	if h.fr.Wants(metrics.EvSend) {
+		h.fr.Record(metrics.Event{T: now, Kind: metrics.EvSend,
+			Node: int32(h.Cfg.ID), Flow: int32(p.Flow), Val: p.Seq})
+	}
 	if s.next == s.acked {
 		// The outstanding window opens with this frame: start the no-progress
 		// clock here, not at flow start, so time spent parked with nothing on
@@ -470,6 +474,10 @@ func (h *Host) onData(p *pkt.Packet) {
 	}
 	flow.RxBytes += int64(p.Size)
 	h.aud.OnDeliver(p.Flow, p.Seq, p.Size)
+	if h.fr.Wants(metrics.EvDeliver) {
+		h.fr.Record(metrics.Event{T: now, Kind: metrics.EvDeliver,
+			Node: int32(h.Cfg.ID), Flow: int32(p.Flow), Val: p.Seq})
+	}
 
 	switch {
 	case p.Seq == rs.got:

@@ -304,11 +304,21 @@ func (r *Registry) Value(name string) (float64, bool) {
 	return in.value(), true
 }
 
-// Point is one snapshotted metric value.
+// Point is one snapshotted metric value. Kind is "counter" or "gauge"
+// (histogram-expanded points report ".count" as a counter and the rest as
+// gauges), giving exporters — the Prometheus text endpoint in internal/obs —
+// the TYPE information a plain name/value pair loses.
 type Point struct {
 	Name  string
 	Value float64
+	Kind  string
 }
+
+// Point kinds.
+const (
+	PointCounter = "counter"
+	PointGauge   = "gauge"
+)
 
 // Snapshot returns every instrument's current value, sorted by name.
 // Histograms expand into .count/.sum/.max/.p50/.p99 points.
@@ -322,15 +332,19 @@ func (r *Registry) Snapshot() []Point {
 	for _, in := range r.order {
 		if in.kind == kindHistogram {
 			out = append(out,
-				Point{in.name + ".count", float64(in.h.Count())},
-				Point{in.name + ".sum", in.h.Sum()},
-				Point{in.name + ".max", in.h.Max()},
-				Point{in.name + ".p50", in.h.Quantile(0.50)},
-				Point{in.name + ".p99", in.h.Quantile(0.99)},
+				Point{in.name + ".count", float64(in.h.Count()), PointCounter},
+				Point{in.name + ".sum", in.h.Sum(), PointGauge},
+				Point{in.name + ".max", in.h.Max(), PointGauge},
+				Point{in.name + ".p50", in.h.Quantile(0.50), PointGauge},
+				Point{in.name + ".p99", in.h.Quantile(0.99), PointGauge},
 			)
 			continue
 		}
-		out = append(out, Point{in.name, in.value()})
+		kind := PointGauge
+		if in.kind == kindCounter {
+			kind = PointCounter
+		}
+		out = append(out, Point{in.name, in.value(), kind})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -50,7 +50,23 @@ type Telemetry struct {
 	// Manifest, when set, is exported by WriteDir as manifest.json.
 	Manifest *Manifest
 
+	// NodeNamer, when set (the topology builder installs it), maps flight-
+	// recorder node ids to topology names ("host3", "leaf0", "dci1") for the
+	// trace.json export and the observability server.
+	NodeNamer func(node int32) string
+
 	specs []*sampleSpec
+
+	// shardFRs are the per-shard flight recorders handed out by
+	// ShardRecorders; shardFRs[0] is FR itself. Nil until a sharded build
+	// asks for them.
+	shardFRs []*FlightRecorder
+
+	// Sampling is pump-driven: StartSampling arms it and the simulation
+	// driver calls Pump at every quiescent sample boundary (see
+	// topo.Network.Run). sampleStop bounds the armed window.
+	sampleArmed bool
+	sampleStop  sim.Time
 }
 
 // New builds a Telemetry with the selected planes enabled.
@@ -87,6 +103,54 @@ func (t *Telemetry) Recorder() *FlightRecorder {
 // PerFlow reports whether per-flow gauges are requested.
 func (t *Telemetry) PerFlow() bool {
 	return t != nil && t.Opts.PerFlow && t.Reg != nil
+}
+
+// ShardRecorders returns k flight recorders for a k-shard build: index 0 is
+// the primary recorder (Recorder()), further indices are fresh recorders with
+// the same capacity and kind filter, created on first request and remembered
+// so repeated calls return the same set. Each shard records into its own ring
+// lock-free on the hot path; FlightEvents and WriteDir merge the streams.
+// Returns nil when the flight recorder is disabled (or t is nil).
+func (t *Telemetry) ShardRecorders(k int) []*FlightRecorder {
+	if t == nil || t.FR == nil {
+		return nil
+	}
+	if t.shardFRs == nil {
+		t.shardFRs = []*FlightRecorder{t.FR}
+	}
+	for len(t.shardFRs) < k {
+		t.shardFRs = append(t.shardFRs, t.FR.NewLike())
+	}
+	return t.shardFRs[:k]
+}
+
+// FlightEvents returns the recorded packet-lifecycle events of every shard's
+// recorder merged into one time-ordered stream (stable across shards, so the
+// merge is deterministic). Nil when the flight recorder is disabled.
+func (t *Telemetry) FlightEvents() []Event {
+	if t == nil || t.FR == nil {
+		return nil
+	}
+	if t.shardFRs == nil {
+		return t.FR.Events()
+	}
+	return MergeEvents(t.shardFRs...)
+}
+
+// FlightRecorded reports the total events accepted across every shard's
+// recorder (including overwritten ones).
+func (t *Telemetry) FlightRecorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	if t.shardFRs == nil {
+		return t.FR.Recorded()
+	}
+	var n uint64
+	for _, fr := range t.shardFRs {
+		n += fr.Recorded()
+	}
+	return n
 }
 
 // sampleSpec is one sampled time series: either a gauge (value per tick) or
@@ -129,13 +193,20 @@ func (t *Telemetry) SampleCounterRate(name string, scale float64, fn func() int6
 	}
 }
 
-// StartSampling arms periodic sampling on eng: ticks every
-// Opts.SampleInterval from interval up to and including stop (matching
-// stats.Sampler's boundary behaviour). With Opts.SampleAll, every counter
-// and gauge registered so far is sampled by value in addition to the
-// explicit SampleGauge/SampleCounterRate series. No-op unless sampling was
-// enabled in Options.
-func (t *Telemetry) StartSampling(eng *sim.Engine, stop sim.Time) {
+// StartSampling arms periodic sampling: the simulation driver then calls
+// Pump at every boundary k·Opts.SampleInterval up to and including stop
+// (matching stats.Sampler's boundary behaviour — topo.Network.Run does this
+// for built networks; manual engine users pump themselves). Sampling is
+// deliberately pump-driven rather than engine-tick-driven: taking samples
+// only with the simulation quiescent schedules no engine events, so an armed
+// sampler leaves the event schedule — and the determinism digests — exactly
+// as a passive run, on one engine or many (per-shard engines would each need
+// their own tick event otherwise, breaking shards=1 ≡ shards=2).
+//
+// With Opts.SampleAll, every counter and gauge registered so far is sampled
+// by value in addition to the explicit SampleGauge/SampleCounterRate series.
+// No-op unless sampling was enabled in Options.
+func (t *Telemetry) StartSampling(stop sim.Time) {
 	if t == nil || t.Tracer == nil || t.Opts.SampleInterval <= 0 {
 		return
 	}
@@ -156,26 +227,41 @@ func (t *Telemetry) StartSampling(eng *sim.Engine, stop sim.Time) {
 		})
 	}
 	for _, sp := range t.specs {
-		sp.stream = t.Tracer.Stream(sp.name, sp.kind)
+		if sp.stream == nil {
+			sp.stream = t.Tracer.Stream(sp.name, sp.kind)
+		}
+	}
+	t.sampleArmed = true
+	t.sampleStop = stop
+}
+
+// SampleInterval returns the armed sampling cadence (0 when sampling is off
+// or t is nil) — the boundary spacing drivers pump at.
+func (t *Telemetry) SampleInterval() sim.Time {
+	if t == nil {
+		return 0
+	}
+	return t.Opts.SampleInterval
+}
+
+// Pump takes one sample of every armed series, stamped at now. The caller
+// must be quiescent (no simulation goroutine running) with its clock exactly
+// at now; boundaries past the armed stop time are ignored, so drivers may
+// keep pumping through a drain phase without growing the series.
+func (t *Telemetry) Pump(now sim.Time) {
+	if t == nil || !t.sampleArmed || now > t.sampleStop {
+		return
 	}
 	interval := t.Opts.SampleInterval
-	var tick func()
-	tick = func() {
-		now := eng.Now()
-		for _, sp := range t.specs {
-			if sp.counter != nil {
-				cur := sp.counter()
-				sp.stream.Add(now, float64(cur-sp.last)*sp.scale/interval.Seconds())
-				sp.last = cur
-				continue
-			}
-			sp.stream.Add(now, sp.gauge())
+	for _, sp := range t.specs {
+		if sp.counter != nil {
+			cur := sp.counter()
+			sp.stream.Add(now, float64(cur-sp.last)*sp.scale/interval.Seconds())
+			sp.last = cur
+			continue
 		}
-		if now+interval <= stop {
-			eng.After(interval, tick)
-		}
+		sp.stream.Add(now, sp.gauge())
 	}
-	eng.After(interval, tick)
 }
 
 // Series returns the sampled values of the named time series as parallel
@@ -199,7 +285,11 @@ func (t *Telemetry) Series(name string) ([]sim.Time, []float64) {
 
 // WriteDir exports everything collected into dir (created if needed):
 // manifest.json (run manifest + final counter snapshot), series.csv (all
-// sampled time series) and flight.log (the recorder's buffered events).
+// sampled time series), flight.log (the shard-merged recorder events) and
+// trace.json (the same events as Chrome trace_event spans, for
+// chrome://tracing / Perfetto). Every file is written to a temp name and
+// renamed into place, so an interrupted export never leaves a truncated
+// artifact behind.
 func (t *Telemetry) WriteDir(dir string) error {
 	if t == nil {
 		return nil
@@ -220,22 +310,51 @@ func (t *Telemetry) WriteDir(dir string) error {
 			return err
 		}
 	}
-	if t.FR.Len() > 0 {
-		if err := writeFile(filepath.Join(dir, "flight.log"), t.FR.Dump); err != nil {
+	if events := t.FlightEvents(); len(events) > 0 {
+		dump := func(w io.Writer) error {
+			return DumpEvents(w, events, t.FlightRecorded(), t.FR.Cap())
+		}
+		if err := writeFile(filepath.Join(dir, "flight.log"), dump); err != nil {
+			return err
+		}
+		tr := func(w io.Writer) error {
+			return WriteTraceJSON(w, events, 0, t.NodeNamer)
+		}
+		if err := writeFile(filepath.Join(dir, "trace.json"), tr); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// writeFile writes via a temp file in the same directory plus an atomic
+// rename: readers either see the previous complete file or the new complete
+// file, never a truncation, and a crashed export leaves the original intact.
 func writeFile(path string, write func(w io.Writer) error) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	if err := write(f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	return f.Close()
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }

@@ -18,7 +18,14 @@ func TestNilTelemetry(t *testing.T) {
 	}
 	tel.SampleGauge("g", trace.Gauge, func() float64 { return 1 })
 	tel.SampleCounterRate("c", 8, func() int64 { return 1 })
-	tel.StartSampling(sim.NewEngine(), sim.Second)
+	tel.StartSampling(sim.Second)
+	tel.Pump(sim.Millisecond)
+	if tel.SampleInterval() != 0 {
+		t.Fatal("nil telemetry has a sample interval")
+	}
+	if tel.ShardRecorders(2) != nil || tel.FlightEvents() != nil || tel.FlightRecorded() != 0 {
+		t.Fatal("nil telemetry produced flight state")
+	}
 	if ts, vs := tel.Series("g"); ts != nil || vs != nil {
 		t.Fatal("nil telemetry produced series")
 	}
@@ -41,9 +48,20 @@ func TestNewSelectsPlanes(t *testing.T) {
 	}
 }
 
+// pump drives eng to every multiple of interval up to deadline, pumping tel
+// at each boundary — the same loop topo.Network.Run runs for built networks.
+func pump(eng *sim.Engine, tel *Telemetry, interval, deadline sim.Time) {
+	for b := interval; b <= deadline; b += interval {
+		eng.RunUntil(b)
+		tel.Pump(b)
+	}
+	eng.RunUntil(deadline)
+}
+
 // TestSamplingTicksAndStopBoundary mirrors stats.Sampler semantics: first
 // tick at interval, last tick exactly at the stop time when stop is a
-// multiple of the interval.
+// multiple of the interval. Boundaries pumped past the armed stop time are
+// ignored.
 func TestSamplingTicksAndStopBoundary(t *testing.T) {
 	eng := sim.NewEngine()
 	tel := New(Options{Metrics: true, SampleInterval: sim.Millisecond})
@@ -53,11 +71,11 @@ func TestSamplingTicksAndStopBoundary(t *testing.T) {
 	bytes := int64(0)
 	tel.SampleCounterRate("exp.rate", 8, func() int64 { return bytes })
 
-	tel.StartSampling(eng, 10*sim.Millisecond)
+	tel.StartSampling(10 * sim.Millisecond)
 	for i := 1; i <= 10; i++ {
 		eng.At(sim.Time(i)*sim.Millisecond-sim.Nanosecond, func() { bytes += 1 << 20 })
 	}
-	eng.Run()
+	pump(eng, tel, sim.Millisecond, 12*sim.Millisecond)
 
 	ts, vs := tel.Series("exp.g")
 	if len(ts) != 10 {
@@ -88,8 +106,8 @@ func TestSampleAll(t *testing.T) {
 	tel.SampleGauge("exp.explicit", trace.Gauge, func() float64 { return 1 })
 
 	c.Add(3)
-	tel.StartSampling(eng, 2*sim.Millisecond)
-	eng.Run()
+	tel.StartSampling(2 * sim.Millisecond)
+	pump(eng, tel, sim.Millisecond, 2*sim.Millisecond)
 
 	for _, name := range []string{"switch.s0.drops", "switch.s0.qlen", "exp.explicit"} {
 		if ts, _ := tel.Series(name); len(ts) != 2 {
@@ -110,8 +128,8 @@ func TestWriteDir(t *testing.T) {
 	tel.Reg.Counter("sim.test").Add(2)
 	tel.SampleGauge("exp.g", trace.Gauge, func() float64 { return 1 })
 	tel.FR.Record(Event{T: sim.Microsecond, Kind: EvDrop, Node: 1, Flow: 9, Val: 1000})
-	tel.StartSampling(eng, 2*sim.Millisecond)
-	eng.Run()
+	tel.StartSampling(2 * sim.Millisecond)
+	pump(eng, tel, sim.Millisecond, 2*sim.Millisecond)
 
 	m := NewManifest("test-tool")
 	m.Seed = 42
@@ -155,5 +173,30 @@ func TestWriteDir(t *testing.T) {
 	}
 	if !strings.Contains(string(fl), "drop") {
 		t.Fatalf("flight.log: %q", fl)
+	}
+
+	tj, err := os.ReadFile(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tj, &tr); err != nil {
+		t.Fatalf("trace.json not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace.json has no events")
+	}
+
+	// Nothing the exporter left behind: atomic writes clean up their temps.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
 	}
 }

@@ -27,9 +27,6 @@ func (n *Network) applyAudit() {
 	if aud == nil {
 		return
 	}
-	if tel := n.P.Telemetry; tel != nil {
-		aud.SetRecorder(tel.Recorder())
-	}
 	n.auds = []*audit.Ledger{aud}
 	if n.shards > 1 {
 		aud.SetPartial(true)
@@ -37,6 +34,13 @@ func (n *Network) applyAudit() {
 			a := audit.New()
 			a.SetPartial(true)
 			n.auds = append(n.auds, a)
+		}
+	}
+	// Each shard's ledger dumps into that shard's flight-recorder ring, so a
+	// violation's context never crosses an engine boundary mid-run.
+	if frs := n.P.Telemetry.ShardRecorders(n.shards); frs != nil {
+		for i, a := range n.auds {
+			a.SetRecorder(frs[i])
 		}
 	}
 	audOf := func(dc int) *audit.Ledger { return n.auds[n.shardOf(dc)] }

@@ -10,15 +10,30 @@ import (
 // applyTelemetry wires a built network into its telemetry layer: every
 // component registers its instruments under the hierarchical naming scheme
 // (sim.*, host.h<idx>.*, switch.{leaf,spine}<idx>.*, dci.dci<idx>.*) and
-// receives the shared flight recorder. A nil Telemetry (the default) makes
-// this a no-op, so telemetry-off builds are untouched.
+// receives its shard's flight recorder — one ring per shard, so hot-path
+// recording stays lock-free under parallel execution and the rings merge
+// time-ordered at export. Time-series sampling registers a quiescent pump
+// hook on Run instead of scheduling engine events, keeping sampled runs
+// event-for-event identical to passive ones on any shard count. A nil
+// Telemetry (the default) makes this a no-op, so telemetry-off builds are
+// untouched.
 func (n *Network) applyTelemetry() {
 	tel := n.P.Telemetry
 	if tel == nil {
 		return
 	}
 	reg := tel.Registry()
-	fr := tel.Recorder()
+	tel.NodeNamer = n.NodeName
+	frs := tel.ShardRecorders(n.shards)
+	frOf := func(dc int) *metrics.FlightRecorder {
+		if frs == nil {
+			return nil
+		}
+		return frs[n.shardOf(dc)]
+	}
+	if iv := tel.SampleInterval(); iv > 0 {
+		n.OnQuiescent(iv, tel.Pump)
+	}
 
 	if reg != nil {
 		// Shard-wide aggregates; on a single-engine build these reduce to
@@ -31,7 +46,7 @@ func (n *Network) applyTelemetry() {
 	}
 	alg := n.Alg.Name
 	for i, h := range n.Hosts {
-		h.SetRecorder(fr)
+		h.SetRecorder(frOf(n.DC(i)))
 		h.RegisterMetrics(reg, fmt.Sprintf("host.h%d", i), alg, tel.PerFlow())
 	}
 	if reg != nil {
@@ -55,15 +70,15 @@ func (n *Network) applyTelemetry() {
 		reg.CounterFunc("cc.fb.watchdog_recovers", sum(func(h *host.Host) int64 { return h.WatchdogRecovers }))
 	}
 	for i, sw := range n.Leaves {
-		sw.SetRecorder(fr)
+		sw.SetRecorder(frOf(n.leafDC(i)))
 		sw.RegisterMetrics(reg, fmt.Sprintf("switch.leaf%d", i))
 	}
 	for i, sw := range n.Spines {
-		sw.SetRecorder(fr)
+		sw.SetRecorder(frOf(n.spineDC(i)))
 		sw.RegisterMetrics(reg, fmt.Sprintf("switch.spine%d", i))
 	}
 	for i, d := range n.DCIs {
-		d.SetRecorder(fr)
+		d.SetRecorder(frOf(i))
 		d.RegisterMetrics(reg, fmt.Sprintf("dci.dci%d", i))
 	}
 }

@@ -83,8 +83,10 @@ type Params struct {
 	DQM core.DQMParams
 
 	// Telemetry, when non-nil, is wired through every component at build
-	// time: instruments register in its registry and the flight recorder is
-	// attached to hosts and switches. Nil (the default) costs nothing.
+	// time: instruments register in its registry and each component receives
+	// its shard's flight recorder (one lock-free ring per shard, merged at
+	// export). Sampling, when enabled, is pumped by Run at quiescent
+	// boundaries. Nil (the default) costs nothing.
 	Telemetry *metrics.Telemetry
 
 	// Fault, when non-empty, is applied to the built network: scripted
@@ -115,24 +117,19 @@ type Params struct {
 }
 
 // ShardFallback reports why a multi-shard request must fall back to a single
-// engine under this parameter set, or "" when sharding is usable. The fault
-// plane drives ports on both sides of the long-haul link from one scripted
-// timeline, and the active telemetry planes (flight recorder, time-series
-// sampling, per-flow gauges) mutate shared state from hot paths — all
-// single-engine by construction. Passive telemetry (registry of CounterFunc/
-// GaugeFunc instruments, read only after the run) is shard-safe.
+// engine under this parameter set, or "" when sharding is usable. Only the
+// fault plane pins the build: it drives ports on both sides of the long-haul
+// link from one scripted timeline. Every telemetry plane is shard-safe —
+// each shard records into its own flight-recorder ring (merged at export),
+// time-series sampling is pump-driven at quiescent barriers instead of
+// engine-tick-driven, and the registry serializes mid-run per-flow gauge
+// registration behind a mutex while snapshots sort by name.
 func (p Params) ShardFallback() string {
 	switch {
 	case p.LongHaulDelay <= 0:
 		return "no positive long-haul delay to bound the shard lookahead"
 	case !p.Fault.Empty():
 		return "fault plans script both sides of the long-haul link from one timeline"
-	case p.Telemetry.Recorder() != nil:
-		return "the flight recorder is shared hot-path state"
-	case p.Telemetry != nil && p.Telemetry.Opts.SampleInterval > 0:
-		return "time-series sampling ticks on a single engine"
-	case p.Telemetry.PerFlow():
-		return "per-flow gauges register mid-run in the shared registry"
 	}
 	return ""
 }
@@ -197,6 +194,8 @@ type Network struct {
 	algs  []cc.Algorithm  // per-shard CC bundles; algs[0] == Alg
 	group *sim.ShardGroup // barrier scheduler; nil on single-engine builds
 	auds  []*audit.Ledger // per-shard partial ledgers (len > 1 only when sharded)
+
+	qhooks []*quiescentHook // periodic quiescent callbacks driven by Run
 
 	// crossA/crossB are the long-haul cross-shard mailbox ports, flushed in
 	// fixed A→B order at every barrier (nil on single-engine builds).
@@ -394,12 +393,83 @@ func (n *Network) AddFlow(src, dst int, size int64, start sim.Time) *host.Flow {
 	return f
 }
 
-// Run advances the simulation to the given time — through the conservative
-// barrier scheduler on sharded builds, directly on the engine otherwise.
-func (n *Network) Run(until sim.Time) {
+// quiescentHook is a callback Run fires with every engine parked at a
+// multiple of its interval — the mechanism behind pump-driven telemetry
+// sampling and live observability snapshots. Hooks schedule no engine
+// events, so a run with hooks executes the exact same event sequence as one
+// without (RunUntil partitioning is behaviour-neutral: the heap orders by
+// (time, insertion seq) and boundary events still fire at their boundary).
+type quiescentHook struct {
+	every sim.Time
+	next  sim.Time
+	fn    func(now sim.Time)
+}
+
+// OnQuiescent registers fn to be called at every multiple of every (starting
+// at Now()+every) during subsequent Run calls, with the simulation quiescent
+// and the clock exactly at the boundary. Callbacks run on the driving
+// goroutine with no engine goroutine active, so they may read any simulation
+// state — across shards — without synchronization. Hooks registered with the
+// same boundary fire in registration order.
+func (n *Network) OnQuiescent(every sim.Time, fn func(now sim.Time)) {
+	if every <= 0 {
+		panic("topo: OnQuiescent interval must be positive")
+	}
+	n.qhooks = append(n.qhooks, &quiescentHook{every: every, next: n.Now() + every, fn: fn})
+}
+
+// runTo advances to t — through the conservative barrier scheduler on
+// sharded builds, directly on the engine otherwise.
+func (n *Network) runTo(t sim.Time) {
 	if n.group != nil {
-		n.group.RunUntil(until)
+		n.group.RunUntil(t)
 		return
 	}
-	n.Eng.RunUntil(until)
+	n.Eng.RunUntil(t)
+}
+
+// Run advances the simulation to the given time, pausing at every quiescent
+// hook boundary on the way (see OnQuiescent). Without hooks this is a single
+// uninterrupted advance.
+func (n *Network) Run(until sim.Time) {
+	if len(n.qhooks) == 0 {
+		n.runTo(until)
+		return
+	}
+	for {
+		now := n.Now()
+		next := until
+		for _, h := range n.qhooks {
+			if h.next > now && h.next < next {
+				next = h.next
+			}
+		}
+		n.runTo(next)
+		for _, h := range n.qhooks {
+			if h.next == next {
+				h.fn(next)
+				h.next += h.every
+			}
+		}
+		if next >= until {
+			return
+		}
+	}
+}
+
+// NodeName maps a flight-recorder node id to its topology name ("host3",
+// "leaf0", "spine1", "dci0"), following the NodeID layout the builder uses:
+// hosts are 1+index and switches sit at fixed per-tier bases.
+func (n *Network) NodeName(id int32) string {
+	switch {
+	case id >= dciIDBase:
+		return fmt.Sprintf("dci%d", id-dciIDBase)
+	case id >= spineIDBase:
+		return fmt.Sprintf("spine%d", id-spineIDBase)
+	case id >= leafIDBase:
+		return fmt.Sprintf("leaf%d", id-leafIDBase)
+	case id >= 1:
+		return fmt.Sprintf("host%d", id-1)
+	}
+	return fmt.Sprintf("node%d", id)
 }

@@ -40,6 +40,7 @@ import (
 	"mlcc/internal/fault"
 	"mlcc/internal/host"
 	"mlcc/internal/metrics"
+	"mlcc/internal/obs"
 	"mlcc/internal/pkt"
 	"mlcc/internal/sim"
 	"mlcc/internal/stats"
@@ -117,6 +118,16 @@ type TelemetryOptions = metrics.Options
 
 // NewTelemetry builds a telemetry layer for Config.Telemetry.
 func NewTelemetry(opts TelemetryOptions) *Telemetry { return metrics.New(opts) }
+
+// ObsServer re-exports the live observability server: Prometheus-text
+// /metrics, /manifest, flight-recorder tails, Chrome trace exports and
+// net/http/pprof, all served from immutable snapshots published at quiescent
+// simulation points. Attach one to Config.Obs and call Serve on it; see
+// EXPERIMENTS.md, "Live observability".
+type ObsServer = obs.Server
+
+// NewObsServer builds an observability server for Config.Obs.
+func NewObsServer() *ObsServer { return obs.NewServer() }
 
 // Time re-exports the simulator's picosecond time type.
 type Time = sim.Time
@@ -218,14 +229,23 @@ type Config struct {
 	// and leaves the simulation bit-identical.
 	Audit bool
 
+	// Obs, when non-nil, serves the run live: the server republishes a
+	// fresh snapshot at every quiescent telemetry boundary during Run and a
+	// final one when the run ends, so /metrics, /flight and /trace track
+	// the simulation as it executes. The caller owns the listener (Serve/
+	// Close). Nil costs nothing; attaching a server never perturbs the
+	// event schedule (snapshots are taken only with the engines parked).
+	Obs *ObsServer
+
 	// Shards selects the per-DC engine count: 0 or 1 runs the whole
 	// topology on one engine; 2 gives each datacenter its own engine under
 	// the conservative barrier scheduler (lookahead = the long-haul
 	// propagation delay). Results are bit-identical either way — sharding
-	// is purely a wall-time optimization for multi-DC runs. The build
-	// silently falls back to one engine when a feature pins the run to a
-	// single timeline (fault plans, time-series sampling, the flight
-	// recorder, per-flow gauges); see topo.Params.ShardFallback.
+	// is purely a wall-time optimization for multi-DC runs, and every
+	// telemetry plane (flight recorder, sampling, per-flow gauges) is
+	// shard-safe. The build silently falls back to one engine only when a
+	// fault plan pins the run to a single scripted timeline; see
+	// topo.Params.ShardFallback.
 	Shards int
 
 	Seed int64
@@ -377,7 +397,15 @@ func Run(cfg Config) (*Result, error) {
 	for _, fs := range flows {
 		n.AddFlow(fs.Src, fs.Dst, fs.Size, fs.Start)
 	}
-	tel.StartSampling(n.Eng, cfg.Deadline)
+	tel.StartSampling(cfg.Deadline)
+	if cfg.Obs != nil {
+		every := tel.SampleInterval()
+		if every <= 0 {
+			every = Millisecond
+		}
+		cfg.Obs.Attach(n, every)
+		cfg.Obs.PublishNetwork(n, true)
+	}
 	t0 := time.Now()
 	n.Run(cfg.Deadline)
 	n.MustAudit()
@@ -462,6 +490,9 @@ func Run(cfg Config) (*Result, error) {
 		res.PFCPauses += sw.PFCPauses
 		res.Drops += sw.Drops
 	}
+	// Final publish after the manifest is filled, so /manifest and /metrics
+	// serve the completed run until the caller closes the server.
+	cfg.Obs.PublishNetwork(n, false)
 	return res, nil
 }
 
