@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench figures
+.PHONY: build test check bench figures soak
 
 build:
 	$(GO) build ./...
@@ -20,14 +20,18 @@ test:
 # byte-identical to single-engine — including with every telemetry plane
 # active, via TestShardDigestTelemetry — and merged shard ledgers closing
 # clean), the observability-server invariant (digest untouched with the live
-# HTTP server attached and publishing) and a short fuzz budget on each native
-# fuzz target so the committed corpora keep being exercised beyond plain-seed
-# replay. The race line carries an explicit -timeout: the exp digest sweeps
-# take ~10 min under the race detector, right at go test's default 600s
-# per-binary limit, so the default would flake on loaded machines.
+# HTTP server attached and publishing), the chaos smoke tier (8 seeded
+# random fault plans, each run single-engine and sharded with digest
+# equality, clean conservation books and counter invariants gating every
+# cell; failures print the exact seed and plan JSON) and a short fuzz budget
+# on each native fuzz target so the committed corpora keep being exercised
+# beyond plain-seed replay. The race line carries an explicit -timeout: the
+# exp digest sweeps take ~10 min under the race detector, right at go test's
+# default 600s per-binary limit, so the default would flake on loaded
+# machines.
 check: build
 	$(GO) vet ./...
-	$(GO) test -race -timeout 1800s ./internal/sim/... ./internal/exp/... ./internal/metrics/... ./internal/obs/... ./internal/fault/... ./internal/link/... ./internal/host/... ./internal/audit/... ./internal/cc/...
+	$(GO) test -race -timeout 1800s ./internal/sim/... ./internal/exp/... ./internal/metrics/... ./internal/obs/... ./internal/fault/... ./internal/link/... ./internal/host/... ./internal/audit/... ./internal/cc/... ./internal/chaos/...
 	$(GO) test -run '^$$' -bench 'BenchmarkFig02' -benchtime=1x .
 	$(GO) test -run 'TestTelemetryDisabledPathAllocFree' -count=1 .
 	$(GO) test -run 'TestDigestTelemetryInvariant' -short -count=1 ./internal/exp/
@@ -36,11 +40,21 @@ check: build
 	$(GO) test -run 'TestDigestAuditInvariant' -short -count=1 ./internal/exp/
 	$(GO) test -run 'TestShardDigest' -short -count=1 ./internal/exp/
 	$(GO) test -run 'TestDigestObsInvariant' -short -count=1 ./internal/obs/
+	$(GO) test -run 'TestChaosSmoke' -count=1 -timeout 600s ./internal/chaos/
 	$(GO) test -fuzz 'FuzzEngineSchedule' -fuzztime=10s -run '^$$' ./internal/sim/
 	$(GO) test -fuzz 'FuzzFaultPlanJSON' -fuzztime=10s -run '^$$' ./internal/fault/
+	$(GO) test -fuzz 'FuzzChaosPlan' -fuzztime=10s -run '^$$' ./internal/chaos/
 	$(GO) test -fuzz 'FuzzINTFeedback' -fuzztime=10s -run '^$$' ./internal/cc/
 	$(GO) test -fuzz 'FuzzCDF' -fuzztime=10s -run '^$$' ./internal/workload/
 	$(GO) test -fuzz 'FuzzTracefile' -fuzztime=10s -run '^$$' ./internal/workload/
+
+# soak runs the full chaos matrix: every algorithm × both topologies × N
+# generated fault plans (default 20; override with MLCC_SOAK_PLANS), each
+# cell executed at shards=1 and shards=2 and held to the same invariants as
+# the smoke tier. Failures are self-reproducing: the harness prints the
+# cell's algorithm, topology and seed plus the generated plan's JSON.
+soak:
+	MLCC_SOAK=1 MLCC_SOAK_PLANS=$${MLCC_SOAK_PLANS:-20} $(GO) test -run 'TestChaosSoak' -count=1 -timeout 7200s -v ./internal/chaos/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x .

@@ -120,7 +120,7 @@ func main() {
 		}
 	}
 	cfg.FBWatchdogK = *watchdogK
-	nShards, warns, err := validateShards(*shards, cfg.Fault != nil)
+	nShards, warns, err := validateShards(*shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mlccsim:", err)
 		os.Exit(2)

@@ -5,13 +5,12 @@ import "fmt"
 // validateShards sanity-checks the -shards argument before the run starts,
 // so a bad value is a CLI error rather than a silent clamp deep in the
 // topology builder. It returns the shard count to use plus any warnings to
-// print: counts above the per-DC maximum clamp with a warning, and a fault
-// plan — which scripts both sides of the long-haul link from one timeline —
-// downgrades to one engine with a warning, mirroring topo.Params.ShardFallback
-// but visibly. Telemetry never forces a fallback: the flight recorder keeps a
-// per-shard ring and sampling is pump-driven at quiescent boundaries, so every
-// plane is shard-safe.
-func validateShards(n int, haveFault bool) (int, []string, error) {
+// print: counts above the per-DC maximum clamp with a warning. Nothing else
+// forces a fallback: telemetry keeps a per-shard flight-recorder ring with
+// pump-driven sampling at quiescent boundaries, and fault plans schedule
+// their scripted events per direction on the engine owning each port with
+// per-direction PRNG streams, so every plane is shard-safe.
+func validateShards(n int) (int, []string, error) {
 	if n < 1 {
 		return 0, nil, fmt.Errorf("-shards must be at least 1, got %d", n)
 	}
@@ -19,10 +18,6 @@ func validateShards(n int, haveFault bool) (int, []string, error) {
 	if n > 2 {
 		warns = append(warns, fmt.Sprintf("-shards %d clamped to 2: one engine-shard per datacenter", n))
 		n = 2
-	}
-	if n > 1 && haveFault {
-		warns = append(warns, "-shards ignored (fault plans script both sides of the long-haul link from one timeline); running on a single engine")
-		n = 1
 	}
 	return n, warns, nil
 }

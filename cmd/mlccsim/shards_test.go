@@ -7,24 +7,21 @@ import (
 
 func TestValidateShards(t *testing.T) {
 	cases := []struct {
-		name      string
-		in        int
-		haveFault bool
-		want      int
-		wantErr   bool
-		wantWarn  string // substring of a warning, "" = no warnings
+		name     string
+		in       int
+		want     int
+		wantErr  bool
+		wantWarn string // substring of a warning, "" = no warnings
 	}{
 		{name: "zero rejected", in: 0, wantErr: true},
 		{name: "negative rejected", in: -3, wantErr: true},
 		{name: "one is silent", in: 1, want: 1},
 		{name: "two is silent", in: 2, want: 2},
 		{name: "excess clamps", in: 8, want: 2, wantWarn: "clamped to 2"},
-		{name: "fault falls back", in: 2, haveFault: true, want: 1, wantWarn: "fault plans"},
-		{name: "one ignores fault", in: 1, haveFault: true, want: 1},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			got, warns, err := validateShards(c.in, c.haveFault)
+			got, warns, err := validateShards(c.in)
 			if c.wantErr {
 				if err == nil {
 					t.Fatalf("validateShards(%d) accepted, want error", c.in)
@@ -56,11 +53,12 @@ func TestValidateShards(t *testing.T) {
 	}
 }
 
-// TestTelemetryNeverFallsBack pins the shard-safety contract at the CLI:
-// flight recorder and sampling flags must not downgrade -shards 2.
-func TestTelemetryNeverFallsBack(t *testing.T) {
-	got, warns, err := validateShards(2, false)
+// TestNoFeatureFallsBack pins the shard-safety contract at the CLI: neither
+// telemetry flags nor fault plans downgrade -shards 2 — every plane is
+// shard-safe, so validateShards no longer needs to know what the run carries.
+func TestNoFeatureFallsBack(t *testing.T) {
+	got, warns, err := validateShards(2)
 	if err != nil || got != 2 || len(warns) != 0 {
-		t.Fatalf("validateShards(2, no fault) = (%d, %q, %v), want (2, none, nil)", got, warns, err)
+		t.Fatalf("validateShards(2) = (%d, %q, %v), want (2, none, nil)", got, warns, err)
 	}
 }

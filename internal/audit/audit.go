@@ -344,9 +344,9 @@ func (l *Ledger) OnWREDDrop(id pkt.FlowID, size int) {
 }
 
 // OnFaultDrop records a frame destroyed by the fault layer on a port:
-// corrupt distinguishes Bernoulli corruption from admin-down discards (wire
-// flush, mid-serialization cut, offered-while-down). Control and PFC frames
-// carry no flow and land in ControlFaultDrops.
+// corrupt distinguishes Bernoulli corruption from admin-down discards
+// (in-flight cut at arrival, mid-serialization cut, offered-while-down).
+// Control and PFC frames carry no flow and land in ControlFaultDrops.
 func (l *Ledger) OnFaultDrop(p *pkt.Packet, corrupt bool) {
 	if l == nil {
 		return
@@ -409,18 +409,19 @@ func (l *Ledger) Flows() []*FlowRec {
 // The equation holds at any instant, drained or not: TxPackets counts
 // frames whose serialization began, MacTx counts MAC-injected PFC frames
 // (which bypass TxPackets), and every such frame is exactly one of —
-// received by the peer, destroyed by the fault layer on this port, in
-// flight on the wire, or still mid-serialization.
+// received by the peer, destroyed by the fault layer at this transmitter,
+// destroyed at the peer because the wire was cut mid-flight (the peer's
+// CutDrops), in flight on the wire, or still mid-serialization.
 func dirProblem(name string, tx, rx *link.Port) string {
 	busy := int64(0)
 	if tx.Busy() {
 		busy = 1
 	}
 	sent := tx.TxPackets + tx.MacTx
-	accounted := rx.RxPackets + tx.FaultDrops + int64(tx.InFlightFrames()) + busy
+	accounted := rx.RxPackets + tx.FaultDrops + rx.CutDrops + int64(tx.InFlightFrames()) + busy
 	if sent != accounted {
-		return fmt.Sprintf("link %s: tx %d + mac %d != rx %d + faultDrops %d + inFlight %d + busy %d (missing %d)",
-			name, tx.TxPackets, tx.MacTx, rx.RxPackets, tx.FaultDrops, tx.InFlightFrames(), busy, sent-accounted)
+		return fmt.Sprintf("link %s: tx %d + mac %d != rx %d + faultDrops %d + cutDrops %d + inFlight %d + busy %d (missing %d)",
+			name, tx.TxPackets, tx.MacTx, rx.RxPackets, tx.FaultDrops, rx.CutDrops, tx.InFlightFrames(), busy, sent-accounted)
 	}
 	return ""
 }

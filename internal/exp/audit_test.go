@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -38,12 +39,14 @@ func TestDigestAuditInvariant(t *testing.T) {
 
 // auditedFlapRun is the TestFaultConservationFlap scenario with the
 // conservation ledger attached: long-haul blackout, degradation, and a lossy
-// window on the dumbbell, then a drain to quiescence.
-func auditedFlapRun(alg string) *topo.Network {
+// window on the dumbbell, then a drain to quiescence. shards picks the
+// engine layout (1 = single engine, 2 = one per DC).
+func auditedFlapRun(alg string, shards int) *topo.Network {
 	p := topo.DefaultParams().WithAlgorithm(alg)
 	p.Seed = 1
 	p.HostsPerLeaf = 2
 	p.LongHaulDelay = 500 * sim.Microsecond
+	p.Shards = shards
 	p.Audit = audit.New()
 	p.Fault = &fault.Plan{
 		Seed: 42,
@@ -69,59 +72,66 @@ func auditedFlapRun(alg string) *topo.Network {
 // TestAuditCleanUnderFaults runs every algorithm through the resilience flap
 // scenario with the ledger attached and requires zero conservation
 // violations — the acceptance proof that the byte-level accounting survives
-// link cuts, degradation, Bernoulli loss and go-back-N recovery.
+// link cuts, degradation, Bernoulli loss and go-back-N recovery, on one
+// engine and sharded (one engine per DC with the merged ledgers still
+// closing clean).
 func TestAuditCleanUnderFaults(t *testing.T) {
 	algs := []string{"mlcc", "dcqcn"}
 	if !testing.Short() {
 		algs = append(algs, "timely", "hpcc", "powertcp")
 	}
 	for _, alg := range algs {
-		alg := alg
-		t.Run(alg, func(t *testing.T) {
-			t.Parallel()
-			n := auditedFlapRun(alg)
-			// The ledger's per-link and prefix checks hold at any instant;
-			// AuditProblems only insists on zero in-flight when the pool
-			// actually drained. Timely recovers so slowly from the loss
-			// window that its 8 MB flows outlive the deadline — legitimate,
-			// so full drain is required only of the algorithms that converge.
-			drained := n.Pool.Outstanding() == 0
-			if !drained && (alg == "mlcc" || alg == "dcqcn") {
-				t.Errorf("pool not drained at quiescence: %d outstanding", n.Pool.Outstanding())
-			}
-			for _, p := range n.AuditProblems() {
-				t.Errorf("conservation violation: %s", p)
-			}
-			aud := n.Audit()
-			if n.Faults.TotalDrops() == 0 {
-				t.Error("fault plan did not engage: no frames destroyed")
-			}
-			var injected, delivered, faultData int64
-			for _, r := range aud.Flows() {
-				injected += r.InjectedPkts
-				delivered += r.DeliveredPkts
-				faultData += r.CorruptPkts + r.DownPkts
-			}
-			if injected == 0 || delivered == 0 {
-				t.Fatalf("ledger saw no traffic: injected=%d delivered=%d", injected, delivered)
-			}
-			// Cross-check the ledger against the hosts' own counters.
-			var sent, recv int64
-			for _, h := range n.Hosts {
-				sent += h.SentData
-				recv += h.RecvData
-			}
-			if injected != sent || delivered != recv {
-				t.Errorf("ledger disagrees with hosts: injected=%d sent=%d delivered=%d recv=%d",
-					injected, sent, delivered, recv)
-			}
-			if got := n.Faults.DataDropped(); faultData != got {
-				t.Errorf("ledger fault-drop buckets %d != injector data drops %d", faultData, got)
-			}
-			if drained && !strings.Contains(aud.Summary(), "flows=3 done=3") {
-				t.Errorf("summary: %s", aud.Summary())
-			}
-		})
+		for _, shards := range []int{1, 2} {
+			alg, shards := alg, shards
+			t.Run(fmt.Sprintf("%s/shards%d", alg, shards), func(t *testing.T) {
+				t.Parallel()
+				n := auditedFlapRun(alg, shards)
+				if shards == 2 && n.ShardCount() != 2 {
+					t.Fatalf("fault plan forced fallback: ShardCount = %d, want 2", n.ShardCount())
+				}
+				// The ledger's per-link and prefix checks hold at any instant;
+				// AuditProblems only insists on zero in-flight when the pools
+				// actually drained. Timely recovers so slowly from the loss
+				// window that its 8 MB flows outlive the deadline — legitimate,
+				// so full drain is required only of the algorithms that converge.
+				drained := n.Drained()
+				if !drained && (alg == "mlcc" || alg == "dcqcn") {
+					t.Error("pools not drained at quiescence")
+				}
+				for _, p := range n.AuditProblems() {
+					t.Errorf("conservation violation: %s", p)
+				}
+				aud := n.Audit()
+				if n.Faults.TotalDrops() == 0 {
+					t.Error("fault plan did not engage: no frames destroyed")
+				}
+				var injected, delivered, faultData int64
+				for _, r := range aud.Flows() {
+					injected += r.InjectedPkts
+					delivered += r.DeliveredPkts
+					faultData += r.CorruptPkts + r.DownPkts
+				}
+				if injected == 0 || delivered == 0 {
+					t.Fatalf("ledger saw no traffic: injected=%d delivered=%d", injected, delivered)
+				}
+				// Cross-check the ledger against the hosts' own counters.
+				var sent, recv int64
+				for _, h := range n.Hosts {
+					sent += h.SentData
+					recv += h.RecvData
+				}
+				if injected != sent || delivered != recv {
+					t.Errorf("ledger disagrees with hosts: injected=%d sent=%d delivered=%d recv=%d",
+						injected, sent, delivered, recv)
+				}
+				if got := n.Faults.DataDropped(); faultData != got {
+					t.Errorf("ledger fault-drop buckets %d != injector data drops %d", faultData, got)
+				}
+				if drained && !strings.Contains(aud.Summary(), "flows=3 done=3") {
+					t.Errorf("summary: %s", aud.Summary())
+				}
+			})
+		}
 	}
 }
 

@@ -43,6 +43,16 @@ func DeterminismDigestPlan(alg string, seed int64, plan *fault.Plan) uint64 {
 	return determinismDigest(alg, seed, nil, plan, nil)
 }
 
+// DeterminismDigestPlanShards is DeterminismDigestPlan built with the given
+// shard count, on the dumbbell or the two-DC fabric. Fault plans are fully
+// shard-safe: scripted events fire per direction on the engine owning each
+// port, at the same absolute time as a single-engine build, and loss rules
+// draw from per-direction PRNG streams — so the digest must be
+// byte-identical across shard counts even with an active plan.
+func DeterminismDigestPlanShards(alg string, seed int64, plan *fault.Plan, shards int, dumbbell bool) uint64 {
+	return determinismDigest(alg, seed, nil, plan, &hooks{shards: shards, dumbbell: dumbbell})
+}
+
 // DeterminismDigestAudit is DeterminismDigest with the conservation ledger
 // attached to the build. The ledger is strictly passive (no events, no
 // randomness), so the digest must be byte-identical to the audit-off run;

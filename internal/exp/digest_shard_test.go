@@ -3,6 +3,9 @@ package exp
 import (
 	"fmt"
 	"testing"
+
+	"mlcc/internal/fault"
+	"mlcc/internal/sim"
 )
 
 // shardTestAlgs returns the algorithms the shard-parity tests sweep: the
@@ -49,6 +52,76 @@ func TestShardDigestEquality(t *testing.T) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// shardFaultPlans returns the active plans the shard-parity fault test
+// sweeps: a data-plane plan (long-haul blackout + recovery, a degrade with
+// jitter, and a Bernoulli loss window — every scripted action and both RNG
+// stream families exercised) and a feedback-plane plan (drop + corrupt +
+// jittered delay on every host). Both are active well inside the 60 ms
+// digest horizon so they genuinely perturb the run.
+func shardFaultPlans() map[string]*fault.Plan {
+	return map[string]*fault.Plan{
+		"data": {
+			Seed: 77,
+			Events: []fault.Event{
+				{At: 3 * sim.Millisecond, Link: "longhaul", Action: fault.LinkDown},
+				{At: 4 * sim.Millisecond, Link: "longhaul", Action: fault.LinkUp},
+				{At: 6 * sim.Millisecond, Link: "longhaul", Action: fault.Degrade,
+					RateFactor: 0.5, ExtraDelay: 50 * sim.Microsecond, Jitter: 10 * sim.Microsecond},
+				{At: 8 * sim.Millisecond, Link: "longhaul", Action: fault.Restore},
+			},
+			Loss: []fault.LossRule{
+				{Link: "longhaul", Prob: 1e-3, Start: 5 * sim.Millisecond, End: 12 * sim.Millisecond},
+			},
+		},
+		"feedback": {
+			Seed: 78,
+			Feedback: []fault.FeedbackRule{
+				{Host: "*", Drop: 0.1, Corrupt: 0.2,
+					Delay: 20 * sim.Microsecond, Jitter: 10 * sim.Microsecond,
+					Start: 2 * sim.Millisecond, End: 12 * sim.Millisecond},
+			},
+		},
+	}
+}
+
+// TestShardDigestFaultPlans extends the shard-parity property to active
+// fault plans — the feature that used to pin builds to a single engine. A
+// sharded run under a live data-plane plan (long-haul blackout, degrade,
+// Bernoulli loss) or feedback-plane plan (drop/corrupt/delay at host
+// ingress) must stay byte-identical to the single-engine run: scripted
+// events fire per direction on the engine owning each port at the same
+// absolute time, loss rules draw from per-direction PRNG streams, and
+// feedback filters keep per-host streams regardless of which shard hosts
+// them. The data plan must also move the TwoDC digest off the fault-free
+// golden, proving it actually fired.
+func TestShardDigestFaultPlans(t *testing.T) {
+	for planName, plan := range shardFaultPlans() {
+		for _, alg := range shardTestAlgs(t) {
+			for _, dumbbell := range []bool{true, false} {
+				planName, plan, alg, dumbbell := planName, plan, alg, dumbbell
+				topoName := "twodc"
+				if dumbbell {
+					topoName = "dumbbell"
+				}
+				t.Run(fmt.Sprintf("%s/%s/%s", planName, alg, topoName), func(t *testing.T) {
+					t.Parallel()
+					single := DeterminismDigestPlanShards(alg, 1, plan, 1, dumbbell)
+					sharded := DeterminismDigestPlanShards(alg, 1, plan, 2, dumbbell)
+					if single != sharded {
+						t.Errorf("%s plan: shards=2 digest %#016x != shards=1 digest %#016x",
+							planName, sharded, single)
+					}
+					if planName == "data" && !dumbbell {
+						if single == goldenDigests[alg] {
+							t.Errorf("active data plan left the digest at the fault-free golden %#016x", single)
+						}
+					}
+				})
+			}
 		}
 	}
 }

@@ -84,12 +84,6 @@ type fbOutcome struct {
 // across the blackout?
 func runFBResilience(cfg Config) (*Report, error) {
 	rep := &Report{ID: "fb-resilience", Title: "Feedback-plane resilience (dumbbell, all algorithms)"}
-	if cfg.Shards > 1 {
-		wp := topo.DefaultParams()
-		wp.Shards = cfg.Shards
-		wp.Fault = fbPhases[0].plan(cfg.Seed)
-		rep.AddWarning("%s", shardWarning(wp))
-	}
 
 	type key struct{ alg, phase string }
 	var mu sync.Mutex
@@ -100,7 +94,7 @@ func runFBResilience(cfg Config) (*Report, error) {
 		for _, ph := range fbPhases {
 			alg, ph := alg, ph
 			jobs = append(jobs, func() {
-				o := fbResilienceRun(alg, ph.name, ph.plan(cfg.Seed), cfg.Seed)
+				o := fbResilienceRun(alg, ph.name, ph.plan(cfg.Seed), cfg.Seed, cfg.Shards)
 				mu.Lock()
 				results[key{alg, ph.name}] = o
 				mu.Unlock()
@@ -134,11 +128,12 @@ func runFBResilience(cfg Config) (*Report, error) {
 // fbResilienceRun executes one algorithm under one feedback-fault plan:
 // two long cross flows that straddle every fault window plus two short intra
 // flows, with the watchdog armed and the conservation audit attached.
-func fbResilienceRun(alg, phase string, plan *fault.Plan, seed int64) *fbOutcome {
+func fbResilienceRun(alg, phase string, plan *fault.Plan, seed int64, shards int) *fbOutcome {
 	p := topo.DefaultParams().WithAlgorithm(alg)
 	p.Seed = seed
 	p.HostsPerLeaf = 2 // hosts 0,1 = DC 0; hosts 2,3 = DC 1
 	p.LongHaulDelay = 100 * sim.Microsecond
+	p.Shards = shards
 	p.FBWatchdogK = fbWatchdogK
 	p.Fault = plan
 	p.Audit = audit.New()

@@ -8,7 +8,9 @@ import (
 // × 4 feedback attacks) and asserts the experiment's contract: every flow
 // completes cleanly under every attack, the conservation books balance with
 // feedback destroyed at host ingress, each attack demonstrably engages, and
-// the blackout makes the watchdog decay and then fully recover.
+// the blackout makes the watchdog decay and then fully recover. The matrix
+// runs sharded (one engine per DC), exactly as `mlccfig -fig fb-resilience`
+// does by default — feedback-fault plans are fully shard-safe.
 func TestFBResilienceAcceptance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("20 dumbbell runs")
@@ -18,7 +20,7 @@ func TestFBResilienceAcceptance(t *testing.T) {
 			ph, alg := ph, alg
 			t.Run(ph.name+"/"+alg, func(t *testing.T) {
 				t.Parallel()
-				o := fbResilienceRun(alg, ph.name, ph.plan(1), 1)
+				o := fbResilienceRun(alg, ph.name, ph.plan(1), 1, 2)
 				if o.done != 4 || o.aborted != 0 {
 					t.Errorf("done=%v aborted=%v, want every flow completing cleanly", o.done, o.aborted)
 				}

@@ -60,12 +60,6 @@ func resilFlapPlan(seed int64) *fault.Plan {
 // intra-DC traffic is untouched?).
 func runResilience(cfg Config) (*Report, error) {
 	rep := &Report{ID: "resilience", Title: "Resilience under long-haul faults (dumbbell)"}
-	if cfg.Shards > 1 {
-		wp := topo.DefaultParams()
-		wp.Shards = cfg.Shards
-		wp.Fault = resilFlapPlan(cfg.Seed)
-		rep.AddWarning("%s", shardWarning(wp))
-	}
 
 	flapTbl := NewTable("Flap + degrade + loss (cross-DC goodput)", "",
 		"preGbps", "recoveryMs", "steadyGbps", "probeP99ms", "faultDrops")
@@ -89,9 +83,9 @@ func runResilience(cfg Config) (*Report, error) {
 		jobs = append(jobs, func() {
 			o := &out{}
 			o.pre, o.recMs, o.steady, o.p99, o.flapDrops, o.crossS, o.mans =
-				resilFlapRun(alg, cfg.Seed, o.mans)
+				resilFlapRun(alg, cfg.Seed, cfg.Shards, o.mans)
 			o.aborted, o.intraDone, o.crossDone, o.blackDrops, o.mans =
-				resilBlackoutRun(alg, cfg.Seed, o.mans)
+				resilBlackoutRun(alg, cfg.Seed, cfg.Shards, o.mans)
 			mu.Lock()
 			results[alg] = o
 			mu.Unlock()
@@ -118,11 +112,12 @@ func runResilience(cfg Config) (*Report, error) {
 // resilFlapRun executes the flap phase for one algorithm and returns
 // (pre-fault Gbps, recovery ms, post-fault steady Gbps, probe p99 ms, fault
 // drops, cross goodput series, manifests).
-func resilFlapRun(alg string, seed int64, mans []*metrics.Manifest) (pre, recMs, steady, p99, drops float64, crossS *stats.Series, outMans []*metrics.Manifest) {
+func resilFlapRun(alg string, seed int64, shards int, mans []*metrics.Manifest) (pre, recMs, steady, p99, drops float64, crossS *stats.Series, outMans []*metrics.Manifest) {
 	p := topo.DefaultParams().WithAlgorithm(alg)
 	p.Seed = seed
 	p.HostsPerLeaf = 2 // hosts 0,1 = DC 0; hosts 2,3 = DC 1
 	p.LongHaulDelay = 500 * sim.Microsecond
+	p.Shards = shards
 	p.Fault = resilFlapPlan(seed)
 	sc := newScenarioIn(topo.Dumbbell, p, resilFlapWindow, 100*sim.Microsecond)
 
@@ -163,12 +158,13 @@ func resilFlapRun(alg string, seed int64, mans []*metrics.Manifest) (pre, recMs,
 // resilBlackoutRun executes the blackout phase for one algorithm: the long
 // haul goes down at 5 ms and never returns; cross senders must exhaust their
 // retransmission budget and abort while intra-DC flows complete untouched.
-func resilBlackoutRun(alg string, seed int64, mans []*metrics.Manifest) (aborted, intraDone, crossDone, drops float64, outMans []*metrics.Manifest) {
+func resilBlackoutRun(alg string, seed int64, shards int, mans []*metrics.Manifest) (aborted, intraDone, crossDone, drops float64, outMans []*metrics.Manifest) {
 	const window = 30 * sim.Millisecond
 	p := topo.DefaultParams().WithAlgorithm(alg)
 	p.Seed = seed
 	p.HostsPerLeaf = 2 // hosts 0,1 = DC 0; hosts 2,3 = DC 1
 	p.LongHaulDelay = 100 * sim.Microsecond
+	p.Shards = shards
 	p.RTOMin = 500 * sim.Microsecond
 	p.RTOMax = 2 * sim.Millisecond
 	p.MaxRetrans = 4
@@ -216,7 +212,7 @@ func resilBlackoutRun(alg string, seed int64, mans []*metrics.Manifest) (aborted
 	m := metrics.NewManifest("mlccfig")
 	m.Algorithm = n.Alg.Name
 	m.Seed = seed
-	m.FillSim(n.Eng.Now(), n.Eng.Fired())
+	m.FillSim(n.Now(), n.Fired())
 	m.AddCounters(tel.Registry())
 	return aborted, intraDone, crossDone, drops, append(mans, m)
 }

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"mlcc/internal/link"
@@ -112,7 +113,7 @@ func TestApplyEmptyPlanInstallsNothing(t *testing.T) {
 	resolved := false
 	spy := func(name string) (Link, error) { resolved = true; return r.resolve(name) }
 	for _, plan := range []*Plan{nil, {}, {Seed: 9}} {
-		inj, err := Apply(r.eng, plan, spy, nil)
+		inj, err := Apply(plan, spy, []*sim.Engine{r.eng}, nil)
 		if err != nil || inj != nil {
 			t.Fatalf("Apply(%+v) = (%v, %v), want (nil, nil)", plan, inj, err)
 		}
@@ -134,7 +135,7 @@ func TestBernoulliLossWindow(t *testing.T) {
 		Seed: 11,
 		Loss: []LossRule{{Link: "wan", Prob: 0.5, Start: 100 * sim.Microsecond, End: sim.Second}},
 	}
-	inj, err := Apply(r.eng, plan, r.resolve, nil)
+	inj, err := Apply(plan, r.resolve, []*sim.Engine{r.eng}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,19 +152,19 @@ func TestBernoulliLossWindow(t *testing.T) {
 		}
 	}
 	delivered := len(r.rx.seqs) - 200
-	if delivered+int(inj.LossDrops) != n {
+	if delivered+int(inj.LossDrops()) != n {
 		t.Fatalf("in-window frames unaccounted: %d delivered + %d dropped != %d",
-			delivered, inj.LossDrops, n)
+			delivered, inj.LossDrops(), n)
 	}
 	// 1000 Bernoulli(0.5) draws: [300, 700] is > 20 sigma.
-	if inj.LossDrops < 300 || inj.LossDrops > 700 {
-		t.Fatalf("LossDrops = %d, want ~500", inj.LossDrops)
+	if inj.LossDrops() < 300 || inj.LossDrops() > 700 {
+		t.Fatalf("LossDrops = %d, want ~500", inj.LossDrops())
 	}
-	if inj.DataDrops != inj.LossDrops {
-		t.Fatalf("DataDrops = %d != LossDrops = %d (only data was offered)", inj.DataDrops, inj.LossDrops)
+	if inj.DataDrops() != inj.LossDrops() {
+		t.Fatalf("DataDrops = %d != LossDrops = %d (only data was offered)", inj.DataDrops(), inj.LossDrops())
 	}
-	if got := r.a.FaultDrops; got != inj.LossDrops {
-		t.Fatalf("port FaultDrops = %d, want %d", got, inj.LossDrops)
+	if got := r.a.FaultDrops; got != inj.LossDrops() {
+		t.Fatalf("port FaultDrops = %d, want %d", got, inj.LossDrops())
 	}
 	if out := r.pool.Outstanding(); out != 0 {
 		t.Fatalf("pool leak: %d outstanding", out)
@@ -173,7 +174,7 @@ func TestBernoulliLossWindow(t *testing.T) {
 func TestCorruptionSparesControlFrames(t *testing.T) {
 	r := newRig(t)
 	plan := &Plan{Seed: 1, Loss: []LossRule{{Link: "wan", Prob: 0.999}}}
-	if _, err := Apply(r.eng, plan, r.resolve, nil); err != nil {
+	if _, err := Apply(plan, r.resolve, []*sim.Engine{r.eng}, nil); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 100; i++ {
@@ -190,7 +191,7 @@ func TestLossStreamDeterminism(t *testing.T) {
 	run := func(seed int64) []int64 {
 		r := newRig(t)
 		plan := &Plan{Seed: seed, Loss: []LossRule{{Link: "wan", Prob: 0.5}}}
-		if _, err := Apply(r.eng, plan, r.resolve, nil); err != nil {
+		if _, err := Apply(plan, r.resolve, []*sim.Engine{r.eng}, nil); err != nil {
 			t.Fatal(err)
 		}
 		r.sendAt(0, 0, 1000)
@@ -223,7 +224,8 @@ func TestLossStreamDeterminism(t *testing.T) {
 
 func TestScriptedEventsAndTelemetry(t *testing.T) {
 	// 100 µs propagation: frames serialized at 5 µs are still on the wire
-	// when the link is cut at 10 µs, so the flush destroys all of them.
+	// when the link is cut at 10 µs, so they are destroyed on arrival at
+	// the receiving port (cut-at-delivery).
 	r := newRigDelay(t, 100*sim.Microsecond)
 	tel := metrics.New(metrics.Options{Metrics: true, FlightRecorderSize: 4096})
 	plan := &Plan{
@@ -235,11 +237,11 @@ func TestScriptedEventsAndTelemetry(t *testing.T) {
 			{At: 60 * sim.Microsecond, Link: "wan", Action: Restore},
 		},
 	}
-	inj, err := Apply(r.eng, plan, r.resolve, tel)
+	inj, err := Apply(plan, r.resolve, []*sim.Engine{r.eng}, tel)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.sendAt(5*sim.Microsecond, 0, 10) // in flight at the cut: all destroyed
+	r.sendAt(5*sim.Microsecond, 0, 10) // in flight at the cut: all destroyed at arrival
 	r.sendAt(35*sim.Microsecond, 1<<20, 10)
 	r.eng.At(20*sim.Microsecond, func() {
 		if !inj.Down("wan") {
@@ -251,17 +253,23 @@ func TestScriptedEventsAndTelemetry(t *testing.T) {
 	if len(r.rx.seqs) != 10 {
 		t.Fatalf("delivered %d frames, want exactly the 10 post-up ones", len(r.rx.seqs))
 	}
-	if inj.DownDrops != 10 {
-		t.Fatalf("DownDrops = %d, want 10", inj.DownDrops)
+	if inj.DownDrops() != 10 {
+		t.Fatalf("DownDrops = %d, want 10", inj.DownDrops())
 	}
-	if inj.DownEvents != 1 || inj.DegradeEvents != 1 {
-		t.Fatalf("event counters: down=%d degrade=%d", inj.DownEvents, inj.DegradeEvents)
+	if inj.DownEvents() != 1 || inj.DegradeEvents() != 1 {
+		t.Fatalf("event counters: down=%d degrade=%d", inj.DownEvents(), inj.DegradeEvents())
 	}
 	if inj.TotalDrops() != 10 || inj.DataDropped() != 10 {
 		t.Fatalf("TotalDrops=%d DataDropped=%d, want 10/10", inj.TotalDrops(), inj.DataDropped())
 	}
+	// Cut-at-delivery attribution: the receiving port destroyed the frames;
+	// the transmitter never discarded anything.
+	if r.b.CutDrops != 10 || r.a.FaultDrops != 0 {
+		t.Fatalf("rx CutDrops=%d tx FaultDrops=%d, want 10/0", r.b.CutDrops, r.a.FaultDrops)
+	}
 
-	// Flight recorder saw both the state changes and the drops.
+	// Flight recorder saw both the state changes and the drops, all under
+	// the fault layer's negative node namespace (never a real node id).
 	var states, drops int
 	for _, e := range tel.Recorder().Events() {
 		switch e.Kind {
@@ -269,6 +277,11 @@ func TestScriptedEventsAndTelemetry(t *testing.T) {
 			states++
 		case metrics.EvFaultDrop:
 			drops++
+		default:
+			continue
+		}
+		if e.Node != FaultNodeID(0) {
+			t.Fatalf("fault event Node = %d, want %d (dedicated namespace)", e.Node, FaultNodeID(0))
 		}
 	}
 	if states != 4 || drops != 10 {
@@ -289,7 +302,7 @@ func TestApplyUnknownLink(t *testing.T) {
 		return Link{}, &unknownLinkError{name}
 	}
 	plan := &Plan{Events: []Event{{At: 1, Link: "nope", Action: LinkDown}}}
-	if _, err := Apply(r.eng, plan, bad, nil); err == nil || !strings.Contains(err.Error(), "nope") {
+	if _, err := Apply(plan, bad, []*sim.Engine{r.eng}, nil); err == nil || !strings.Contains(err.Error(), "nope") {
 		t.Fatalf("Apply with unknown link: err = %v", err)
 	}
 }
@@ -297,6 +310,138 @@ func TestApplyUnknownLink(t *testing.T) {
 type unknownLinkError struct{ name string }
 
 func (e *unknownLinkError) Error() string { return "unknown link " + e.name }
+
+// TestPerShardCounterAggregationRace exercises the injector's shard-safety
+// contract under the race detector: two engines, each owning one managed
+// link, run concurrently on their own goroutines while scripted events fire
+// and loss rules draw on both. Down() and the aggregate accessors are read
+// only with both engines parked — mid-run at a simulated quiescent barrier
+// (both engines stopped at the same RunUntil horizon) and again after the
+// run — mirroring how topo's quiescent pumps and post-run snapshots read
+// them. The aggregates must equal the per-port ground truth.
+func TestPerShardCounterAggregationRace(t *testing.T) {
+	r0 := newRigDelay(t, 50*sim.Microsecond)
+	r1 := newRigDelay(t, 50*sim.Microsecond)
+	rigs := []*rig{r0, r1}
+	resolve := func(name string) (Link, error) {
+		switch name {
+		case "l0":
+			return Link{Name: name, A: r0.a, B: r0.b}, nil
+		case "l1":
+			return Link{Name: name, A: r1.a, B: r1.b}, nil
+		}
+		return Link{}, &unknownLinkError{name}
+	}
+	plan := &Plan{
+		Seed: 17,
+		Events: []Event{
+			{At: 20 * sim.Microsecond, Link: "l0", Action: LinkDown},
+			{At: 40 * sim.Microsecond, Link: "l0", Action: LinkUp},
+			{At: 20 * sim.Microsecond, Link: "l1", Action: LinkDown},
+			{At: 40 * sim.Microsecond, Link: "l1", Action: LinkUp},
+		},
+		Loss: []LossRule{
+			{Link: "l0", Prob: 0.5, Start: 100 * sim.Microsecond},
+			{Link: "l1", Prob: 0.5, Start: 100 * sim.Microsecond},
+		},
+	}
+	inj, err := Apply(plan, resolve, []*sim.Engine{r0.eng, r1.eng}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const inFlight, lossy = 20, 500
+	for _, r := range rigs {
+		r.sendAt(10*sim.Microsecond, 0, inFlight)   // on the wire at the cut
+		r.sendAt(110*sim.Microsecond, 1<<20, lossy) // through the loss window
+	}
+	// step runs both engines concurrently to the same horizon and joins:
+	// afterwards both are parked, which is the quiescent safe point for
+	// cross-shard reads.
+	step := func(until sim.Time) {
+		var wg sync.WaitGroup
+		for _, r := range rigs {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if until == 0 {
+					r.eng.Run()
+				} else {
+					r.eng.RunUntil(until)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	step(30 * sim.Microsecond) // mid-outage barrier
+	if !inj.Down("l0") || !inj.Down("l1") {
+		t.Fatal("Down() false during the scripted outage")
+	}
+	if inj.DownEvents() != 2 {
+		t.Fatalf("mid-run DownEvents = %d, want 2", inj.DownEvents())
+	}
+	step(0) // run to completion
+	if inj.Down("l0") || inj.Down("l1") {
+		t.Error("Down() true after link-up")
+	}
+	var portDrops, delivered int64
+	for _, r := range rigs {
+		portDrops += r.a.FaultDrops + r.b.FaultDrops + r.a.CutDrops + r.b.CutDrops
+		delivered += int64(len(r.rx.seqs))
+	}
+	if got := inj.TotalDrops(); got != portDrops {
+		t.Errorf("TotalDrops = %d, want port ground truth %d", got, portDrops)
+	}
+	if inj.LossDrops() == 0 || inj.DownDrops() == 0 {
+		t.Errorf("aggregates missing a shard: loss=%d down=%d", inj.LossDrops(), inj.DownDrops())
+	}
+	if got := inj.LossDrops() + inj.DownDrops(); got != inj.TotalDrops() {
+		t.Errorf("loss %d + down %d != total %d", inj.LossDrops(), inj.DownDrops(), inj.TotalDrops())
+	}
+	// Every offered frame was data: conservation across both shards.
+	if inj.DataDrops() != inj.TotalDrops() {
+		t.Errorf("DataDrops = %d != TotalDrops = %d", inj.DataDrops(), inj.TotalDrops())
+	}
+	if want := int64(2 * (inFlight + lossy)); delivered+inj.DataDrops() != want {
+		t.Errorf("delivered %d + dropped %d != offered %d", delivered, inj.DataDrops(), want)
+	}
+}
+
+// TestShardStreamIndependence pins the per-direction RNG layout: the frames
+// a loss rule destroys in direction A must not depend on how much traffic
+// direction B carries, because each direction draws from its own stream.
+// This is the property that makes sharded runs byte-identical to
+// single-engine runs — a shard never consumes another shard's randomness.
+func TestShardStreamIndependence(t *testing.T) {
+	run := func(reverse int) []int64 {
+		r := newRig(t)
+		plan := &Plan{Seed: 33, Loss: []LossRule{{Link: "wan", Prob: 0.5}}}
+		if _, err := Apply(plan, r.resolve, []*sim.Engine{r.eng}, nil); err != nil {
+			t.Fatal(err)
+		}
+		// Reverse-direction traffic interleaved with the forward sends.
+		rsrc := &pushSource{}
+		r.b.SetSource(rsrc)
+		r.eng.At(0, func() {
+			for i := 0; i < reverse; i++ {
+				rsrc.push(r.pool.NewData(2, 1, 0, int64(i)*1000, 1000))
+			}
+			r.b.Kick()
+		})
+		r.sendAt(0, 1<<20, 400)
+		r.eng.Run()
+		return r.rx.seqs
+	}
+	quiet, busy := run(0), run(300)
+	if len(quiet) != len(busy) {
+		t.Fatalf("reverse traffic changed forward loss pattern: %d vs %d delivered", len(quiet), len(busy))
+	}
+	for i := range quiet {
+		if quiet[i] != busy[i] {
+			t.Fatalf("forward stream perturbed by reverse draws at delivery %d", i)
+		}
+	}
+}
 
 func TestStableHashIsStable(t *testing.T) {
 	// Pinned value: stream seeding must never drift between versions, or

@@ -41,12 +41,19 @@ func fbKindOf(k pkt.Kind) FBKind {
 // FeedbackFilterFor binds the plan's feedback rules matching the named host
 // (topology vocabulary: "host<i>") and returns the filter the host should
 // install, or nil when no rule matches. node is the host's id, used for
-// flight-recorder attribution. Each (rule, host) pair gets its own seeded
-// PRNG stream; a vacuous rule (no drop, no corruption, no delay) binds
-// without one and draws nothing, so it cannot perturb the run.
-func (inj *Injector) FeedbackFilterFor(name string, node pkt.NodeID) FeedbackFilter {
+// flight-recorder attribution; eng is the engine the host runs on, so the
+// filter counts into (and records into) that shard's state only. Each
+// (rule, host) pair gets its own seeded PRNG stream — per host, not per
+// shard, so sharded runs replay the exact same draws as single-engine
+// runs; a vacuous rule (no drop, no corruption, no delay) binds without
+// one and draws nothing, so it cannot perturb the run.
+func (inj *Injector) FeedbackFilterFor(name string, node pkt.NodeID, eng *sim.Engine) FeedbackFilter {
 	if inj == nil || inj.plan == nil {
 		return nil
+	}
+	sc, ok := inj.byEng[eng]
+	if !ok {
+		panic(fmt.Sprintf("fault: FeedbackFilterFor(%q) with an engine outside the build", name))
 	}
 	var applied []*fbApplied
 	for i := range inj.plan.Feedback {
@@ -78,7 +85,7 @@ func (inj *Injector) FeedbackFilterFor(name string, node pkt.NodeID) FeedbackFil
 	}
 	id := int32(node)
 	return func(now sim.Time, p *pkt.Packet) (bool, sim.Time) {
-		return inj.filterFeedback(applied, id, now, p)
+		return inj.filterFeedback(sc, applied, id, now, p)
 	}
 }
 
@@ -100,7 +107,7 @@ func (inj *Injector) FeedbackResolved() error {
 // filterFeedback runs every bound rule over one frame. Draw order per rule is
 // fixed (drop, then corrupt, then delay) so a plan replays identically; a
 // closed window or vacuous rule draws nothing.
-func (inj *Injector) filterFeedback(rules []*fbApplied, node int32, now sim.Time, p *pkt.Packet) (bool, sim.Time) {
+func (inj *Injector) filterFeedback(sc *shardState, rules []*fbApplied, node int32, now sim.Time, p *pkt.Packet) (bool, sim.Time) {
 	kind := fbKindOf(p.Kind)
 	if kind == 0 {
 		return false, 0
@@ -112,15 +119,15 @@ func (inj *Injector) filterFeedback(rules []*fbApplied, node int32, now sim.Time
 			continue
 		}
 		if r.Drop > 0 && a.rng.Float64() < r.Drop {
-			inj.FBDrops++
-			if inj.fr.Wants(metrics.EvFBDrop) {
-				inj.fr.Record(metrics.Event{T: now, Kind: metrics.EvFBDrop,
+			sc.fbDrops++
+			if sc.fr.Wants(metrics.EvFBDrop) {
+				sc.fr.Record(metrics.Event{T: now, Kind: metrics.EvFBDrop,
 					Node: node, Port: -1, Flow: int32(p.Flow), Val: int64(p.Kind)})
 			}
 			return true, 0
 		}
 		if r.Corrupt > 0 && len(p.Hops) > 0 && a.rng.Float64() < r.Corrupt {
-			inj.corruptINT(a, node, now, p)
+			inj.corruptINT(sc, a, node, now, p)
 		}
 		if r.Delay > 0 || r.Jitter > 0 {
 			d := r.Delay
@@ -133,9 +140,9 @@ func (inj *Injector) filterFeedback(rules []*fbApplied, node int32, now sim.Time
 		}
 	}
 	if delay > 0 {
-		inj.FBDelays++
-		if inj.fr.Wants(metrics.EvFBDelay) {
-			inj.fr.Record(metrics.Event{T: now, Kind: metrics.EvFBDelay,
+		sc.fbDelays++
+		if sc.fr.Wants(metrics.EvFBDelay) {
+			sc.fr.Record(metrics.Event{T: now, Kind: metrics.EvFBDelay,
 				Node: node, Port: -1, Flow: int32(p.Flow), Val: int64(delay)})
 		}
 	}
@@ -147,7 +154,7 @@ func (inj *Injector) filterFeedback(rules []*fbApplied, node int32, now sim.Time
 // device stripping records (truncation), a hop echoing a stale register
 // (regressed timestamp), and bit rot in the metadata fields (garbage).
 // Hardened consumers must survive all three without folding them in.
-func (inj *Injector) corruptINT(a *fbApplied, node int32, now sim.Time, p *pkt.Packet) {
+func (inj *Injector) corruptINT(sc *shardState, a *fbApplied, node int32, now sim.Time, p *pkt.Packet) {
 	mode := a.modes[a.rng.Intn(len(a.modes))]
 	switch mode {
 	case CorruptTruncate:
@@ -167,9 +174,9 @@ func (inj *Injector) corruptINT(a *fbApplied, node int32, now sim.Time, p *pkt.P
 			p.Hops[i].Band = -p.Hops[i].Band // zero stays zero: still invalid
 		}
 	}
-	inj.FBCorrupts++
-	if inj.fr.Wants(metrics.EvFBCorrupt) {
-		inj.fr.Record(metrics.Event{T: now, Kind: metrics.EvFBCorrupt,
+	sc.fbCorrupts++
+	if sc.fr.Wants(metrics.EvFBCorrupt) {
+		sc.fr.Record(metrics.Event{T: now, Kind: metrics.EvFBCorrupt,
 			Node: node, Port: -1, Flow: int32(p.Flow), Val: int64(mode)})
 	}
 }

@@ -21,41 +21,73 @@ type Link struct {
 // provide one (topo.Network.LinkByName).
 type Resolver func(name string) (Link, error)
 
+// FaultNodeID maps a managed link's resolution index to the flight-recorder
+// node id used for its fault events. The ids are negative — a dedicated
+// namespace that can never collide with real topology node ids (hosts are
+// 1+index, switches sit at positive per-tier bases) in merged traces.
+// topo.Network.NodeName renders them as "fault:<linkname>".
+func FaultNodeID(idx int) int32 { return int32(-1 - idx) }
+
 // Injector is an applied Plan: scripted events are scheduled on the engine
-// and loss rules are installed as port fault hooks. All state is owned by
-// the single engine goroutine.
+// owning each port and loss rules are installed as per-direction port fault
+// hooks. All mutable state is partitioned per shard (one shardState per
+// engine), so each engine goroutine touches only its own counters and PRNG
+// streams; the exported accessors aggregate across shards and must only be
+// called with the engines quiescent (between Run windows, from quiescent
+// hooks, or after the run).
 type Injector struct {
-	eng  *sim.Engine
-	fr   *metrics.FlightRecorder
 	plan *Plan
 
 	links  []*linkState // resolution order — plan order, never map order
 	byName map[string]*linkState
 
+	shards []*shardState
+	byEng  map[*sim.Engine]*shardState
+
 	// fbMatched[i] records whether feedback rule i bound to at least one
 	// host (see FeedbackFilterFor / FeedbackResolved).
 	fbMatched []bool
-
-	// Counters (registered as fault.* when telemetry is attached).
-	LossDrops     int64 // frames destroyed by Bernoulli loss rules
-	DownDrops     int64 // frames destroyed because their link was down
-	DataDrops     int64 // data-frame subset of all fault drops (conservation checks)
-	DownEvents    int64
-	DegradeEvents int64
-
-	// Feedback-plane counters (registered as fault.fb.*).
-	FBDrops    int64 // feedback frames destroyed at host ingress
-	FBDelays   int64 // feedback frames deferred
-	FBCorrupts int64 // INT stacks corrupted
 }
 
+// shardState holds one engine's slice of the injector: its flight recorder
+// ring and every counter its ports and feedback filters increment. Keeping
+// these per shard makes the hot-path increments single-goroutine.
+type shardState struct {
+	eng *sim.Engine
+	fr  *metrics.FlightRecorder
+
+	lossDrops     int64 // frames destroyed by Bernoulli loss rules
+	downDrops     int64 // frames destroyed because their link was down (cut or offered)
+	dataDrops     int64 // data-frame subset of all fault drops (conservation checks)
+	downEvents    int64
+	degradeEvents int64
+
+	// Feedback-plane counters (registered as fault.fb.*).
+	fbDrops    int64 // feedback frames destroyed at host ingress
+	fbDelays   int64 // feedback frames deferred
+	fbCorrupts int64 // INT stacks corrupted
+}
+
+// linkState is one managed link; dirs[0] transmits from port A, dirs[1]
+// from port B.
 type linkState struct {
 	Link
-	idx            int
-	rules          []*ruleState
-	jrngA, jrngB   *rand.Rand
-	down           bool
-	hooksA, hooksB link.FaultHooks
+	idx  int
+	dirs [2]dirState
+}
+
+// dirState is one transmit direction of a managed link: its port, the shard
+// that owns the port's engine, the direction's own loss-rule and jitter
+// PRNG streams, and the fault hooks installed on the port. Per-direction
+// streams are what make sharded runs byte-identical to single-engine runs:
+// each direction draws independently regardless of which engine hosts it.
+type dirState struct {
+	port  *link.Port
+	sc    *shardState
+	rules []*ruleState
+	jrng  *rand.Rand
+	down  bool
+	hooks link.FaultHooks
 }
 
 type ruleState struct {
@@ -64,24 +96,41 @@ type ruleState struct {
 	drops int64
 }
 
-// Apply validates plan, resolves its links and installs it: events are
-// scheduled at their absolute times and loss rules become per-port fault
-// hooks. tel may be nil. Applying an empty plan returns (nil, nil) and
-// leaves the network untouched.
-func Apply(eng *sim.Engine, plan *Plan, resolve Resolver, tel *metrics.Telemetry) (*Injector, error) {
+// Apply validates plan, resolves its links and installs it: every scripted
+// event is scheduled per direction on the engine owning that direction's
+// port (a long-haul event fires on both shards at the same absolute time),
+// and loss rules become per-direction port fault hooks. engines lists the
+// build's engines (length 1 on single-engine builds); every resolved port
+// must live on one of them. tel may be nil. Applying an empty plan returns
+// (nil, nil) and leaves the network untouched.
+func Apply(plan *Plan, resolve Resolver, engines []*sim.Engine, tel *metrics.Telemetry) (*Injector, error) {
 	if plan.Empty() {
 		return nil, nil
 	}
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
-	inj := &Injector{eng: eng, fr: tel.Recorder(), plan: plan,
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("fault: Apply with no engines")
+	}
+	inj := &Injector{plan: plan,
 		byName:    map[string]*linkState{},
+		byEng:     map[*sim.Engine]*shardState{},
 		fbMatched: make([]bool, len(plan.Feedback)),
+	}
+	frs := tel.ShardRecorders(len(engines))
+	for i, eng := range engines {
+		sc := &shardState{eng: eng}
+		if frs != nil {
+			sc.fr = frs[i]
+		}
+		inj.shards = append(inj.shards, sc)
+		inj.byEng[eng] = sc
 	}
 
 	// Resolve links in plan order (events, then loss rules) so stream
-	// seeding and counter layout never depend on map iteration.
+	// seeding and counter layout never depend on map iteration. The two
+	// jitter streams keep their historical seeds (direction A and B).
 	get := func(name string) (*linkState, error) {
 		if ls, ok := inj.byName[name]; ok {
 			return ls, nil
@@ -94,8 +143,15 @@ func Apply(eng *sim.Engine, plan *Plan, resolve Resolver, tel *metrics.Telemetry
 			return nil, fmt.Errorf("fault: link %q resolved without both ports", name)
 		}
 		ls := &linkState{Link: l, idx: len(inj.links)}
-		ls.jrngA = rand.New(rand.NewSource(plan.Seed ^ stableHash(name) ^ 0x6a177a61))
-		ls.jrngB = rand.New(rand.NewSource(plan.Seed ^ stableHash(name) ^ 0x6a177a62))
+		for d, port := range [2]*link.Port{l.A, l.B} {
+			sc, ok := inj.byEng[port.Eng]
+			if !ok {
+				return nil, fmt.Errorf("fault: link %q direction %d is on an engine outside the build", name, d)
+			}
+			ls.dirs[d].port = port
+			ls.dirs[d].sc = sc
+			ls.dirs[d].jrng = rand.New(rand.NewSource(plan.Seed ^ stableHash(name) ^ (0x6a177a61 + int64(d))))
+		}
 		inj.links = append(inj.links, ls)
 		inj.byName[name] = ls
 		return ls, nil
@@ -106,7 +162,15 @@ func Apply(eng *sim.Engine, plan *Plan, resolve Resolver, tel *metrics.Telemetry
 		if err != nil {
 			return nil, fmt.Errorf("fault: event %d: %w", i, err)
 		}
-		eng.At(ev.At, func() { inj.fire(ls, ev) })
+		// One scheduled event per direction, on the engine owning that
+		// direction's port, at the same absolute time. Build-time
+		// scheduling gives these minimal insertion sequence numbers, so at
+		// equal timestamps they order before any runtime-armed event on
+		// every engine — in single-engine and sharded builds alike.
+		for d := 0; d < 2; d++ {
+			d := d
+			ls.dirs[d].port.Eng.At(ev.At, func() { inj.fire(ls, d, ev) })
+		}
 	}
 	for i := range plan.Loss {
 		r := plan.Loss[i]
@@ -114,157 +178,257 @@ func Apply(eng *sim.Engine, plan *Plan, resolve Resolver, tel *metrics.Telemetry
 		if err != nil {
 			return nil, fmt.Errorf("fault: loss rule %d: %w", i, err)
 		}
-		rs := &ruleState{LossRule: r}
-		rs.rng = rand.New(rand.NewSource(plan.Seed ^ stableHash(r.Link) ^ int64(i+1)<<32))
-		ls.rules = append(ls.rules, rs)
+		// Per-direction streams: direction A keeps the historical rule
+		// seed, direction B folds in the direction bit. Each direction
+		// draws only for its own frames, so a shard never consumes another
+		// shard's randomness.
+		for d := 0; d < 2; d++ {
+			rs := &ruleState{LossRule: r}
+			rs.rng = rand.New(rand.NewSource(plan.Seed ^ stableHash(r.Link) ^ int64(i+1)<<32 ^ int64(d)))
+			ls.dirs[d].rules = append(ls.dirs[d].rules, rs)
+		}
 	}
 
 	// Hook every managed port so corruption rules run and every fault
-	// discard — including down-link flushes — is counted and recorded.
+	// discard — transmitter-side and cut-at-arrival alike — is counted and
+	// recorded on the shard that observed it.
 	for _, ls := range inj.links {
 		ls := ls
-		ls.hooksA = link.FaultHooks{
-			Corrupt: func(p *pkt.Packet) bool { return inj.corrupt(ls, p) },
-			OnDrop:  func(p *pkt.Packet) { inj.onDrop(ls, 0, p) },
+		for d := range ls.dirs {
+			d := d
+			ls.dirs[d].hooks = link.FaultHooks{
+				Corrupt: func(p *pkt.Packet) bool { return inj.corrupt(ls, d, p) },
+				OnDrop:  func(p *pkt.Packet, reason link.DropReason) { inj.onDrop(ls, d, p, reason) },
+			}
+			ls.dirs[d].port.SetFaultHooks(&ls.dirs[d].hooks)
 		}
-		ls.hooksB = link.FaultHooks{
-			Corrupt: func(p *pkt.Packet) bool { return inj.corrupt(ls, p) },
-			OnDrop:  func(p *pkt.Packet) { inj.onDrop(ls, 1, p) },
-		}
-		ls.A.SetFaultHooks(&ls.hooksA)
-		ls.B.SetFaultHooks(&ls.hooksB)
 	}
 	inj.register(tel.Registry())
 	return inj, nil
 }
 
-// fire executes one scripted event on both directions of a link.
-func (inj *Injector) fire(ls *linkState, ev Event) {
+// fire executes one scripted event on one direction of a link, on the
+// engine that owns it. Direction 0 carries the link-level bookkeeping
+// (event counters, flight-recorder state events) so a both-direction event
+// is counted once.
+func (inj *Injector) fire(ls *linkState, d int, ev Event) {
+	ds := &ls.dirs[d]
 	switch ev.Action {
 	case LinkDown:
-		ls.down = true // before SetDown, so flushed frames count as DownDrops
-		inj.DownEvents++
-		ls.A.SetDown(true)
-		ls.B.SetDown(true)
+		ds.down = true
+		if d == 0 {
+			ds.sc.downEvents++
+		}
+		ds.port.SetDown(true)
 	case LinkUp:
-		ls.down = false
-		ls.A.SetDown(false)
-		ls.B.SetDown(false)
+		ds.down = false
+		ds.port.SetDown(false)
 	case Degrade:
 		f := ev.RateFactor
 		if f == 0 {
 			f = 1 // delay-only degradation
 		}
-		inj.DegradeEvents++
-		ls.A.SetImpairment(f, ev.ExtraDelay, ev.Jitter, ls.jrngA)
-		ls.B.SetImpairment(f, ev.ExtraDelay, ev.Jitter, ls.jrngB)
+		if d == 0 {
+			ds.sc.degradeEvents++
+		}
+		ds.port.SetImpairment(f, ev.ExtraDelay, ev.Jitter, ds.jrng)
 	case Restore:
-		ls.A.SetImpairment(1, 0, 0, nil)
-		ls.B.SetImpairment(1, 0, 0, nil)
+		ds.port.SetImpairment(1, 0, 0, nil)
 	}
-	if inj.fr.Wants(metrics.EvLinkState) {
-		inj.fr.Record(metrics.Event{T: inj.eng.Now(), Kind: metrics.EvLinkState,
-			Node: int32(ls.idx), Port: -1, Val: int64(ev.Action)})
+	if d == 0 && ds.sc.fr.Wants(metrics.EvLinkState) {
+		ds.sc.fr.Record(metrics.Event{T: ds.sc.eng.Now(), Kind: metrics.EvLinkState,
+			Node: FaultNodeID(ls.idx), Port: -1, Val: int64(ev.Action)})
 	}
 }
 
-// corrupt implements the Bernoulli droppers: one draw per open rule per
-// data frame. Rules with a closed window or zero probability draw nothing,
-// so vacuous rules cannot perturb the run.
-func (inj *Injector) corrupt(ls *linkState, p *pkt.Packet) bool {
-	now := inj.eng.Now()
-	for _, r := range ls.rules {
+// corrupt implements the Bernoulli droppers for one direction: one draw per
+// open rule per data frame, from that direction's own stream. Rules with a
+// closed window or zero probability draw nothing, so vacuous rules cannot
+// perturb the run.
+func (inj *Injector) corrupt(ls *linkState, d int, p *pkt.Packet) bool {
+	ds := &ls.dirs[d]
+	now := ds.sc.eng.Now()
+	for _, r := range ds.rules {
 		if r.Prob <= 0 || now < r.Start || (r.End != 0 && now >= r.End) {
 			continue
 		}
 		if r.rng.Float64() < r.Prob {
 			r.drops++
-			inj.LossDrops++
+			ds.sc.lossDrops++
 			return true
 		}
 	}
 	return false
 }
 
-// onDrop observes every frame a managed port destroys (the port already
-// counted it in FaultDrops and will return it to the pool).
-func (inj *Injector) onDrop(ls *linkState, dir int32, p *pkt.Packet) {
-	if ls.down {
-		inj.DownDrops++
+// onDrop observes every frame the fault layer destroys on a managed port
+// (the port already counted it and will return it to the pool). d is the
+// direction of the port the hook fired on; for a cut the frame was
+// destroyed at its receiver, so the transmit direction that carried it is
+// the opposite one — recorded events keep Port = transmit direction either
+// way.
+func (inj *Injector) onDrop(ls *linkState, d int, p *pkt.Packet, reason link.DropReason) {
+	ds := &ls.dirs[d]
+	txDir := int32(d)
+	if reason == link.DropCut {
+		txDir = int32(1 - d)
+	}
+	if reason != link.DropCorrupt {
+		ds.sc.downDrops++
 	}
 	if p.Kind == pkt.Data {
-		inj.DataDrops++
+		ds.sc.dataDrops++
 	}
-	if inj.fr.Wants(metrics.EvFaultDrop) {
-		inj.fr.Record(metrics.Event{T: inj.eng.Now(), Kind: metrics.EvFaultDrop,
-			Node: int32(ls.idx), Port: dir, Flow: int32(p.Flow), Val: int64(p.Size)})
+	if ds.sc.fr.Wants(metrics.EvFaultDrop) {
+		ds.sc.fr.Record(metrics.Event{T: ds.sc.eng.Now(), Kind: metrics.EvFaultDrop,
+			Node: FaultNodeID(ls.idx), Port: txDir, Flow: int32(p.Flow), Val: int64(p.Size)})
 	}
+}
+
+// sum aggregates one counter across every shard. Quiescent-read only.
+func (inj *Injector) sum(f func(*shardState) int64) int64 {
+	var t int64
+	for _, sc := range inj.shards {
+		t += f(sc)
+	}
+	return t
 }
 
 func (inj *Injector) register(reg *metrics.Registry) {
 	if reg == nil {
 		return
 	}
-	reg.CounterFunc("fault.loss_drops", func() int64 { return inj.LossDrops })
-	reg.CounterFunc("fault.down_drops", func() int64 { return inj.DownDrops })
-	reg.CounterFunc("fault.data_drops", func() int64 { return inj.DataDrops })
-	reg.CounterFunc("fault.link_down_events", func() int64 { return inj.DownEvents })
-	reg.CounterFunc("fault.degrade_events", func() int64 { return inj.DegradeEvents })
+	// CounterFuncs are evaluated only at quiescent pumps and post-run
+	// snapshots, the safe points for cross-shard aggregation.
+	reg.CounterFunc("fault.loss_drops", func() int64 { return inj.LossDrops() })
+	reg.CounterFunc("fault.down_drops", func() int64 { return inj.DownDrops() })
+	reg.CounterFunc("fault.data_drops", func() int64 { return inj.DataDrops() })
+	reg.CounterFunc("fault.link_down_events", func() int64 { return inj.DownEvents() })
+	reg.CounterFunc("fault.degrade_events", func() int64 { return inj.DegradeEvents() })
 	if len(inj.plan.Feedback) > 0 {
-		reg.CounterFunc("fault.fb.drops", func() int64 { return inj.FBDrops })
-		reg.CounterFunc("fault.fb.delays", func() int64 { return inj.FBDelays })
-		reg.CounterFunc("fault.fb.corrupts", func() int64 { return inj.FBCorrupts })
+		reg.CounterFunc("fault.fb.drops", func() int64 { return inj.FeedbackDropped() })
+		reg.CounterFunc("fault.fb.delays", func() int64 { return inj.FeedbackDelayed() })
+		reg.CounterFunc("fault.fb.corrupts", func() int64 { return inj.FeedbackCorrupted() })
 	}
 	for _, ls := range inj.links {
 		ls := ls
 		reg.CounterFunc("fault.link."+ls.Name+".drops",
-			func() int64 { return ls.A.FaultDrops + ls.B.FaultDrops })
+			func() int64 { return ls.drops() })
 	}
 }
 
+// drops totals every frame the fault layer destroyed on this link:
+// transmitter-side discards (FaultDrops) plus in-flight cuts destroyed at
+// the receiving ports (CutDrops).
+func (ls *linkState) drops() int64 {
+	return ls.A.FaultDrops + ls.B.FaultDrops + ls.A.CutDrops + ls.B.CutDrops
+}
+
+// LossDrops reports frames destroyed by Bernoulli loss rules, aggregated
+// across shards. Nil-safe; quiescent-read only.
+func (inj *Injector) LossDrops() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.sum(func(sc *shardState) int64 { return sc.lossDrops })
+}
+
+// DownDrops reports frames destroyed because their link was down — offered
+// or serialized while down, or cut in flight. Nil-safe; quiescent-read only.
+func (inj *Injector) DownDrops() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.sum(func(sc *shardState) int64 { return sc.downDrops })
+}
+
+// DataDrops reports the data-frame subset of all fault drops. Nil-safe;
+// quiescent-read only.
+func (inj *Injector) DataDrops() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.sum(func(sc *shardState) int64 { return sc.dataDrops })
+}
+
+// DownEvents reports scripted link-down events fired. Nil-safe;
+// quiescent-read only.
+func (inj *Injector) DownEvents() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.sum(func(sc *shardState) int64 { return sc.downEvents })
+}
+
+// DegradeEvents reports scripted degrade events fired. Nil-safe;
+// quiescent-read only.
+func (inj *Injector) DegradeEvents() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.sum(func(sc *shardState) int64 { return sc.degradeEvents })
+}
+
 // TotalDrops reports every frame the fault layer destroyed, summed over the
-// managed ports. Nil-safe: a nil injector (empty plan) reports zero.
+// managed ports (transmitter discards plus in-flight cuts). Nil-safe: a nil
+// injector (empty plan) reports zero. Quiescent-read only.
 func (inj *Injector) TotalDrops() int64 {
 	if inj == nil {
 		return 0
 	}
 	var sum int64
 	for _, ls := range inj.links {
-		sum += ls.A.FaultDrops + ls.B.FaultDrops
+		sum += ls.drops()
 	}
 	return sum
 }
 
-// DataDropped reports the data-frame subset of TotalDrops. Nil-safe.
-func (inj *Injector) DataDropped() int64 {
-	if inj == nil {
-		return 0
-	}
-	return inj.DataDrops
-}
+// DataDropped reports the data-frame subset of TotalDrops. Nil-safe;
+// quiescent-read only.
+func (inj *Injector) DataDropped() int64 { return inj.DataDrops() }
 
 // FeedbackDropped reports feedback frames destroyed at host ingress by
-// feedback rules. Nil-safe.
+// feedback rules. Nil-safe; quiescent-read only.
 func (inj *Injector) FeedbackDropped() int64 {
 	if inj == nil {
 		return 0
 	}
-	return inj.FBDrops
+	return inj.sum(func(sc *shardState) int64 { return sc.fbDrops })
 }
 
-// FeedbackCorrupted reports INT stacks corrupted by feedback rules. Nil-safe.
+// FeedbackDelayed reports feedback frames deferred by feedback rules.
+// Nil-safe; quiescent-read only.
+func (inj *Injector) FeedbackDelayed() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.sum(func(sc *shardState) int64 { return sc.fbDelays })
+}
+
+// FeedbackCorrupted reports INT stacks corrupted by feedback rules.
+// Nil-safe; quiescent-read only.
 func (inj *Injector) FeedbackCorrupted() int64 {
 	if inj == nil {
 		return 0
 	}
-	return inj.FBCorrupts
+	return inj.sum(func(sc *shardState) int64 { return sc.fbCorrupts })
 }
 
-// Down reports whether the named link is currently admin-down. Nil-safe.
+// Down reports whether the named link is currently admin-down. Nil-safe;
+// quiescent-read only (the flag is owned by the engine of direction A).
 func (inj *Injector) Down(name string) bool {
 	if inj == nil {
 		return false
 	}
 	ls, ok := inj.byName[name]
-	return ok && ls.down
+	return ok && ls.dirs[0].down
+}
+
+// LinkNameAt returns the name of the i-th managed link (the inverse of
+// FaultNodeID's index), or "" when out of range. Nil-safe.
+func (inj *Injector) LinkNameAt(i int) string {
+	if inj == nil || i < 0 || i >= len(inj.links) {
+		return ""
+	}
+	return inj.links[i].Name
 }

@@ -92,6 +92,16 @@ type Port struct {
 	lastAt  sim.Time   // last wire arrival time; keeps arrivals monotone under jitter
 	faults  *FaultHooks
 
+	// cutEpoch is bumped on every down-transition of this transmit
+	// direction. Frames are stamped with the sender's epoch at launch and
+	// checked at delivery: a stale stamp means the wire was cut while the
+	// frame was in flight, so it is destroyed at the exact instant it would
+	// have arrived. Destroying cut frames at their arrival times — instead
+	// of purging the pipe at the cut — keeps the event schedule identical
+	// between single-engine and sharded builds, where the receiving half of
+	// a cross-shard wire drains on its own engine.
+	cutEpoch uint32
+
 	// auditDrop, when set, observes every frame the fault layer destroys on
 	// this port just before it returns to the pool; corrupt distinguishes
 	// Bernoulli corruption from admin-down discards. It is a separate slot
@@ -109,8 +119,25 @@ type Port struct {
 	PauseTx     int64 // pause frames sent from this port
 	PausedSince sim.Time
 	PausedTotal sim.Time // cumulative paused time on the data class
-	FaultDrops  int64    // frames destroyed by the fault layer on this port
+	FaultDrops  int64    // frames destroyed by the fault layer at this transmitter
+	CutDrops    int64    // in-flight frames destroyed at arrival because the wire was cut (receiver side)
 }
+
+// DropReason classifies a frame destruction by the fault layer.
+type DropReason uint8
+
+// Drop reasons.
+const (
+	// DropCorrupt is a Bernoulli corruption at wire entry (checksum failure
+	// modelled at the transmitter).
+	DropCorrupt DropReason = iota
+	// DropDown is a frame offered to — or completing serialization on — an
+	// admin-down transmitter.
+	DropDown
+	// DropCut is a frame that was in flight when the wire was cut,
+	// destroyed on the receiving port at the instant it would have arrived.
+	DropCut
+)
 
 // FaultHooks let the fault layer (internal/fault) observe and perturb a
 // port's transmit direction without the port knowing about plans or PRNGs.
@@ -121,9 +148,11 @@ type FaultHooks struct {
 	// assumed FEC-protected, which keeps lossy links from wedging PFC
 	// state (see DESIGN.md, "Fault model").
 	Corrupt func(*pkt.Packet) bool
-	// OnDrop observes every frame this port destroys — corruption and
-	// down-link discards alike — just before it returns to the pool.
-	OnDrop func(*pkt.Packet)
+	// OnDrop observes every frame the fault layer destroys on this port —
+	// corruption, down-link discards and in-flight cuts alike — just before
+	// it returns to the pool. DropCut fires on the receiving port; the
+	// other reasons fire on the transmitter.
+	OnDrop func(*pkt.Packet, DropReason)
 }
 
 // NewPort constructs an unconnected port. Call SetSource before any traffic
@@ -162,11 +191,13 @@ func (p *Port) InFlightFrames() int {
 func (p *Port) Down() bool { return p.down }
 
 // SetDown administratively downs or restores the transmit direction.
-// Downing cuts the wire: in-flight frames are lost, a frame mid-
-// serialization is destroyed when it completes, and frames offered while
-// down are silently discarded. PFC pause state is cleared (the MAC
-// reinitializes on link-up) after folding any open pause interval into
-// PausedTotal. Restoring kicks the transmitter.
+// Downing cuts the wire: frames already in flight never reach the peer
+// (they are destroyed on the receiving port at the instant they would have
+// arrived — see cutEpoch), a frame mid-serialization is destroyed when it
+// completes, and frames offered while down are silently discarded. PFC
+// pause state is cleared (the MAC reinitializes on link-up) after folding
+// any open pause interval into PausedTotal. Restoring kicks the
+// transmitter.
 func (p *Port) SetDown(down bool) {
 	if p.down == down {
 		return
@@ -180,15 +211,11 @@ func (p *Port) SetDown(down bool) {
 		p.PausedTotal += p.Eng.Now() - p.PausedSince
 	}
 	p.paused = [pkt.NumClasses]bool{}
-	for i := p.pipeHd; i < len(p.pipe); i++ {
-		p.faultDiscard(p.pipe[i].p, false)
-		p.pipe[i] = flight{}
-	}
-	p.pipe = p.pipe[:0]
-	p.pipeHd = 0
-	p.lastAt = 0
-	// A pending drain event, if armed, fires on the now-empty pipe and
-	// disarms itself; no cancellation needed.
+	// Cut the wire: frames launched before this instant carry the old
+	// epoch and die at delivery time. The pipe and its drain events are
+	// untouched, so single-engine and sharded builds fire the exact same
+	// event schedule through a cut.
+	p.cutEpoch++
 }
 
 // SetImpairment degrades (or restores) the transmit direction at runtime:
@@ -215,16 +242,32 @@ func (p *Port) SetImpairment(rateFactor float64, extraDelay, jitter sim.Time, rn
 	p.jrng = rng
 }
 
-// faultDiscard destroys a frame on behalf of the fault layer: counted,
-// reported to the OnDrop and audit hooks, and returned to the pool. corrupt
-// distinguishes Bernoulli corruption from admin-down discards.
-func (p *Port) faultDiscard(frame *pkt.Packet, corrupt bool) {
+// faultDiscard destroys a frame at the transmitter on behalf of the fault
+// layer: counted in FaultDrops, reported to the OnDrop and audit hooks, and
+// returned to the pool.
+func (p *Port) faultDiscard(frame *pkt.Packet, reason DropReason) {
 	p.FaultDrops++
 	if p.faults != nil && p.faults.OnDrop != nil {
-		p.faults.OnDrop(frame)
+		p.faults.OnDrop(frame, reason)
 	}
 	if p.auditDrop != nil {
-		p.auditDrop(frame, corrupt)
+		p.auditDrop(frame, reason == DropCorrupt)
+	}
+	p.Pool.Put(frame)
+}
+
+// cutDiscard destroys a frame arriving on a wire that was cut after its
+// launch: counted in the receiving port's CutDrops (a separate counter from
+// the transmitter-side FaultDrops, so each direction's conservation equation
+// keeps its own terms), reported to this port's hooks, and returned to the
+// pool.
+func (p *Port) cutDiscard(frame *pkt.Packet) {
+	p.CutDrops++
+	if p.faults != nil && p.faults.OnDrop != nil {
+		p.faults.OnDrop(frame, DropCut)
+	}
+	if p.auditDrop != nil {
+		p.auditDrop(frame, false)
 	}
 	p.Pool.Put(frame)
 }
@@ -241,8 +284,11 @@ func Connect(a, b *Port) {
 // ConnectCross joins a and b as the two ends of a cross-shard link: the
 // ports live on different engines, launched frames are staged instead of
 // scheduled, and FlushCross moves them to the receiving side at each shard
-// barrier. Cross links do not support the fault layer (admin-down, loss,
-// impairment) — sharded builds fall back to one shard under a fault plan.
+// barrier. Cross links support the full fault layer (admin-down, loss,
+// impairment) provided the injector drives both directions at the same
+// absolute times, which keeps each port's local cutEpoch a faithful mirror
+// of its remote transmitter's (see internal/fault and DESIGN.md, "Sharded
+// faults").
 func ConnectCross(a, b *Port) {
 	Connect(a, b)
 	a.cross = true
@@ -287,7 +333,7 @@ func (p *Port) drainInbox() {
 		f := p.inbox[p.inboxHd]
 		p.inbox[p.inboxHd] = flight{}
 		p.inboxHd++
-		p.deliver(f.p)
+		p.deliver(f)
 	}
 	if p.inboxHd == len(p.inbox) {
 		p.inbox = p.inbox[:0]
@@ -339,17 +385,20 @@ func (p *Port) finishTx() {
 	p.txFrame = nil
 	p.busy = false
 	if p.down {
-		p.faultDiscard(frame, false)
+		p.faultDiscard(frame, DropDown)
 		return
 	}
 	p.launch(frame, p.Eng.Now()+p.Delay)
 	p.pullNext()
 }
 
-// flight is one frame in flight on the wire.
+// flight is one frame in flight on the wire. epoch is the transmitter's
+// cutEpoch at launch; a mismatch at delivery means the wire was cut while
+// the frame was on it.
 type flight struct {
-	at sim.Time
-	p  *pkt.Packet
+	at    sim.Time
+	p     *pkt.Packet
+	epoch uint32
 }
 
 // launch places a frame on the wire, arriving at the peer at time at.
@@ -360,11 +409,11 @@ type flight struct {
 // frames entering the wire.
 func (p *Port) launch(frame *pkt.Packet, at sim.Time) {
 	if p.down {
-		p.faultDiscard(frame, false)
+		p.faultDiscard(frame, DropDown)
 		return
 	}
 	if p.faults != nil && p.faults.Corrupt != nil && frame.Kind == pkt.Data && p.faults.Corrupt(frame) {
-		p.faultDiscard(frame, true)
+		p.faultDiscard(frame, DropCorrupt)
 		return
 	}
 	if p.xDelay > 0 {
@@ -377,7 +426,7 @@ func (p *Port) launch(frame *pkt.Packet, at sim.Time) {
 		at = p.lastAt
 	}
 	p.lastAt = at
-	p.pipe = append(p.pipe, flight{at: at, p: frame})
+	p.pipe = append(p.pipe, flight{at: at, p: frame, epoch: p.cutEpoch})
 	// Cross-shard links never arm the sender-side drain: the staged pipe is
 	// the outbound mailbox, flushed to the peer's inbox at the next barrier.
 	if !p.pipeArmed && !p.cross {
@@ -394,7 +443,7 @@ func (p *Port) drainPipe() {
 		f := p.pipe[p.pipeHd]
 		p.pipe[p.pipeHd] = flight{}
 		p.pipeHd++
-		p.peer.deliver(f.p)
+		p.peer.deliver(f)
 	}
 	if p.pipeHd == len(p.pipe) {
 		p.pipe = p.pipe[:0]
@@ -410,10 +459,31 @@ func (p *Port) drainPipe() {
 	p.Eng.At(p.pipe[p.pipeHd].at, p.drain)
 }
 
+// wireEpoch returns the cut epoch governing frames arriving on this port.
+// On a local link that is the peer transmitter's epoch directly. On a
+// cross-shard link the peer lives on another engine, so the local epoch is
+// read instead — a faithful mirror because the injector downs both
+// directions of a managed link at identical absolute times, and scripted
+// events (scheduled at build time, minimal insertion seq) order before any
+// runtime-armed drain at the same timestamp on every engine.
+func (p *Port) wireEpoch() uint32 {
+	if p.cross {
+		return p.cutEpoch
+	}
+	return p.peer.cutEpoch
+}
+
 // deliver hands an arriving frame to the owner, intercepting PFC frames:
 // a Pause received on a port throttles that port's own transmitter, exactly
-// as IEEE 802.1Qbb pauses the sender at the far end of the link.
-func (p *Port) deliver(frame *pkt.Packet) {
+// as IEEE 802.1Qbb pauses the sender at the far end of the link. A frame
+// whose launch epoch predates a wire cut is destroyed here, at its exact
+// arrival time.
+func (p *Port) deliver(f flight) {
+	if f.epoch != p.wireEpoch() {
+		p.cutDiscard(f.p)
+		return
+	}
+	frame := f.p
 	p.RxBytes += int64(frame.Size)
 	p.RxPackets++
 	switch frame.Kind {

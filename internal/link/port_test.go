@@ -184,6 +184,7 @@ func TestPortKickWhileUnconnected(t *testing.T) {
 func TestPortSetDownFlushesWire(t *testing.T) {
 	eng := sim.NewEngine()
 	a, src, rx := newPair(t, eng, 100*sim.Gbps, 5*sim.Microsecond)
+	b := a.Peer()
 	for i := 0; i < 3; i++ {
 		src.push(a.Pool.NewData(1, 0, 1, int64(i)*1000, 1000))
 	}
@@ -195,21 +196,29 @@ func TestPortSetDownFlushesWire(t *testing.T) {
 	if !a.Down() {
 		t.Fatal("port not down")
 	}
-	if a.FaultDrops != 2 {
-		t.Fatalf("pipe flush destroyed %d frames, want 2", a.FaultDrops)
+	// Cut-at-delivery: the wire is not purged at the cut — the in-flight
+	// frames keep their arrival events and are destroyed at the receiving
+	// port when they land with a stale epoch. This keeps the event
+	// schedule identical between single-engine and sharded builds.
+	if a.FaultDrops != 0 || b.CutDrops != 0 {
+		t.Fatalf("cut destroyed frames early: FaultDrops=%d CutDrops=%d", a.FaultDrops, b.CutDrops)
 	}
-	// The cut frame dies when its serialization completes.
+	// The mid-serialization frame dies at the transmitter when its
+	// serialization completes; the two wire frames die on arrival at b.
 	eng.RunUntil(10 * sim.Microsecond)
-	if a.FaultDrops != 3 {
-		t.Fatalf("mid-serialization frame not cut: FaultDrops = %d, want 3", a.FaultDrops)
+	if a.FaultDrops != 1 {
+		t.Fatalf("mid-serialization frame not cut: FaultDrops = %d, want 1", a.FaultDrops)
+	}
+	if b.CutDrops != 2 {
+		t.Fatalf("in-flight frames not destroyed at delivery: CutDrops = %d, want 2", b.CutDrops)
 	}
 	if len(rx.got) != 0 {
 		t.Fatalf("frames crossed a down link: %d", len(rx.got))
 	}
 	// MAC-injected PFC offered to a down port is destroyed, not queued.
 	a.SendPause(pkt.ClassData, true)
-	if a.FaultDrops != 4 {
-		t.Fatalf("PFC frame survived the down port: FaultDrops = %d, want 4", a.FaultDrops)
+	if a.FaultDrops != 2 {
+		t.Fatalf("PFC frame survived the down port: FaultDrops = %d, want 2", a.FaultDrops)
 	}
 	// Link-up kicks the transmitter and traffic resumes.
 	src.push(a.Pool.NewData(1, 0, 1, 3000, 1000))

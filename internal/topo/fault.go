@@ -90,7 +90,7 @@ func (n *Network) LinkByName(name string) (fault.Link, error) {
 // link, invalid rule) is a programming error on par with a routing hole, so
 // it panics rather than limping along with a partially applied plan.
 func (n *Network) applyFaults() {
-	inj, err := fault.Apply(n.Eng, n.P.Fault, n.LinkByName, n.P.Telemetry)
+	inj, err := fault.Apply(n.P.Fault, n.LinkByName, n.Engines, n.P.Telemetry)
 	if err != nil {
 		panic(fmt.Sprintf("topo: bad fault plan: %v", err))
 	}
@@ -99,9 +99,10 @@ func (n *Network) applyFaults() {
 		return
 	}
 	// Reverse-path rules bind at host feedback ingress; a rule that selects
-	// no host is as broken as an unknown link name.
+	// no host is as broken as an unknown link name. Each filter is bound to
+	// the engine of the shard its host runs on.
 	for i, h := range n.Hosts {
-		if f := inj.FeedbackFilterFor(fmt.Sprintf("host%d", i), h.ID()); f != nil {
+		if f := inj.FeedbackFilterFor(fmt.Sprintf("host%d", i), h.ID(), n.engOf(n.DC(i))); f != nil {
 			h.SetFeedbackFilter(f)
 		}
 	}

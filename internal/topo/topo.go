@@ -108,28 +108,28 @@ type Params struct {
 	// lookahead is LongHaulDelay; see sim.ShardGroup and DESIGN.md,
 	// "Parallel engine"). 0 or 1 runs everything on one engine —
 	// bit-identical to historical builds; values above the DC count clamp
-	// to it. Some features pin the build to one engine regardless; see
-	// ShardFallback. Sharded runs stay bit-deterministic and produce the
-	// same determinism digests as shards=1.
+	// to it. The only remaining fallback is a topology without a positive
+	// long-haul delay; see ShardFallback. Sharded runs stay
+	// bit-deterministic and produce the same determinism digests as
+	// shards=1 — fault plans included (see DESIGN.md, "Sharded faults").
 	Shards int
 
 	Seed int64
 }
 
 // ShardFallback reports why a multi-shard request must fall back to a single
-// engine under this parameter set, or "" when sharding is usable. Only the
-// fault plane pins the build: it drives ports on both sides of the long-haul
-// link from one scripted timeline. Every telemetry plane is shard-safe —
-// each shard records into its own flight-recorder ring (merged at export),
-// time-series sampling is pump-driven at quiescent barriers instead of
-// engine-tick-driven, and the registry serializes mid-run per-flow gauge
-// registration behind a mutex while snapshots sort by name.
+// engine under this parameter set, or "" when sharding is usable. Only a
+// topology without a positive long-haul delay pins the build (no lookahead
+// to bound the barriers). Every other plane is shard-safe: telemetry
+// records into per-shard flight-recorder rings merged at export, sampling
+// is pump-driven at quiescent barriers, the registry serializes mid-run
+// registration behind a mutex — and fault plans schedule their scripted
+// events per direction on the engine owning each port, with per-direction
+// PRNG streams, so a scripted long-haul blackout fires on both shards at
+// the same absolute time (see DESIGN.md, "Sharded faults").
 func (p Params) ShardFallback() string {
-	switch {
-	case p.LongHaulDelay <= 0:
+	if p.LongHaulDelay <= 0 {
 		return "no positive long-haul delay to bound the shard lookahead"
-	case !p.Fault.Empty():
-		return "fault plans script both sides of the long-haul link from one timeline"
 	}
 	return ""
 }
@@ -459,7 +459,9 @@ func (n *Network) Run(until sim.Time) {
 
 // NodeName maps a flight-recorder node id to its topology name ("host3",
 // "leaf0", "spine1", "dci0"), following the NodeID layout the builder uses:
-// hosts are 1+index and switches sit at fixed per-tier bases.
+// hosts are 1+index, switches sit at fixed per-tier bases, and negative ids
+// are the fault layer's dedicated namespace (fault.FaultNodeID) naming the
+// injected link, so merged traces never alias a fault event to a real node.
 func (n *Network) NodeName(id int32) string {
 	switch {
 	case id >= dciIDBase:
@@ -470,6 +472,10 @@ func (n *Network) NodeName(id int32) string {
 		return fmt.Sprintf("leaf%d", id-leafIDBase)
 	case id >= 1:
 		return fmt.Sprintf("host%d", id-1)
+	case id < 0:
+		if name := n.Faults.LinkNameAt(int(-1 - id)); name != "" {
+			return "fault:" + name
+		}
 	}
 	return fmt.Sprintf("node%d", id)
 }

@@ -3,6 +3,7 @@ package topo
 import (
 	"testing"
 
+	"mlcc/internal/fault"
 	"mlcc/internal/sim"
 )
 
@@ -30,6 +31,34 @@ func TestRTTFormulas(t *testing.T) {
 	// Near-source loop: ~23 µs.
 	if nr := n.NearRTT(0); nr < 20*sim.Microsecond || nr > 26*sim.Microsecond {
 		t.Errorf("near RTT = %v", nr)
+	}
+}
+
+// TestNodeNameFaultNamespace pins the negative node-ID convention: flight-
+// recorder events emitted by the fault layer carry fault.FaultNodeID(idx)
+// (the -1-idx namespace) and render as "fault:<link>", never aliasing a real
+// host or switch; ids outside any injected link's range keep the generic
+// fallback.
+func TestNodeNameFaultNamespace(t *testing.T) {
+	p := testParams(AlgMLCC)
+	p.Fault = &fault.Plan{
+		Seed: 1,
+		Loss: []fault.LossRule{{Link: "longhaul", Prob: 0.5}},
+	}
+	n := TwoDC(p)
+	if got := n.NodeName(fault.FaultNodeID(0)); got != "fault:longhaul" {
+		t.Errorf("NodeName(FaultNodeID(0)) = %q, want %q", got, "fault:longhaul")
+	}
+	if got := n.NodeName(fault.FaultNodeID(5)); got != "node-6" {
+		t.Errorf("NodeName(FaultNodeID(5)) = %q, want generic fallback %q", got, "node-6")
+	}
+	if got := n.NodeName(1); got != "host0" {
+		t.Errorf("NodeName(1) = %q, want %q (positive ids untouched)", got, "host0")
+	}
+	// Without a plan there is no injector; negative ids must still be safe.
+	bare := TwoDC(testParams(AlgMLCC))
+	if got := bare.NodeName(-1); got != "node-1" {
+		t.Errorf("NodeName(-1) without faults = %q, want %q", got, "node-1")
 	}
 }
 

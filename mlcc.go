@@ -242,10 +242,11 @@ type Config struct {
 	// the conservative barrier scheduler (lookahead = the long-haul
 	// propagation delay). Results are bit-identical either way — sharding
 	// is purely a wall-time optimization for multi-DC runs, and every
-	// telemetry plane (flight recorder, sampling, per-flow gauges) is
-	// shard-safe. The build silently falls back to one engine only when a
-	// fault plan pins the run to a single scripted timeline; see
-	// topo.Params.ShardFallback.
+	// plane — telemetry (flight recorder, sampling, per-flow gauges) and
+	// fault injection (scripted events, loss rules, feedback rules) — is
+	// shard-safe. The build silently falls back to one engine only when
+	// the topology has no positive long-haul delay to bound the shard
+	// lookahead; see topo.Params.ShardFallback.
 	Shards int
 
 	Seed int64
