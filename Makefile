@@ -18,7 +18,8 @@ test:
 # plan, and with the audit ledger attached — the last also asserting zero
 # conservation violations), the shard digest-equality property (sharded runs
 # byte-identical to single-engine — including with every telemetry plane
-# active, via TestShardDigestTelemetry — and merged shard ledgers closing
+# active, via TestShardDigestTelemetry, and for closed-loop scenario plans,
+# via TestShardDigestScenario — and merged shard ledgers closing
 # clean), the observability-server invariant (digest untouched with the live
 # HTTP server attached and publishing), the chaos smoke tier (8 seeded
 # random fault plans, each run single-engine and sharded with digest
@@ -31,7 +32,7 @@ test:
 # machines.
 check: build
 	$(GO) vet ./...
-	$(GO) test -race -timeout 1800s ./internal/sim/... ./internal/exp/... ./internal/metrics/... ./internal/obs/... ./internal/fault/... ./internal/link/... ./internal/host/... ./internal/audit/... ./internal/cc/... ./internal/chaos/...
+	$(GO) test -race -timeout 1800s ./internal/sim/... ./internal/exp/... ./internal/metrics/... ./internal/obs/... ./internal/fault/... ./internal/link/... ./internal/host/... ./internal/audit/... ./internal/cc/... ./internal/chaos/... ./internal/scenario/... ./internal/stats/...
 	$(GO) test -run '^$$' -bench 'BenchmarkFig02' -benchtime=1x .
 	$(GO) test -run 'TestTelemetryDisabledPathAllocFree' -count=1 .
 	$(GO) test -run 'TestDigestTelemetryInvariant' -short -count=1 ./internal/exp/
@@ -43,6 +44,7 @@ check: build
 	$(GO) test -run 'TestChaosSmoke' -count=1 -timeout 600s ./internal/chaos/
 	$(GO) test -fuzz 'FuzzEngineSchedule' -fuzztime=10s -run '^$$' ./internal/sim/
 	$(GO) test -fuzz 'FuzzFaultPlanJSON' -fuzztime=10s -run '^$$' ./internal/fault/
+	$(GO) test -fuzz 'FuzzScenarioPlan' -fuzztime=10s -run '^$$' ./internal/scenario/
 	$(GO) test -fuzz 'FuzzChaosPlan' -fuzztime=10s -run '^$$' ./internal/chaos/
 	$(GO) test -fuzz 'FuzzINTFeedback' -fuzztime=10s -run '^$$' ./internal/cc/
 	$(GO) test -fuzz 'FuzzCDF' -fuzztime=10s -run '^$$' ./internal/workload/

@@ -166,7 +166,7 @@ func shardBenchRun(b *testing.B, shards int) (time.Duration, uint64, uint64) {
 	p.Shards = shards
 	p.Audit = audit.New()
 	n := topo.Dumbbell(p)
-	flows := workload.Generate(workload.Spec{
+	flows, err := workload.Generate(workload.Spec{
 		CDF:       workload.Websearch(),
 		IntraLoad: 0.5,
 		CrossLoad: 0.2,
@@ -177,6 +177,9 @@ func shardBenchRun(b *testing.B, shards int) (time.Duration, uint64, uint64) {
 		Duration:  5 * sim.Millisecond,
 		Seed:      1,
 	})
+	if err != nil {
+		b.Fatal(err)
+	}
 	for _, fs := range flows {
 		n.AddFlow(fs.Src, fs.Dst, fs.Size, fs.Start)
 	}
@@ -251,7 +254,10 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 		Seed:      1,
 	}
 	for i := 0; i < b.N; i++ {
-		flows := workload.Generate(spec)
+		flows, err := workload.Generate(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(flows) == 0 {
 			b.Fatal("no flows")
 		}

@@ -6,6 +6,8 @@
 //	mlccsim -alg mlcc -workload websearch -intra 0.5 -cross 0.2
 //	mlccsim -alg dcqcn -workload hadoop -intra 0.3 -cross 0.1 -duration 10ms
 //	mlccsim -alg hpcc -fb-loss 0.3 -fb-corrupt 0.2 -audit
+//	mlccsim -alg mlcc -scenario plan.json
+//	mlccsim -alg mlcc -scenario-kind collective
 package main
 
 import (
@@ -35,6 +37,9 @@ func main() {
 		flowsOut = flag.String("save-flows", "", "write the generated workload to a trace file")
 		fctOut   = flag.String("fct", "", "write per-flow completion times to a CSV file")
 
+		scenIn   = flag.String("scenario", "", "run the composed scenario from this JSON plan file instead of generating traffic")
+		scenKind = flag.String("scenario-kind", "", "run a canonical acceptance scenario: "+strings.Join(mlcc.ScenarioKinds(), ", "))
+
 		faultIn  = flag.String("fault-plan", "", "inject the scripted link faults from this JSON plan file")
 		wanLoss  = flag.Float64("wan-loss", 0, "Bernoulli loss probability on the long-haul link for the whole run")
 		useAudit = flag.Bool("audit", false, "enable the end-to-end conservation audit (panics on any violation)")
@@ -52,6 +57,8 @@ func main() {
 		serveAddr  = flag.String("serve", "", "serve live observability HTTP (/metrics, /manifest, /flight, /trace, /debug/pprof) on this address during and after the run (implies -metrics); Ctrl-C to exit")
 	)
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	cfg := mlcc.Config{
 		Algorithm:     *alg,
@@ -81,6 +88,40 @@ func main() {
 			SampleInterval:     mlcc.Time(sampleIvl.Nanoseconds()) * mlcc.Nanosecond,
 			SampleAll:          true,
 		})
+	}
+	if *scenIn != "" && *scenKind != "" {
+		fmt.Fprintln(os.Stderr, "mlccsim: -scenario and -scenario-kind are mutually exclusive")
+		os.Exit(2)
+	}
+	if *scenIn != "" {
+		f, err := os.Open(*scenIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlccsim:", err)
+			os.Exit(1)
+		}
+		cfg.Scenario, err = mlcc.ReadScenarioPlan(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlccsim:", err)
+			os.Exit(1)
+		}
+	}
+	if *scenKind != "" {
+		totalHosts := 2 * 4 * *hosts
+		if *dumbbell {
+			totalHosts = 2 * *hosts
+		}
+		plan, err := mlcc.CanonicalScenario(*scenKind, totalHosts, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlccsim:", err)
+			os.Exit(2)
+		}
+		cfg.Scenario = plan
+	}
+	if cfg.Scenario != nil && !explicit["longhaul"] {
+		// Let a plan profile reshape the haul: only an explicit -longhaul
+		// overrides it (mlcc.Run treats a zero delay as "use the default").
+		cfg.LongHaulDelay = 0
 	}
 	if *faultIn != "" {
 		f, err := os.Open(*faultIn)
@@ -194,7 +235,11 @@ func main() {
 		}
 	}
 	fmt.Printf("algorithm      %s\n", *alg)
-	fmt.Printf("workload       %s (intra %.0f%%, cross %.0f%%)\n", *wl, *intra*100, *cross*100)
+	if cfg.Scenario != nil {
+		fmt.Printf("scenario       %s (%d components)\n", cfg.Scenario.Name, len(cfg.Scenario.Components()))
+	} else {
+		fmt.Printf("workload       %s (intra %.0f%%, cross %.0f%%)\n", *wl, *intra*100, *cross*100)
+	}
 	fmt.Printf("flows          %d (%d completed, %d unfinished)\n", res.Flows, res.Completed, res.Unfinished)
 	if cfg.Fault != nil {
 		fmt.Printf("aborted flows  %d\n", res.Aborted)
@@ -215,6 +260,26 @@ func main() {
 	fmt.Printf("p99.9 cross    %v\n", res.P999Cross)
 	fmt.Printf("PFC pauses     %d\n", res.PFCPauses)
 	fmt.Printf("drops          %d\n", res.Drops)
+	for _, cs := range res.Collectives {
+		state := "finished"
+		if cs.Failed {
+			state = "FAILED"
+		} else if !cs.Finished {
+			state = "unfinished"
+		}
+		fmt.Printf("collective %-10s %s, %d/%d phases, last barrier at %v\n",
+			cs.Name, state, cs.PhasesDone, cs.Phases, cs.FinishedAt)
+	}
+	if res.Tenants != nil {
+		for _, name := range res.Tenants.Names() {
+			avg, _ := res.Tenants.AvgFCT(name)
+			p99, _ := res.Tenants.Percentile(name, 0.99)
+			fmt.Printf("tenant %-12s %d done, %d aborted, %d bytes, avg FCT %v, p99 %v\n",
+				name, res.Tenants.Completed(name), res.Tenants.Aborted(name),
+				res.Tenants.CompletedBytes(name), avg, p99)
+		}
+		fmt.Printf("fairness       %.3f (Jain, completed bytes)\n", res.Tenants.Fairness())
+	}
 	if *useAudit {
 		fmt.Printf("%s\n", res.Audit)
 	}

@@ -146,8 +146,16 @@ type hooks struct {
 	audit    *audit.Ledger
 	shards   int
 	dumbbell bool
+	resort   bool // explicitly re-sort the generated flows before registering
 	prep     func(n *topo.Network)
 	after    func(n *topo.Network)
+}
+
+// determinismDigestResorted is DeterminismDigest with an explicit SortFlows
+// pass over Generate's output before registration — the sort-idempotence
+// probe behind TestDigestSortInvariant.
+func determinismDigestResorted(alg string, seed int64) uint64 {
+	return determinismDigest(alg, seed, nil, nil, &hooks{resort: true})
 }
 
 func determinismDigest(alg string, seed int64, tel *metrics.Telemetry, plan *fault.Plan, hk *hooks) uint64 {
@@ -168,7 +176,7 @@ func determinismDigest(alg string, seed int64, tel *metrics.Telemetry, plan *fau
 		n = topo.TwoDC(p.WithAlgorithm(alg))
 	}
 
-	flows := workload.Generate(workload.Spec{
+	flows, err := workload.Generate(workload.Spec{
 		CDF:       workload.Websearch(),
 		IntraLoad: 0.5,
 		CrossLoad: 0.2,
@@ -179,6 +187,12 @@ func determinismDigest(alg string, seed int64, tel *metrics.Telemetry, plan *fau
 		Duration:  2 * sim.Millisecond,
 		Seed:      seed,
 	})
+	if err != nil {
+		panic(err) // fixed valid spec; unreachable
+	}
+	if hk != nil && hk.resort {
+		workload.SortFlows(flows)
+	}
 	for _, fs := range flows {
 		n.AddFlow(fs.Src, fs.Dst, fs.Size, fs.Start)
 	}

@@ -106,7 +106,7 @@ func runFCT(k fctKey) (*fctResult, error) {
 		n = topo.TwoDC(pa)
 	}
 
-	flows := workload.Generate(workload.Spec{
+	flows, err := workload.Generate(workload.Spec{
 		CDF:       cdf,
 		IntraLoad: k.intra,
 		CrossLoad: k.cross,
@@ -117,6 +117,9 @@ func runFCT(k fctKey) (*fctResult, error) {
 		Duration:  window,
 		Seed:      k.seed,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("exp: workload %v: %w", k, err)
+	}
 	if len(flows) == 0 {
 		return nil, fmt.Errorf("exp: workload %v generated no flows", k)
 	}

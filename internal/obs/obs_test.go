@@ -39,7 +39,7 @@ func liveNetwork(t *testing.T, shards int) (*topo.Network, *metrics.Telemetry) {
 	if got := n.ShardCount(); got != shards {
 		t.Fatalf("ShardCount = %d, want %d (fallback: %v)", got, shards, p.ShardFallback())
 	}
-	flows := workload.Generate(workload.Spec{
+	flows, err := workload.Generate(workload.Spec{
 		CDF:       workload.Websearch(),
 		IntraLoad: 0.4,
 		CrossLoad: 0.2,
@@ -50,6 +50,9 @@ func liveNetwork(t *testing.T, shards int) (*topo.Network, *metrics.Telemetry) {
 		Duration:  sim.Millisecond,
 		Seed:      1,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, fs := range flows {
 		n.AddFlow(fs.Src, fs.Dst, fs.Size, fs.Start)
 	}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"mlcc/internal/sim"
+)
+
+// TenantSet partitions FCT samples by tenant (workload-component tag) and
+// summarizes each partition independently: per-tenant FCT percentiles,
+// completed-byte throughput and a Jain fairness index across tenants. A
+// tenant here is any named traffic source sharing the fabric — a
+// multi-tenant workload.Spec, a collective, an incast — so a blackout that
+// aborts one tenant's flows can never leak into another tenant's
+// distribution: aborted samples stay in their own tenant's collector and are
+// excluded from FCT statistics and byte counts by construction.
+//
+// Fill it post-run in flow-ID order (the shard-safe collection pattern every
+// harness uses); TenantSet itself is not goroutine-safe.
+type TenantSet struct {
+	order  []string
+	byName map[string]*FCTCollector
+}
+
+// NewTenantSet returns an empty set.
+func NewTenantSet() *TenantSet {
+	return &TenantSet{byName: make(map[string]*FCTCollector)}
+}
+
+// Add records one sample under the tenant's name. Unnamed samples ("") are
+// kept under the pseudo-tenant "untagged" so nothing is silently dropped.
+func (ts *TenantSet) Add(tenant string, s FCTSample) {
+	if tenant == "" {
+		tenant = "untagged"
+	}
+	col, ok := ts.byName[tenant]
+	if !ok {
+		col = NewFCTCollector()
+		ts.byName[tenant] = col
+		ts.order = append(ts.order, tenant)
+	}
+	col.Add(s)
+}
+
+// Names lists tenants in first-add order — deterministic when samples are
+// added in flow-ID order.
+func (ts *TenantSet) Names() []string {
+	return append([]string(nil), ts.order...)
+}
+
+// Collector returns the tenant's collector, or an empty one for unknown
+// names (so lookups compose with Avg/Percentile without nil checks).
+func (ts *TenantSet) Collector(tenant string) *FCTCollector {
+	if col, ok := ts.byName[tenant]; ok {
+		return col
+	}
+	return NewFCTCollector()
+}
+
+// CompletedBytes sums the sizes of the tenant's completed (non-aborted)
+// flows.
+func (ts *TenantSet) CompletedBytes(tenant string) int64 {
+	var b int64
+	for _, s := range ts.Collector(tenant).samples {
+		if !s.Aborted {
+			b += s.Size
+		}
+	}
+	return b
+}
+
+// Aborted counts the tenant's aborted flows.
+func (ts *TenantSet) Aborted(tenant string) int {
+	return ts.Collector(tenant).Count(AbortedFlows)
+}
+
+// Completed counts the tenant's completed flows.
+func (ts *TenantSet) Completed(tenant string) int {
+	return ts.Collector(tenant).Count(Completed)
+}
+
+// Percentile returns the tenant's p-quantile FCT over completed flows only:
+// aborted samples carry a meaningless zero FCT and must never deflate a
+// tenant's distribution.
+func (ts *TenantSet) Percentile(tenant string, p float64) (sim.Time, bool) {
+	return ts.Collector(tenant).Percentile(Completed, p)
+}
+
+// AvgFCT returns the tenant's mean FCT over completed flows only.
+func (ts *TenantSet) AvgFCT(tenant string) (sim.Time, bool) {
+	return ts.Collector(tenant).Avg(Completed)
+}
+
+// Throughput returns the tenant's completed-byte goodput in bits per second
+// over the given wall of simulated time.
+func (ts *TenantSet) Throughput(tenant string, dur sim.Time) sim.Rate {
+	if dur <= 0 {
+		return 0
+	}
+	return sim.Rate(float64(ts.CompletedBytes(tenant)) * 8 / dur.Seconds())
+}
+
+// Fairness returns Jain's index over the tenants' completed-byte totals
+// (duration-invariant: a common window divides out of the index). One tenant
+// — or zero completed bytes everywhere — yields the degenerate values
+// JainIndex defines (1 and 0 respectively).
+func (ts *TenantSet) Fairness() float64 {
+	rates := make([]float64, 0, len(ts.order))
+	for _, name := range ts.order {
+		rates = append(rates, float64(ts.CompletedBytes(name)))
+	}
+	return JainIndex(rates)
+}
+
+// String renders a one-line-per-tenant summary.
+func (ts *TenantSet) String() string {
+	var b strings.Builder
+	for i, name := range ts.order {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		avg, _ := ts.AvgFCT(name)
+		fmt.Fprintf(&b, "%s{done=%d aborted=%d bytes=%d avg=%v}",
+			name, ts.Completed(name), ts.Aborted(name), ts.CompletedBytes(name), avg)
+	}
+	return b.String()
+}

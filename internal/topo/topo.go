@@ -383,9 +383,11 @@ func (n *Network) FlowInfo(src, dst int, size int64) cc.FlowInfo {
 }
 
 // AddFlow registers a flow starting at time start and schedules its launch
-// on the source host's engine. On sharded builds AddFlow must be called
-// before Run (the harnesses pre-schedule every flow), since scheduling into
-// a foreign shard mid-run would break the single-goroutine engine contract.
+// on the source host's engine. On sharded builds AddFlow may only be called
+// with every engine parked — before Run, or on the driving goroutine inside a
+// quiescent hook (the scenario barrier poll launches collective phases this
+// way) — since scheduling into a foreign shard mid-run would break the
+// single-goroutine engine contract.
 func (n *Network) AddFlow(src, dst int, size int64, start sim.Time) *host.Flow {
 	f := n.Table.Add(n.FlowInfo(src, dst, size), start)
 	h := n.Hosts[src]
@@ -395,10 +397,14 @@ func (n *Network) AddFlow(src, dst int, size int64, start sim.Time) *host.Flow {
 
 // quiescentHook is a callback Run fires with every engine parked at a
 // multiple of its interval — the mechanism behind pump-driven telemetry
-// sampling and live observability snapshots. Hooks schedule no engine
-// events, so a run with hooks executes the exact same event sequence as one
-// without (RunUntil partitioning is behaviour-neutral: the heap orders by
-// (time, insertion seq) and boundary events still fire at their boundary).
+// sampling, live observability snapshots and the scenario barrier poll.
+// Passive hooks (telemetry, obs) schedule no engine events, so a run with
+// them executes the exact same event sequence as one without (RunUntil
+// partitioning is behaviour-neutral: the heap orders by (time, insertion seq)
+// and boundary events still fire at their boundary). Hooks that do schedule —
+// the scenario poll registers next-phase flows via AddFlow — stay
+// deterministic because boundaries are exact multiples independent of shard
+// layout and the hook runs with all engines parked.
 type quiescentHook struct {
 	every sim.Time
 	next  sim.Time

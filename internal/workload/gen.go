@@ -1,18 +1,25 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"mlcc/internal/sim"
 )
 
 // FlowSpec is one generated transfer, ready to be registered with a network.
+// Tag names the workload component (tenant, collective, incast wave) the flow
+// belongs to; "" for untagged single-workload traffic. Tags ride through
+// scenario composition into the per-tenant stats collectors but are not part
+// of the on-wire trace format.
 type FlowSpec struct {
 	Src, Dst int // host indices
 	Size     int64
 	Start    sim.Time
 	Cross    bool
+	Tag      string
 }
 
 // Spec configures traffic generation for the two-DC topology.
@@ -38,23 +45,68 @@ type Spec struct {
 	Hosts     int      // total hosts (even; first half = DC 0)
 	Duration  sim.Time
 	Seed      int64
+
+	// Tag, when non-empty, stamps every generated FlowSpec (multi-tenant
+	// scenario composition uses one Spec per tenant).
+	Tag string
+}
+
+// Validate checks that the spec can drive generation at all. It rejects the
+// degenerate inputs Generate used to swallow silently: negative or non-finite
+// rates and loads (negative λ made gen produce zero flows with no signal) and
+// odd host counts (the first-half-is-DC0 split assigns the odd host to no
+// valid cross-DC peer set).
+func (spec Spec) Validate() error {
+	if spec.CDF == nil {
+		return fmt.Errorf("workload: spec has no CDF")
+	}
+	if !(spec.CDF.Mean() > 0) {
+		return fmt.Errorf("workload: CDF %q has non-positive mean size", spec.CDF.Name)
+	}
+	if spec.Hosts < 2 {
+		return fmt.Errorf("workload: %d hosts (need at least 2)", spec.Hosts)
+	}
+	if spec.Hosts%2 != 0 {
+		return fmt.Errorf("workload: odd host count %d (first half = DC 0 needs an even split)", spec.Hosts)
+	}
+	if spec.Duration <= 0 {
+		return fmt.Errorf("workload: non-positive duration %v", spec.Duration)
+	}
+	if spec.HostRate <= 0 {
+		return fmt.Errorf("workload: non-positive host rate %v", spec.HostRate)
+	}
+	if spec.IntraRate < 0 {
+		return fmt.Errorf("workload: negative intra rate %v", spec.IntraRate)
+	}
+	if spec.CrossRate < 0 {
+		return fmt.Errorf("workload: negative cross rate %v", spec.CrossRate)
+	}
+	for _, l := range []struct {
+		name string
+		v    float64
+	}{{"intra", spec.IntraLoad}, {"cross", spec.CrossLoad}} {
+		if math.IsNaN(l.v) || math.IsInf(l.v, 0) || l.v < 0 {
+			return fmt.Errorf("workload: %s load %v (want a finite fraction >= 0)", l.name, l.v)
+		}
+	}
+	return nil
 }
 
 // Generate produces the open-loop flow arrivals for spec: every host runs
 // two independent Poisson processes (intra and cross), flow sizes are i.i.d.
 // from the CDF, intra destinations are uniform among other same-DC hosts and
-// cross destinations uniform in the other DC. Flows are returned sorted by
-// construction (per-host merge happens naturally at schedule time; callers
-// just register them all).
-func Generate(spec Spec) []FlowSpec {
-	if spec.CDF == nil || spec.Hosts < 2 || spec.Duration <= 0 {
-		return nil
+// cross destinations uniform in the other DC. Flows are returned in the
+// canonical deterministic order of SortFlows — globally sorted by (Start,
+// Src, Dst, Size, Tag) — so independently generated lists merge into one
+// schedule without any ordering surprises. Invalid specs return an error
+// (they used to yield an empty list indistinguishable from zero load); both
+// loads zero is valid and produces no flows.
+func Generate(spec Spec) ([]FlowSpec, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(spec.Seed*0x9e3779b9 + 1))
 	mean := spec.CDF.Mean() // bytes
-	if !(mean > 0) {        // non-positive or NaN: arrival rate is meaningless
-		return nil
-	}
 	perDC := spec.Hosts / 2
 	var out []FlowSpec
 
@@ -110,12 +162,53 @@ func Generate(spec Spec) []FlowSpec {
 					Size:  spec.CDF.Sample(rng),
 					Start: t,
 					Cross: cross,
+					Tag:   spec.Tag,
 				})
 			}
 		}
 		gen(spec.IntraLoad, false)
 		gen(spec.CrossLoad, true)
 	}
+	SortFlows(out)
+	return out, nil
+}
+
+// SortFlows puts flows into the canonical deterministic schedule order:
+// stable-sorted by (Start, Src, Dst, Size, Tag). Registering flows in this
+// order is what makes flow-ID assignment — and therefore ECMP routing and
+// determinism digests — a pure function of the flow set, independent of how
+// many generated lists were concatenated to produce it.
+func SortFlows(flows []FlowSpec) {
+	sort.SliceStable(flows, func(i, j int) bool {
+		a, b := flows[i], flows[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.Size != b.Size {
+			return a.Size < b.Size
+		}
+		return a.Tag < b.Tag
+	})
+}
+
+// MergeFlows concatenates several flow lists into one schedule in the
+// canonical SortFlows order, leaving the inputs untouched.
+func MergeFlows(lists ...[]FlowSpec) []FlowSpec {
+	var total int
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]FlowSpec, 0, total)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	SortFlows(out)
 	return out
 }
 
@@ -143,7 +236,15 @@ func (spec Spec) rates() (crossRate, intraRate sim.Rate) {
 // Normalizing cross traffic by Hosts × HostRate (as a single aggregate
 // diagnostic once did) understates the realized cross load by the ratio of
 // host to long-haul capacity.
-func OfferedLoads(flows []FlowSpec, spec Spec) (intra, cross float64) {
+//
+// A spec whose capacities or duration cannot normalize anything returns an
+// error instead of (0, 0): "no flows arrived" and "the denominator was
+// meaningless" are different findings, and acceptance tests asserting on
+// realized load must not pass vacuously on the latter.
+func OfferedLoads(flows []FlowSpec, spec Spec) (intra, cross float64, err error) {
+	if err := spec.Validate(); err != nil {
+		return 0, 0, err
+	}
 	var intraBytes, crossBytes int64
 	for _, f := range flows {
 		if f.Cross {
@@ -156,11 +257,8 @@ func OfferedLoads(flows []FlowSpec, spec Spec) (intra, cross float64) {
 	dur := spec.Duration.Seconds()
 	intraCap := float64(spec.Hosts) * float64(intraRate) / 8 * dur
 	crossCap := 2 * float64(crossRate) / 8 * dur
-	if intraCap > 0 {
-		intra = float64(intraBytes) / intraCap
+	if !(intraCap > 0) || !(crossCap > 0) {
+		return 0, 0, fmt.Errorf("workload: degenerate capacities (intra %g B, cross %g B over %v)", intraCap, crossCap, spec.Duration)
 	}
-	if crossCap > 0 {
-		cross = float64(crossBytes) / crossCap
-	}
-	return intra, cross
+	return float64(intraBytes) / intraCap, float64(crossBytes) / crossCap, nil
 }

@@ -9,7 +9,7 @@ import (
 
 func TestFlowTraceRoundTrip(t *testing.T) {
 	spec := testSpec(0.4, 0.15)
-	flows := Generate(spec)
+	flows := mustGenerate(t, spec)
 	if len(flows) == 0 {
 		t.Fatal("no flows")
 	}

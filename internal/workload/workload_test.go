@@ -128,9 +128,20 @@ func testSpec(intra, cross float64) Spec {
 	}
 }
 
+// mustGenerate fails the test on a generation error; for specs that are
+// valid by construction.
+func mustGenerate(t *testing.T, spec Spec) []FlowSpec {
+	t.Helper()
+	flows, err := Generate(spec)
+	if err != nil {
+		t.Fatalf("Generate(%+v): %v", spec, err)
+	}
+	return flows
+}
+
 func TestGenerateLoad(t *testing.T) {
 	spec := testSpec(0.5, 0.2)
-	flows := Generate(spec)
+	flows := mustGenerate(t, spec)
 	if len(flows) == 0 {
 		t.Fatal("no flows")
 	}
@@ -154,7 +165,7 @@ func TestGenerateLoad(t *testing.T) {
 }
 
 func TestGenerateDestinations(t *testing.T) {
-	flows := Generate(testSpec(0.3, 0.1))
+	flows := mustGenerate(t, testSpec(0.3, 0.1))
 	for _, f := range flows {
 		if f.Src == f.Dst {
 			t.Fatal("self flow")
@@ -170,8 +181,8 @@ func TestGenerateDestinations(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	a := Generate(testSpec(0.5, 0.2))
-	b := Generate(testSpec(0.5, 0.2))
+	a := mustGenerate(t, testSpec(0.5, 0.2))
+	b := mustGenerate(t, testSpec(0.5, 0.2))
 	if len(a) != len(b) {
 		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
 	}
@@ -183,12 +194,99 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestGenerateEdgeCases(t *testing.T) {
-	if Generate(Spec{}) != nil {
-		t.Fatal("empty spec should produce nil")
+	if _, err := Generate(Spec{}); err == nil {
+		t.Fatal("empty spec accepted (used to yield a silent empty list)")
 	}
 	spec := testSpec(0, 0)
-	if flows := Generate(spec); len(flows) != 0 {
+	if flows := mustGenerate(t, spec); len(flows) != 0 {
 		t.Fatalf("zero load produced %d flows", len(flows))
+	}
+}
+
+// TestGenerateRejectsDegenerateSpecs is the silent-empty-output regression:
+// negative rates made λ negative, which the inner generator silently dropped,
+// and odd host counts broke the first-half-is-DC0 split. All of these must
+// surface as errors now.
+func TestGenerateRejectsDegenerateSpecs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"negative host rate", func(s *Spec) { s.HostRate = -25 * sim.Gbps }},
+		{"zero host rate", func(s *Spec) { s.HostRate = 0 }},
+		{"negative intra rate", func(s *Spec) { s.IntraRate = -sim.Gbps }},
+		{"negative cross rate", func(s *Spec) { s.CrossRate = -sim.Gbps }},
+		{"odd hosts", func(s *Spec) { s.Hosts = 33 }},
+		{"one host", func(s *Spec) { s.Hosts = 1 }},
+		{"zero duration", func(s *Spec) { s.Duration = 0 }},
+		{"negative intra load", func(s *Spec) { s.IntraLoad = -0.1 }},
+		{"NaN cross load", func(s *Spec) { s.CrossLoad = math.NaN() }},
+		{"infinite intra load", func(s *Spec) { s.IntraLoad = math.Inf(1) }},
+		{"nil CDF", func(s *Spec) { s.CDF = nil }},
+	}
+	for _, tc := range cases {
+		spec := testSpec(0.5, 0.2)
+		tc.mutate(&spec)
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("%s: accepted (want an error, not silent empty output)", tc.name)
+		}
+	}
+}
+
+// TestGenerateSorted is the sort-contract regression: the doc used to claim
+// "sorted by construction" while the output was per-host interleaved. The
+// contract now is the canonical (Start, Src, Dst, Size, Tag) order, which
+// composition relies on when merging independently generated lists.
+func TestGenerateSorted(t *testing.T) {
+	flows := mustGenerate(t, testSpec(0.5, 0.2))
+	if len(flows) < 2 {
+		t.Fatal("workload too small to exercise ordering")
+	}
+	for i := 1; i < len(flows); i++ {
+		a, b := flows[i-1], flows[i]
+		less := a.Start < b.Start ||
+			(a.Start == b.Start && (a.Src < b.Src ||
+				(a.Src == b.Src && (a.Dst < b.Dst ||
+					(a.Dst == b.Dst && (a.Size < b.Size ||
+						(a.Size == b.Size && a.Tag <= b.Tag)))))))
+		if !less {
+			t.Fatalf("flows %d/%d out of canonical order: %+v then %+v", i-1, i, a, b)
+		}
+	}
+	// Sorting must be idempotent: re-sorting the output changes nothing.
+	resorted := append([]FlowSpec(nil), flows...)
+	SortFlows(resorted)
+	for i := range flows {
+		if flows[i] != resorted[i] {
+			t.Fatalf("flow %d moved under re-sort: %+v vs %+v", i, flows[i], resorted[i])
+		}
+	}
+}
+
+// TestMergeFlows pins the deterministic-merge helper: merging per-tenant
+// lists must equal sorting the concatenation, regardless of list order.
+func TestMergeFlows(t *testing.T) {
+	specA := testSpec(0.3, 0.1)
+	specA.Tag = "a"
+	specB := testSpec(0.2, 0.2)
+	specB.Tag = "b"
+	specB.Seed = 9
+	a := mustGenerate(t, specA)
+	b := mustGenerate(t, specB)
+	ab := MergeFlows(a, b)
+	ba := MergeFlows(b, a)
+	if len(ab) != len(a)+len(b) || len(ab) != len(ba) {
+		t.Fatalf("merge lengths: ab=%d ba=%d a=%d b=%d", len(ab), len(ba), len(a), len(b))
+	}
+	for i := range ab {
+		if ab[i] != ba[i] {
+			t.Fatalf("merge order depends on input order at %d: %+v vs %+v", i, ab[i], ba[i])
+		}
+	}
+	for _, f := range ab {
+		if f.Tag != "a" && f.Tag != "b" {
+			t.Fatalf("flow lost its tag: %+v", f)
+		}
 	}
 }
 
@@ -203,7 +301,11 @@ func TestGenerateSingleHostPerDC(t *testing.T) {
 	go func() {
 		spec := testSpec(0.5, 0.2)
 		spec.Hosts = 2
-		done <- Generate(spec)
+		flows, err := Generate(spec)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- flows
 	}()
 	select {
 	case flows := <-done:
@@ -230,8 +332,11 @@ func TestGenerateSingleHostPerDC(t *testing.T) {
 // cross load by HostRate/CrossRate (the old aggregate diagnostic's bug).
 func TestOfferedLoadsPinned(t *testing.T) {
 	spec := testSpec(0.5, 0.2)
-	flows := Generate(spec)
-	intra, cross := OfferedLoads(flows, spec)
+	flows := mustGenerate(t, spec)
+	intra, cross, err := OfferedLoads(flows, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(intra-0.5)/0.5 > 0.25 {
 		t.Errorf("realized intra load %.3f, want ≈ 0.5", intra)
 	}
@@ -244,13 +349,43 @@ func TestOfferedLoadsPinned(t *testing.T) {
 	// window. Hosts × HostRate is 4× the two-way long-haul capacity here, so
 	// the old normalization would report 0.025.
 	sized := []FlowSpec{{Src: 0, Dst: 16, Size: int64(2 * 100e9 / 8 * 0.020 * 0.10), Cross: true}}
-	_, crossOnly := OfferedLoads(sized, spec)
+	intraOnly, crossOnly, err := OfferedLoads(sized, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(crossOnly-0.10) > 1e-9 {
 		t.Errorf("pinned cross load = %.6f, want 0.10 exactly", crossOnly)
 	}
-	intraOnly, _ := OfferedLoads(sized, spec)
 	if intraOnly != 0 {
 		t.Errorf("cross-only trace reported intra load %v", intraOnly)
+	}
+}
+
+// TestOfferedLoadsRejectsVacuousSpec pins the ok/error contract: a spec whose
+// denominators are meaningless must error, not report (0, 0) — an acceptance
+// test comparing realized to requested load would otherwise pass vacuously.
+func TestOfferedLoadsRejectsVacuousSpec(t *testing.T) {
+	flows := []FlowSpec{{Src: 0, Dst: 16, Size: 1 << 20, Cross: true}}
+	zeroDur := testSpec(0.5, 0.2)
+	zeroDur.Duration = 0
+	if _, _, err := OfferedLoads(flows, zeroDur); err == nil {
+		t.Error("zero-duration spec accepted")
+	}
+	zeroCap := testSpec(0.5, 0.2)
+	zeroCap.HostRate = 0
+	if _, _, err := OfferedLoads(flows, zeroCap); err == nil {
+		t.Error("zero-capacity spec accepted")
+	}
+	negCap := testSpec(0.5, 0.2)
+	negCap.CrossRate = -sim.Gbps
+	if _, _, err := OfferedLoads(flows, negCap); err == nil {
+		t.Error("negative-capacity spec accepted")
+	}
+	// No flows over a valid spec is NOT an error: zero realized load is a
+	// real measurement.
+	intra, cross, err := OfferedLoads(nil, testSpec(0.5, 0.2))
+	if err != nil || intra != 0 || cross != 0 {
+		t.Errorf("empty trace over a valid spec: got (%v, %v, %v), want (0, 0, nil)", intra, cross, err)
 	}
 }
 
@@ -265,7 +400,10 @@ func TestOfferedLoadsMatchSpecProperty(t *testing.T) {
 	for seed := int64(1); seed <= seeds; seed++ {
 		spec := testSpec(0.5, 0.2)
 		spec.Seed = seed
-		intra, cross := OfferedLoads(Generate(spec), spec)
+		intra, cross, err := OfferedLoads(mustGenerate(t, spec), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if math.Abs(intra-0.5)/0.5 > 0.6 {
 			t.Errorf("seed %d: realized intra load %.3f implausibly far from 0.5", seed, intra)
 		}

@@ -42,6 +42,7 @@ import (
 	"mlcc/internal/metrics"
 	"mlcc/internal/obs"
 	"mlcc/internal/pkt"
+	"mlcc/internal/scenario"
 	"mlcc/internal/sim"
 	"mlcc/internal/stats"
 	"mlcc/internal/topo"
@@ -108,6 +109,52 @@ func ReadFaultPlan(r io.Reader) (*FaultPlan, error) { return fault.ReadPlan(r) }
 
 // WriteFaultPlan emits a plan in the JSON form ReadFaultPlan accepts.
 func WriteFaultPlan(w io.Writer, p *FaultPlan) error { return fault.WritePlan(w, p) }
+
+// ScenarioPlan re-exports the scenario-composition plan: named workload
+// components — closed-loop ML-collective rings, N→1 incasts, all-to-all
+// shuffles, multi-tenant Poisson mixes and a high-RTT long-haul profile —
+// composed into one deterministic flow schedule. Attach one to
+// Config.Scenario. See DESIGN.md, "Scenario layer".
+type ScenarioPlan = scenario.Plan
+
+// ScenarioCollective is one closed-loop ring all-reduce in a ScenarioPlan.
+type ScenarioCollective = scenario.Collective
+
+// ScenarioIncast is one open-loop N→1 burst in a ScenarioPlan.
+type ScenarioIncast = scenario.Incast
+
+// ScenarioShuffle is one open-loop all-to-all transfer in a ScenarioPlan.
+type ScenarioShuffle = scenario.Shuffle
+
+// ScenarioTenant is one named Poisson mix in a ScenarioPlan.
+type ScenarioTenant = scenario.Tenant
+
+// ScenarioProfile reshapes the long-haul link (propagation override, jitter,
+// outages) for a ScenarioPlan.
+type ScenarioProfile = scenario.Profile
+
+// CollectiveStatus is one collective's end-of-run summary in Result.
+type CollectiveStatus = scenario.CollectiveStatus
+
+// ReadScenarioPlan parses a JSON scenario plan (see EXPERIMENTS.md for the
+// format) and validates it.
+func ReadScenarioPlan(r io.Reader) (*ScenarioPlan, error) { return scenario.ReadPlan(r) }
+
+// WriteScenarioPlan emits a plan in the JSON form ReadScenarioPlan accepts.
+func WriteScenarioPlan(w io.Writer, p *ScenarioPlan) error { return scenario.WritePlan(w, p) }
+
+// ScenarioKinds lists the canonical acceptance-scenario kinds.
+func ScenarioKinds() []string { return scenario.Kinds() }
+
+// CanonicalScenario builds the pinned acceptance plan of the given kind for
+// a topology with hosts hosts.
+func CanonicalScenario(kind string, hosts int, seed int64) (*ScenarioPlan, error) {
+	return scenario.CanonicalPlan(kind, hosts, seed)
+}
+
+// TenantSet re-exports the per-tenant statistics partition filled in by
+// scenario runs (Result.Tenants).
+type TenantSet = stats.TenantSet
 
 // Telemetry re-exports the unified telemetry layer (metrics registry, flight
 // recorder, run manifests). Attach one to Config.Telemetry to collect it.
@@ -181,7 +228,9 @@ type Config struct {
 	CrossLoad float64
 
 	// Duration is the arrival window; the simulation then drains until
-	// Deadline (default 20× Duration + 100 ms).
+	// Deadline (default 20× Duration + 100 ms; scenario runs instead derive
+	// the default from the plan's horizon, phase count and long-haul delay
+	// so closed-loop collectives have room to drain).
 	Duration Time
 	Deadline Time
 
@@ -198,6 +247,16 @@ type Config struct {
 	// Flows, when non-empty, replays an explicit trace instead of
 	// generating Poisson arrivals from Workload/IntraLoad/CrossLoad.
 	Flows []FlowSpec
+
+	// Scenario, when non-nil, replaces workload generation entirely: the
+	// plan's components (collectives, incasts, shuffles, tenants) define
+	// the whole schedule — express background load as a tenant. Exclusive
+	// with Flows; Workload/IntraLoad/CrossLoad are ignored. A plan profile
+	// reshapes the long-haul link unless the corresponding Config field
+	// (LongHaulDelay) overrides it, and profile outages/jitter merge after
+	// any Config.Fault events. Results gain per-tenant statistics
+	// (Result.Tenants) and collective summaries (Result.Collectives).
+	Scenario *ScenarioPlan
 
 	// Fault, when non-nil, injects the scripted link faults (flaps,
 	// degradation, loss) and feedback-plane faults (ACK/CNP/Switch-INT
@@ -294,8 +353,22 @@ type Result struct {
 	FCT *stats.FCTCollector
 
 	// Trace is the workload that was run (generated or replayed), suitable
-	// for WriteFlows so a run can be replayed exactly.
+	// for WriteFlows so a run can be replayed exactly. For scenario runs it
+	// holds only the open-loop schedule: collective flows are closed-loop
+	// (each phase launches off the previous one's completion barrier) and
+	// cannot be replayed as a fixed trace.
 	Trace []FlowSpec
+
+	// Tenants partitions the FCT samples by scenario component (tenant,
+	// collective, incast, shuffle name) with per-tenant percentiles,
+	// completed-byte goodput and a Jain fairness index across components.
+	// Nil unless the run had a Scenario.
+	Tenants *TenantSet
+
+	// Collectives summarizes each scenario collective's end state (phases
+	// completed, failure, finish time), in plan order. Nil without a
+	// Scenario.
+	Collectives []CollectiveStatus
 
 	// Audit is the conservation ledger's one-line fate summary when
 	// Config.Audit was set ("" otherwise). A populated summary means the
@@ -314,7 +387,16 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = 5 * Millisecond
 	}
-	if cfg.Deadline <= 0 {
+	sc := cfg.Scenario
+	if sc != nil {
+		if len(cfg.Flows) > 0 {
+			return nil, fmt.Errorf("mlcc: Config.Scenario and Config.Flows are mutually exclusive")
+		}
+		if err := sc.Validate(); err != nil {
+			return nil, fmt.Errorf("mlcc: %w", err)
+		}
+	}
+	if cfg.Deadline <= 0 && sc == nil {
 		cfg.Deadline = 20*cfg.Duration + 100*Millisecond
 	}
 	cdf, err := workload.ByName(cfg.Workload)
@@ -330,6 +412,8 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.LongHaulDelay > 0 {
 		p.LongHaulDelay = cfg.LongHaulDelay
+	} else if sc != nil && sc.Profile != nil && sc.Profile.LongHaul > 0 {
+		p.LongHaulDelay = sc.Profile.LongHaul
 	}
 	p.Seed = cfg.Seed
 	p.Shards = cfg.Shards
@@ -357,6 +441,21 @@ func Run(cfg Config) (*Result, error) {
 		}
 		p.Fault = cfg.Fault
 	}
+	if sc != nil {
+		if fp := sc.FaultPlan(p.Fault); fp != p.Fault {
+			if err := fp.Validate(); err != nil {
+				return nil, fmt.Errorf("mlcc: scenario profile faults: %w", err)
+			}
+			p.Fault = fp
+		}
+		if cfg.Deadline <= 0 {
+			// Horizon covers every open-loop instant; each collective phase
+			// needs at most a handful of long-haul round trips to drain, so a
+			// generous multiple of the phase budget bounds the closed loop.
+			cfg.Deadline = 20*sc.Horizon() + 100*Millisecond +
+				sim.Time(32*(sc.MaxPhases()+2))*p.LongHaulDelay
+		}
+	}
 
 	var n *topo.Network
 	if cfg.Dumbbell {
@@ -369,9 +468,19 @@ func Run(cfg Config) (*Result, error) {
 		n = topo.TwoDC(p)
 	}
 
+	var runner *scenario.Runner
 	flows := cfg.Flows
-	if len(flows) == 0 {
-		flows = workload.Generate(workload.Spec{
+	switch {
+	case sc != nil:
+		// Bind validates placement against the built topology, registers
+		// every open-loop flow and primes the collectives' first phases.
+		runner, err = scenario.Bind(sc, n)
+		if err != nil {
+			return nil, fmt.Errorf("mlcc: %w", err)
+		}
+		flows = runner.OpenLoop()
+	case len(flows) == 0:
+		flows, err = workload.Generate(workload.Spec{
 			CDF:       cdf,
 			IntraLoad: cfg.IntraLoad,
 			CrossLoad: cfg.CrossLoad,
@@ -382,21 +491,26 @@ func Run(cfg Config) (*Result, error) {
 			Duration:  cfg.Duration,
 			Seed:      cfg.Seed,
 		})
-	} else {
+		if err != nil {
+			return nil, fmt.Errorf("mlcc: %w", err)
+		}
+		if len(flows) == 0 {
+			return nil, fmt.Errorf("mlcc: zero offered load (intra=%v cross=%v)", cfg.IntraLoad, cfg.CrossLoad)
+		}
+	default:
 		for _, f := range flows {
 			if f.Src >= n.NumHosts() || f.Dst >= n.NumHosts() {
 				return nil, fmt.Errorf("mlcc: trace flow %d->%d outside the %d-host topology", f.Src, f.Dst, n.NumHosts())
 			}
 		}
 	}
-	if len(flows) == 0 {
-		return nil, fmt.Errorf("mlcc: zero offered load (intra=%v cross=%v)", cfg.IntraLoad, cfg.CrossLoad)
-	}
 
 	tel := cfg.Telemetry
 	fctHist := tel.Registry().Histogram("cc." + cfg.Algorithm + ".fct_us")
-	for _, fs := range flows {
-		n.AddFlow(fs.Src, fs.Dst, fs.Size, fs.Start)
+	if runner == nil {
+		for _, fs := range flows {
+			n.AddFlow(fs.Src, fs.Dst, fs.Size, fs.Start)
+		}
 	}
 	tel.StartSampling(cfg.Deadline)
 	if cfg.Obs != nil {
@@ -417,14 +531,25 @@ func Run(cfg Config) (*Result, error) {
 	// flow-ID walk gives the same sample order for any shard count (the
 	// digest tests prove the per-flow outcomes are identical).
 	col := stats.NewFCTCollector()
+	var tenants *stats.TenantSet
+	if runner != nil {
+		tenants = stats.NewTenantSet()
+	}
 	for id := 1; id <= n.Table.Len(); id++ {
 		f := n.Table.Get(pkt.FlowID(id))
+		var s stats.FCTSample
 		switch {
 		case f.Done:
-			col.Add(stats.FCTSample{Size: f.Info.Size, FCT: f.FCT(), Cross: f.Info.CrossDC, Start: f.Start})
+			s = stats.FCTSample{Size: f.Info.Size, FCT: f.FCT(), Cross: f.Info.CrossDC, Start: f.Start}
 			fctHist.Observe(f.FCT().Micros())
 		case f.Aborted:
-			col.Add(stats.FCTSample{Size: f.Info.Size, Cross: f.Info.CrossDC, Start: f.Start, Aborted: true})
+			s = stats.FCTSample{Size: f.Info.Size, Cross: f.Info.CrossDC, Start: f.Start, Aborted: true}
+		default:
+			continue
+		}
+		col.Add(s)
+		if tenants != nil {
+			tenants.Add(runner.Tag(f.Info.ID), s)
 		}
 	}
 	if tel != nil {
@@ -435,7 +560,7 @@ func Run(cfg Config) (*Result, error) {
 		m.Algorithm = cfg.Algorithm
 		m.Workload = cfg.Workload
 		m.Seed = cfg.Seed
-		m.Flows = len(flows)
+		m.Flows = n.Table.Len()
 		m.WallSeconds = time.Since(t0).Seconds()
 		m.FillSim(n.Now(), n.Fired())
 		m.Config = map[string]any{
@@ -457,9 +582,18 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.FBWatchdogK > 0 {
 			m.Config["fb_watchdog_k"] = cfg.FBWatchdogK
 		}
+		if sc != nil {
+			m.Config["scenario"] = sc.Name
+			m.Config["scenario_components"] = len(sc.Components())
+			m.Config["scenario_collectives"] = len(sc.Collectives)
+		}
 	}
 
-	res := &Result{Flows: len(flows), FCT: col, Trace: flows}
+	res := &Result{Flows: n.Table.Len(), FCT: col, Trace: flows}
+	if runner != nil {
+		res.Tenants = tenants
+		res.Collectives = runner.Statuses()
+	}
 	if cfg.Audit {
 		res.Audit = n.Audit().Summary()
 	}

@@ -1,0 +1,131 @@
+package mlcc
+
+import (
+	"testing"
+)
+
+// collectivePlan is the canonical collective acceptance plan sized for the
+// 8-host topology the scenario tests run on (HostsPerLeaf=2).
+func collectivePlan(t *testing.T, seed int64) *ScenarioPlan {
+	t.Helper()
+	p, err := CanonicalScenario("collective", 8, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunScenarioCollective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	res, err := Run(Config{
+		Algorithm:    "mlcc",
+		Scenario:     collectivePlan(t, 3),
+		HostsPerLeaf: 2,
+		Deadline:     100 * Millisecond,
+		Audit:        true,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Collectives) != 1 {
+		t.Fatalf("collectives: %+v", res.Collectives)
+	}
+	cs := res.Collectives[0]
+	if cs.Name != "ring" || !cs.Finished || cs.Failed || cs.PhasesDone != 4 {
+		t.Fatalf("collective did not settle cleanly: %+v", cs)
+	}
+	if cs.FinishedAt <= 0 || cs.FinishedAt > 100*Millisecond {
+		t.Fatalf("FinishedAt = %v", cs.FinishedAt)
+	}
+	// 4 phases × 8 ring flows ride on top of the open-loop background trace.
+	if want := len(res.Trace) + 32; res.Flows != want {
+		t.Fatalf("flows = %d, want %d (open loop %d + 32 ring)", res.Flows, want, len(res.Trace))
+	}
+	if res.Tenants == nil {
+		t.Fatal("scenario run returned no tenant stats")
+	}
+	if got := res.Tenants.CompletedBytes("ring"); got != 32*64<<10 {
+		t.Fatalf("ring bytes = %d, want %d", got, 32*64<<10)
+	}
+	if res.Tenants.Completed("bg") == 0 {
+		t.Fatal("background tenant completed nothing")
+	}
+	if res.Audit == "" {
+		t.Fatal("audit summary empty")
+	}
+}
+
+// TestRunScenarioShardInvariant exercises the public API's promise that
+// sharding never changes results, closed-loop collectives included.
+func TestRunScenarioShardInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	run := func(shards int) *Result {
+		res, err := Run(Config{
+			Scenario:     collectivePlan(t, 7),
+			HostsPerLeaf: 2,
+			Deadline:     100 * Millisecond,
+			Shards:       shards,
+			Seed:         7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(2)
+	if a.Flows != b.Flows || a.AvgFCT != b.AvgFCT || a.Completed != b.Completed {
+		t.Fatalf("sharded scenario diverged: %d/%v vs %d/%v", a.Flows, a.AvgFCT, b.Flows, b.AvgFCT)
+	}
+	if len(a.Collectives) != len(b.Collectives) || a.Collectives[0].FinishedAt != b.Collectives[0].FinishedAt {
+		t.Fatalf("collective timing diverged: %+v vs %+v", a.Collectives, b.Collectives)
+	}
+}
+
+// TestRunScenarioProfileLongHaul proves a plan profile reshapes the haul: a
+// cross-DC tenant under a 10 ms one-way profile cannot beat that latency.
+func TestRunScenarioProfileLongHaul(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	plan := &ScenarioPlan{
+		Seed:    5,
+		Name:    "haul",
+		Tenants: []ScenarioTenant{{Name: "bulk", Workload: "websearch", CrossLoad: 0.3, Duration: 10 * Millisecond}},
+		Profile: &ScenarioProfile{LongHaul: 10 * Millisecond},
+	}
+	res, err := Run(Config{Scenario: plan, HostsPerLeaf: 2, Deadline: 400 * Millisecond, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if res.AvgFCTCross <= 10*Millisecond {
+		t.Fatalf("cross FCT %v beat the 10 ms profile haul", res.AvgFCTCross)
+	}
+}
+
+func TestRunScenarioValidation(t *testing.T) {
+	plan := &ScenarioPlan{
+		Name:    "x",
+		Tenants: []ScenarioTenant{{Name: "t", Workload: "websearch", IntraLoad: 0.1, Duration: Millisecond}},
+	}
+	if _, err := Run(Config{Scenario: plan, Flows: []FlowSpec{{Dst: 1, Size: 1}}}); err == nil {
+		t.Fatal("Scenario+Flows accepted")
+	}
+	if _, err := Run(Config{Scenario: &ScenarioPlan{Name: "empty"}}); err == nil {
+		t.Fatal("empty plan accepted")
+	}
+	bad := &ScenarioPlan{
+		Name:        "oob",
+		Collectives: []ScenarioCollective{{Name: "c", Hosts: []int{0, 999}, Tensor: 1, Phases: 1}},
+	}
+	if _, err := Run(Config{Scenario: bad, HostsPerLeaf: 2}); err == nil {
+		t.Fatal("out-of-range placement accepted")
+	}
+}
