@@ -62,6 +62,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "mlccfig: observability server on http://%s\n", addr)
 	}
+	failed := false
 	for _, id := range ids {
 		e, ok := exp.Lookup(id)
 		if !ok {
@@ -77,6 +78,10 @@ func main() {
 		fmt.Printf("%s\n(elapsed %v)\n\n", rep, time.Since(t0).Round(time.Millisecond))
 		for _, w := range rep.Warnings {
 			fmt.Fprintf(os.Stderr, "mlccfig: %s: warning: %s\n", id, w)
+		}
+		for _, f := range rep.Failures {
+			fmt.Fprintf(os.Stderr, "mlccfig: %s: failure: %s\n", id, f)
+			failed = true
 		}
 		if srv != nil {
 			for _, m := range rep.Manifests {
@@ -95,6 +100,9 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

@@ -40,9 +40,12 @@ func main() {
 		scenIn   = flag.String("scenario", "", "run the composed scenario from this JSON plan file instead of generating traffic")
 		scenKind = flag.String("scenario-kind", "", "run a canonical acceptance scenario: "+strings.Join(mlcc.ScenarioKinds(), ", "))
 
-		faultIn  = flag.String("fault-plan", "", "inject the scripted link faults from this JSON plan file")
+		faultIn  = flag.String("fault-plan", "", "inject the scripted link/node faults from this JSON plan file")
 		wanLoss  = flag.Float64("wan-loss", 0, "Bernoulli loss probability on the long-haul link for the whole run")
-		useAudit = flag.Bool("audit", false, "enable the end-to-end conservation audit (panics on any violation)")
+		useAudit = flag.Bool("audit", false, "enable the end-to-end conservation audit (exits non-zero on any violation)")
+
+		useGuard    = flag.Bool("guard", false, "arm the runtime guard plane (PFC pause-storm watchdog, pause-cycle deadlock detector, global progress supervisor)")
+		guardStallK = flag.Int("guard-stall-k", 0, "progress-supervisor stall threshold in max-RTTs (0 = guard default; implies -guard)")
 
 		fbLoss    = flag.Float64("fb-loss", 0, "drop probability for feedback frames (ACK/CNP/Switch-INT) at every host's feedback ingress")
 		fbCorrupt = flag.Float64("fb-corrupt", 0, "INT-stack corruption probability for feedback frames at every host")
@@ -161,6 +164,9 @@ func main() {
 		}
 	}
 	cfg.FBWatchdogK = *watchdogK
+	if *useGuard || *guardStallK > 0 {
+		cfg.Guard = &mlcc.GuardConfig{StallK: *guardStallK}
+	}
 	nShards, warns, err := validateShards(*shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mlccsim:", err)
@@ -245,6 +251,10 @@ func main() {
 		fmt.Printf("aborted flows  %d\n", res.Aborted)
 		fmt.Printf("fault drops    %d\n", res.FaultDrops)
 	}
+	if res.NodeCrashes+res.NodeRestarts+res.SwitchFails+res.SwitchRecovers > 0 {
+		fmt.Printf("node faults    %d crashes, %d restarts, %d switch fails, %d recovers\n",
+			res.NodeCrashes, res.NodeRestarts, res.SwitchFails, res.SwitchRecovers)
+	}
 	if res.FBDrops > 0 || res.FBCorrupts > 0 || res.InvalidINT > 0 {
 		fmt.Printf("fb faults      %d dropped, %d corrupted, %d invalid INT discarded\n",
 			res.FBDrops, res.FBCorrupts, res.InvalidINT)
@@ -280,15 +290,42 @@ func main() {
 		}
 		fmt.Printf("fairness       %.3f (Jain, completed bytes)\n", res.Tenants.Fairness())
 	}
+	if cfg.Guard != nil {
+		fmt.Printf("guard          %d storms, %d deadlocks, %d stalls\n",
+			res.GuardStorms, res.GuardDeadlocks, res.GuardStalls)
+	}
 	if *useAudit {
-		fmt.Printf("%s\n", res.Audit)
+		if len(res.AuditProblems) > 0 {
+			fmt.Printf("audit          %d conservation problem(s)\n", len(res.AuditProblems))
+		} else {
+			fmt.Printf("%s\n", res.Audit)
+		}
 	}
 	fmt.Printf("elapsed        %v\n", time.Since(t0).Round(time.Millisecond))
+
+	// A run that finished but failed an invariant exits non-zero with one
+	// diagnostic line, so scripted callers don't have to parse the summary.
+	var failure string
+	switch {
+	case len(res.AuditProblems) > 0:
+		failure = fmt.Sprintf("audit: %d conservation problem(s), first: %s",
+			len(res.AuditProblems), res.AuditProblems[0])
+	case res.Stalled:
+		failure = "guard: run stalled: " + res.StallReason
+	case res.Aborted > 0 && cfg.Fault == nil:
+		failure = fmt.Sprintf("%d flow(s) aborted with no fault plan attached", res.Aborted)
+	}
+	if failure != "" {
+		fmt.Fprintln(os.Stderr, "mlccsim:", failure)
+	}
 	if obsSrv != nil {
 		fmt.Fprintf(os.Stderr, "mlccsim: serving final snapshot on http://%s; Ctrl-C to exit\n", obsSrv.Addr())
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)
 		<-ch
 		obsSrv.Close()
+	}
+	if failure != "" {
+		os.Exit(1)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 
 	"mlcc/internal/fault"
 	"mlcc/internal/sim"
@@ -26,11 +27,15 @@ import (
 // long-haul fiber) and the host count bounding "host<i>" feedback selectors.
 // The soak runner builds the matching network from the same descriptor, so a
 // generated plan always resolves.
+// Nodes enumerates the whole-device fault surface: names resolvable by
+// topo.NodeHooksByName ("host<i>" crash/restart targets, "leaf<i>" /
+// "spine<i>" / "dci<i>" failure/recovery targets).
 type Topo struct {
 	Name     string
 	Dumbbell bool
 	Hosts    int
 	Links    []string
+	Nodes    []string
 }
 
 // DumbbellTopo describes the §4.6 testbed dumbbell at soak scale: two hosts
@@ -46,6 +51,10 @@ func DumbbellTopo() Topo {
 			"host0", "host1", "host2", "host3",
 			"leaf0:2", "leaf1:2",
 		},
+		Nodes: []string{
+			"host0", "host1", "host2", "host3",
+			"leaf0", "leaf1", "dci0", "dci1",
+		},
 	}
 }
 
@@ -60,12 +69,18 @@ func TwoDCTopo() Topo {
 	}
 	for i := 0; i < t.Hosts; i++ {
 		t.Links = append(t.Links, fmt.Sprintf("host%d", i))
+		t.Nodes = append(t.Nodes, fmt.Sprintf("host%d", i))
 	}
 	for leaf := 0; leaf < 4; leaf++ {
 		for port := 2; port < 4; port++ {
 			t.Links = append(t.Links, fmt.Sprintf("leaf%d:%d", leaf, port))
 		}
+		t.Nodes = append(t.Nodes, fmt.Sprintf("leaf%d", leaf))
 	}
+	for spine := 0; spine < 4; spine++ {
+		t.Nodes = append(t.Nodes, fmt.Sprintf("spine%d", spine))
+	}
+	t.Nodes = append(t.Nodes, "dci0", "dci1")
 	return t
 }
 
@@ -142,6 +157,27 @@ func GeneratePlan(tp Topo, seed int64, horizon sim.Time) *fault.Plan {
 			hold = 3 * half
 		}
 		cursor[link] = at + hold + 1
+	}
+
+	// Node-fault groups: whole-device outages, always paired with recovery
+	// inside the horizon so the drain starts on a healthy topology (the soak
+	// pins "no node still down" as an invariant). Hosts crash and restart —
+	// in-flight transfers park on the acked prefix and resume — and switches
+	// fail and recover, draining their buffers to the ledger. A per-node
+	// cursor serializes groups landing on the same device.
+	ncursor := map[string]int64{}
+	for g, groups := 0, rng.Intn(3); g < groups && len(tp.Nodes) > 0; g++ {
+		node := tp.Nodes[rng.Intn(len(tp.Nodes))]
+		at := ncursor[node] + H/10 + rng.Int63n(H/2)
+		hold := 1 + rng.Int63n(H/8)
+		down, up := fault.SwitchFail, fault.SwitchRecover
+		if strings.HasPrefix(node, "host") {
+			down, up = fault.HostCrash, fault.HostRestart
+		}
+		p.Nodes = append(p.Nodes,
+			fault.NodeEvent{At: us(at), Node: node, Action: down},
+			fault.NodeEvent{At: us(at + hold), Node: node, Action: up})
+		ncursor[node] = at + hold + 1
 	}
 
 	// Bernoulli loss rules: small probabilities (heavy loss is what the

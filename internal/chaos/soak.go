@@ -137,6 +137,10 @@ func runCellShards(c Cell, plan *fault.Plan, shards int) runOutcome {
 		{"feedback drops", inj.FeedbackDropped()},
 		{"feedback delays", inj.FeedbackDelayed()},
 		{"feedback corruptions", inj.FeedbackCorrupted()},
+		{"node crashes", inj.NodeCrashes()},
+		{"node restarts", inj.NodeRestarts()},
+		{"switch fails", inj.SwitchFails()},
+		{"switch recovers", inj.SwitchRecovers()},
 	}
 	for _, ctr := range counters {
 		if ctr.v < 0 {
@@ -154,6 +158,52 @@ func runCellShards(c Cell, plan *fault.Plan, shards int) runOutcome {
 			if inj.Down(ls.Link) {
 				bad("link %q still down after its recovery event", ls.Link)
 			}
+		}
+	}
+
+	// Node faults: every scheduled event fired (the horizon ends well before
+	// the drain), and — because the generator pairs every outage with a
+	// recovery — no device is still down at run end.
+	var planCrash, planRestart, planFail, planRecover int64
+	for _, ne := range plan.Nodes {
+		switch ne.Action {
+		case fault.HostCrash:
+			planCrash++
+		case fault.HostRestart:
+			planRestart++
+		case fault.SwitchFail:
+			planFail++
+		case fault.SwitchRecover:
+			planRecover++
+		}
+	}
+	if inj.NodeCrashes() != planCrash || inj.NodeRestarts() != planRestart ||
+		inj.SwitchFails() != planFail || inj.SwitchRecovers() != planRecover {
+		bad("node-fault counters (%d,%d,%d,%d) != plan (%d,%d,%d,%d)",
+			inj.NodeCrashes(), inj.NodeRestarts(), inj.SwitchFails(), inj.SwitchRecovers(),
+			planCrash, planRestart, planFail, planRecover)
+	}
+	for i, h := range n.Hosts {
+		if h.Crashed() {
+			bad("host%d still crashed after its restart event", i)
+		}
+		if h.ParkedFlows() != 0 {
+			bad("host%d still has %d parked flows after restart", i, h.ParkedFlows())
+		}
+	}
+	for i, sw := range n.Leaves {
+		if sw.Failed() {
+			bad("leaf%d still failed after its recovery event", i)
+		}
+	}
+	for i, sw := range n.Spines {
+		if sw.Failed() {
+			bad("spine%d still failed after its recovery event", i)
+		}
+	}
+	for i, d := range n.DCIs {
+		if d.Failed() {
+			bad("dci%d still failed after its recovery event", i)
 		}
 	}
 
@@ -234,6 +284,10 @@ func cellDigest(n *topo.Network) uint64 {
 	d.add(uint64(inj.FeedbackDropped()))
 	d.add(uint64(inj.FeedbackDelayed()))
 	d.add(uint64(inj.FeedbackCorrupted()))
+	d.add(uint64(inj.NodeCrashes()))
+	d.add(uint64(inj.NodeRestarts()))
+	d.add(uint64(inj.SwitchFails()))
+	d.add(uint64(inj.SwitchRecovers()))
 	return d.sum()
 }
 

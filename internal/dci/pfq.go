@@ -55,6 +55,27 @@ func (d *PFQDisc) Enqueue(p *pkt.Packet) {
 // DataBytes implements fabric.Discipline.
 func (d *PFQDisc) DataBytes() int64 { return d.dataBytes }
 
+// Drain implements fabric.Discipline: the control FIFO and every per-flow
+// queue empty into drop, the per-flow queues deallocate (switch-level PFQ
+// registrations included), and the pacing wake-up cancels — after a switch
+// failure the discipline is indistinguishable from a freshly built one.
+func (d *PFQDisc) Drain(drop func(p *pkt.Packet)) {
+	for p := d.ctl.Pop(); p != nil; p = d.ctl.Pop() {
+		drop(p)
+	}
+	for _, f := range d.flows {
+		for p := f.q.Pop(); p != nil; p = f.q.Pop() {
+			drop(p)
+		}
+		delete(d.sw.pfq, f.id)
+	}
+	d.flows = d.flows[:0]
+	d.rr = 0
+	d.dataBytes = 0
+	d.wakeEv.Cancel()
+	d.wakeAt = 0
+}
+
 // Next implements link.Source.
 func (d *PFQDisc) Next(paused *[pkt.NumClasses]bool) *pkt.Packet {
 	if !paused[pkt.ClassControl] {

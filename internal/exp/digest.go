@@ -6,6 +6,7 @@ import (
 
 	"mlcc/internal/audit"
 	"mlcc/internal/fault"
+	"mlcc/internal/guard"
 	"mlcc/internal/metrics"
 	"mlcc/internal/pkt"
 	"mlcc/internal/sim"
@@ -65,6 +66,16 @@ func DeterminismDigestAudit(alg string, seed int64) (uint64, []string) {
 		after: func(n *topo.Network) { probs = n.AuditProblems() },
 	})
 	return d, probs
+}
+
+// DeterminismDigestGuard is DeterminismDigest built with the guard plane
+// armed at the given configuration and shard count. The guard is strictly
+// read-only and ticks only at quiescent points, so an armed-but-untriggered
+// plane — and even a triggered storm or deadlock detector, which merely
+// records and reports — must leave the digest byte-identical to the unguarded
+// run (only a stall's requested halt legitimately changes the outcome).
+func DeterminismDigestGuard(alg string, seed int64, gc *guard.Config, shards int, dumbbell bool) uint64 {
+	return determinismDigest(alg, seed, nil, nil, &hooks{guard: gc, shards: shards, dumbbell: dumbbell})
 }
 
 // DeterminismDigestShards is DeterminismDigest built with the given shard
@@ -144,6 +155,7 @@ func foldSeries(tel *metrics.Telemetry) uint64 {
 // without growing its signature for every caller.
 type hooks struct {
 	audit    *audit.Ledger
+	guard    *guard.Config
 	shards   int
 	dumbbell bool
 	resort   bool // explicitly re-sort the generated flows before registering
@@ -166,6 +178,7 @@ func determinismDigest(alg string, seed int64, tel *metrics.Telemetry, plan *fau
 	dumbbell := false
 	if hk != nil {
 		p.Audit = hk.audit
+		p.Guard = hk.guard
 		p.Shards = hk.shards
 		dumbbell = hk.dumbbell
 	}

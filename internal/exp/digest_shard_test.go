@@ -126,6 +126,47 @@ func TestShardDigestFaultPlans(t *testing.T) {
 	}
 }
 
+// TestShardDigestNodeFaults extends shard parity to node-level faults: a plan
+// that crashes and restarts a host mid-run and fails/recovers the sender-side
+// DCI switch must produce byte-identical digests at shards=1 and shards=2 for
+// every algorithm, on both topologies. The DCI failure is the interesting
+// case — on a sharded build its long-haul port's remote end lives on the peer
+// engine, so the cut and the restore fire through a second hook at the same
+// absolute times the single-engine build uses. The plan must also move the
+// TwoDC digest off the fault-free golden, proving the node events fired.
+func TestShardDigestNodeFaults(t *testing.T) {
+	plan := &fault.Plan{
+		Seed: 79,
+		Nodes: []fault.NodeEvent{
+			{At: 3 * sim.Millisecond, Node: "host0", Action: fault.HostCrash},
+			{At: 6 * sim.Millisecond, Node: "host0", Action: fault.HostRestart},
+			{At: 8 * sim.Millisecond, Node: "dci0", Action: fault.SwitchFail},
+			{At: 9 * sim.Millisecond, Node: "dci0", Action: fault.SwitchRecover},
+		},
+	}
+	for _, alg := range shardTestAlgs(t) {
+		for _, dumbbell := range []bool{true, false} {
+			alg, dumbbell := alg, dumbbell
+			topoName := "twodc"
+			if dumbbell {
+				topoName = "dumbbell"
+			}
+			t.Run(fmt.Sprintf("%s/%s", alg, topoName), func(t *testing.T) {
+				t.Parallel()
+				single := DeterminismDigestPlanShards(alg, 1, plan, 1, dumbbell)
+				sharded := DeterminismDigestPlanShards(alg, 1, plan, 2, dumbbell)
+				if single != sharded {
+					t.Errorf("node-fault plan: shards=2 digest %#016x != shards=1 digest %#016x",
+						sharded, single)
+				}
+				if !dumbbell && single == goldenDigests[alg] {
+					t.Errorf("active node-fault plan left the digest at the fault-free golden %#016x", single)
+				}
+			})
+		}
+	}
+}
+
 // TestShardDigestTelemetry proves every telemetry plane survives sharding:
 // with the flight recorder, time-series sampling (SampleAll) and per-flow
 // gauges all active, (a) the sharded digest must stay byte-identical to the

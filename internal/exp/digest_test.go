@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mlcc/internal/fault"
+	"mlcc/internal/guard"
 	"mlcc/internal/metrics"
 	"mlcc/internal/sim"
 )
@@ -180,6 +181,40 @@ func TestDigestFeedbackPlanStable(t *testing.T) {
 	}
 	if a == goldenDigests["hpcc"] {
 		t.Errorf("active feedback plan left the digest at the fault-free golden %#016x", a)
+	}
+}
+
+// TestDigestGuardInvariant proves the guard plane is behaviour-free: running
+// with the storm watchdog, deadlock detector and progress supervisor all
+// armed (default configuration, scaled by the cross-DC RTT) must reproduce
+// the golden digest bit for bit. The plane reads only at quiescent points and
+// schedules nothing, so both the guard-off run and the armed-but-untriggered
+// run execute the identical event sequence. The aggressive variant arms a
+// hair-trigger storm window on top — even a *detected* storm only records
+// and reports, so it too must stay golden.
+func TestDigestGuardInvariant(t *testing.T) {
+	configs := map[string]*guard.Config{
+		"defaults": {},
+		"aggressive": {
+			Every:       50 * sim.Microsecond,
+			StormWindow: 500 * sim.Microsecond,
+			StormFrac:   0.05,
+		},
+	}
+	algs := []string{"mlcc", "dcqcn"}
+	if !testing.Short() {
+		algs = append(algs, "timely", "hpcc", "powertcp")
+	}
+	for name, gc := range configs {
+		for _, alg := range algs {
+			name, gc, alg := name, gc, alg
+			t.Run(name+"/"+alg, func(t *testing.T) {
+				t.Parallel()
+				if got, want := DeterminismDigestGuard(alg, 1, gc, 1, false), goldenDigests[alg]; got != want {
+					t.Errorf("digest with %s guard = %#016x, want golden %#016x", name, got, want)
+				}
+			})
+		}
 	}
 }
 

@@ -135,11 +135,23 @@ type Report struct {
 	// multi-shard build falling back to one engine. cmd/mlccfig prints them
 	// to stderr, mirroring mlccsim's behaviour for the same conditions.
 	Warnings []string
+
+	// Failures lists hard problems a figure's runs hit — audit books that
+	// did not close, guard-plane stall aborts, unexpected flow aborts.
+	// Unlike Warnings these fail the invocation: cmd/mlccfig prints each
+	// and exits non-zero.
+	Failures []string
 }
 
 // AddNote appends a free-form observation line.
 func (r *Report) AddNote(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddFailure appends a failure line; any failure makes cmd/mlccfig exit
+// non-zero after printing the report.
+func (r *Report) AddFailure(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
 }
 
 // AddWarning appends a warning line, skipping empties and duplicates (the

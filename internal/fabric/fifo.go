@@ -30,6 +30,16 @@ func (f *FIFO) Next(paused *[pkt.NumClasses]bool) *pkt.Packet {
 // DataBytes implements Discipline.
 func (f *FIFO) DataBytes() int64 { return f.q[pkt.ClassData].Bytes() }
 
+// Drain implements Discipline: every queued frame of every class is handed
+// to drop, which takes ownership.
+func (f *FIFO) Drain(drop func(p *pkt.Packet)) {
+	for class := range f.q {
+		for p := f.q[class].Pop(); p != nil; p = f.q[class].Pop() {
+			drop(p)
+		}
+	}
+}
+
 // ControlLen reports queued control frames (for tests).
 func (f *FIFO) ControlLen() int { return f.q[pkt.ClassControl].Len() }
 

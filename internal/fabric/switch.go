@@ -57,6 +57,11 @@ type Discipline interface {
 	Enqueue(p *pkt.Packet)
 	// DataBytes reports the queued data-class backlog in bytes.
 	DataBytes() int64
+	// Drain empties every queue, passing each frame to drop (which takes
+	// ownership) and resetting all internal scheduling state — switch failure
+	// uses it to destroy buffered frames pool-clean, bypassing the dequeue
+	// accounting path.
+	Drain(drop func(p *pkt.Packet))
 }
 
 // Switch is a store-and-forward output-queued switch.
@@ -81,12 +86,17 @@ type Switch struct {
 	aud *audit.Ledger
 	pfc []PFCPortStat // per ingress port
 
+	failed bool // device powered off by a node fault
+
 	// Statistics.
 	Drops      int64 // data packets dropped at admission
 	Marked     int64 // CE marks applied
 	PFCPauses  int64 // pause events generated (Xoff crossings)
 	PFCResumes int64
 	RxData     int64 // data packets received
+	Fails      int64 // node-fault failure events applied
+	Recovers   int64 // node-fault recovery events applied
+	Drained    int64 // frames destroyed from egress queues by Fail
 }
 
 // PFCPortStat accounts PFC activity toward one upstream: pause/resume events
@@ -166,6 +176,9 @@ func (s *Switch) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.CounterFunc(prefix+".ecn_marked", func() int64 { return s.Marked })
 	reg.CounterFunc(prefix+".pfc_pauses", func() int64 { return s.PFCPauses })
 	reg.CounterFunc(prefix+".pfc_resumes", func() int64 { return s.PFCResumes })
+	reg.CounterFunc(prefix+".fails", func() int64 { return s.Fails })
+	reg.CounterFunc(prefix+".recovers", func() int64 { return s.Recovers })
+	reg.CounterFunc(prefix+".drained_pkts", func() int64 { return s.Drained })
 	reg.GaugeFunc(prefix+".buffer_bytes", func() float64 { return float64(s.bufferUsed) })
 	for i := range s.ports {
 		i := i
@@ -363,6 +376,65 @@ func (s *Switch) afterDequeue(p *pkt.Packet, out int) {
 		})
 	}
 }
+
+// Fail powers the switch off. Every egress queue drains pool-clean — each
+// buffered frame is reported to the audit ledger as a fault drop (it is
+// already past the inbound link's Rx accounting, so this is the fate that
+// balances its flow's books) and returned to the pool, bypassing the dequeue
+// path so a dead switch emits no Xon frames. Every attached port is cut in
+// both directions (cross-shard peer ends are cut by the fault layer's peer-
+// engine hook at the same absolute time). Shared-buffer and per-ingress PFC
+// accounting reset wholesale; open pause intervals fold into PausedTotal
+// without counting a resume — no Resume frame was ever sent. Idempotent.
+func (s *Switch) Fail() {
+	if s.failed {
+		return
+	}
+	s.failed = true
+	s.Fails++
+	for i, p := range s.ports {
+		s.disc[i].Drain(func(q *pkt.Packet) {
+			s.Drained++
+			s.aud.OnFaultDrop(q, false)
+			s.Pool.Put(q)
+		})
+		p.SetDown(true)
+		if peer := p.Peer(); peer != nil && !p.Cross() {
+			peer.SetDown(true)
+		}
+	}
+	s.bufferUsed = 0
+	now := s.Eng.Now()
+	for i := range s.ingressBytes {
+		s.ingressBytes[i] = 0
+		if s.ingressPause[i] {
+			s.ingressPause[i] = false
+			st := &s.pfc[i]
+			st.PausedTotal += now - st.pausedAt
+		}
+	}
+}
+
+// Recover powers a failed switch back on: every attached port comes up in
+// both directions (restoring a port kicks its transmitter). The switch
+// restarts empty — buffers, PFC state and queues were cleared at Fail.
+// Idempotent.
+func (s *Switch) Recover() {
+	if !s.failed {
+		return
+	}
+	s.failed = false
+	s.Recovers++
+	for _, p := range s.ports {
+		p.SetDown(false)
+		if peer := p.Peer(); peer != nil && !p.Cross() {
+			peer.SetDown(false)
+		}
+	}
+}
+
+// Failed reports whether the switch is currently powered off.
+func (s *Switch) Failed() bool { return s.failed }
 
 // violatef reports a broken conservation invariant: the flight recorder's
 // last events are replayed (when one is attached) and the simulation panics.

@@ -149,6 +149,45 @@ func (r *FeedbackRule) vacuous() bool {
 	return r.Drop <= 0 && r.Corrupt <= 0 && r.Delay <= 0 && r.Jitter <= 0
 }
 
+// NodeAction is the kind of one scripted node-level fault event.
+type NodeAction uint8
+
+// Node actions. Crash/Restart apply to hosts; Fail/Recover to switches —
+// the resolver rejects a mismatched pairing at apply time, the same place an
+// unresolvable name surfaces.
+const (
+	HostCrash     NodeAction = iota // NIC link cut, go-back-N state torn down, flows park
+	HostRestart                     // NIC link restored, parked flows rebuilt and resumed
+	SwitchFail                      // every attached port cut, queued frames destroyed, PFC folded
+	SwitchRecover                   // every attached port restored
+	numNodeActions
+)
+
+// String names the node action using the JSON plan vocabulary.
+func (a NodeAction) String() string {
+	switch a {
+	case HostCrash:
+		return "crash"
+	case HostRestart:
+		return "restart"
+	case SwitchFail:
+		return "fail"
+	case SwitchRecover:
+		return "recover"
+	default:
+		return fmt.Sprintf("node-action(%d)", uint8(a))
+	}
+}
+
+// NodeEvent is one scripted node-level fault at an absolute simulation time.
+// Node names use the topology vocabulary: "host<i>", "leaf<i>", "spine<i>",
+// "dci<i>".
+type NodeEvent struct {
+	At     sim.Time
+	Node   string
+	Action NodeAction
+}
+
 // Plan is a complete fault schedule. The zero value (and nil) is the empty
 // plan: applying it installs nothing and perturbs nothing.
 type Plan struct {
@@ -158,11 +197,18 @@ type Plan struct {
 	Events   []Event
 	Loss     []LossRule
 	Feedback []FeedbackRule
+	Nodes    []NodeEvent
 }
 
 // Empty reports whether the plan (possibly nil) schedules nothing.
 func (p *Plan) Empty() bool {
-	return p == nil || (len(p.Events) == 0 && len(p.Loss) == 0 && len(p.Feedback) == 0)
+	return p == nil || (len(p.Events) == 0 && len(p.Loss) == 0 &&
+		len(p.Feedback) == 0 && len(p.Nodes) == 0)
+}
+
+// HasNodes reports whether the plan (possibly nil) carries node-level events.
+func (p *Plan) HasNodes() bool {
+	return p != nil && len(p.Nodes) > 0
 }
 
 // HasFeedback reports whether the plan (possibly nil) carries feedback-plane
@@ -230,6 +276,17 @@ func (p *Plan) Validate() error {
 		}
 		if r.Start < 0 || (r.End != 0 && r.End <= r.Start) {
 			return fmt.Errorf("fault: feedback rule %d (%s): bad window [%v, %v)", i, r.Host, r.Start, r.End)
+		}
+	}
+	for i, ev := range p.Nodes {
+		if ev.Node == "" {
+			return fmt.Errorf("fault: node event %d: empty node name", i)
+		}
+		if ev.At < 0 {
+			return fmt.Errorf("fault: node event %d (%s %s): negative time %v", i, ev.Node, ev.Action, ev.At)
+		}
+		if ev.Action >= numNodeActions {
+			return fmt.Errorf("fault: node event %d (%s): unknown action %d", i, ev.Node, ev.Action)
 		}
 	}
 	return nil

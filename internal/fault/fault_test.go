@@ -113,7 +113,7 @@ func TestApplyEmptyPlanInstallsNothing(t *testing.T) {
 	resolved := false
 	spy := func(name string) (Link, error) { resolved = true; return r.resolve(name) }
 	for _, plan := range []*Plan{nil, {}, {Seed: 9}} {
-		inj, err := Apply(plan, spy, []*sim.Engine{r.eng}, nil)
+		inj, err := Apply(plan, spy, nil, []*sim.Engine{r.eng}, nil)
 		if err != nil || inj != nil {
 			t.Fatalf("Apply(%+v) = (%v, %v), want (nil, nil)", plan, inj, err)
 		}
@@ -135,7 +135,7 @@ func TestBernoulliLossWindow(t *testing.T) {
 		Seed: 11,
 		Loss: []LossRule{{Link: "wan", Prob: 0.5, Start: 100 * sim.Microsecond, End: sim.Second}},
 	}
-	inj, err := Apply(plan, r.resolve, []*sim.Engine{r.eng}, nil)
+	inj, err := Apply(plan, r.resolve, nil, []*sim.Engine{r.eng}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestBernoulliLossWindow(t *testing.T) {
 func TestCorruptionSparesControlFrames(t *testing.T) {
 	r := newRig(t)
 	plan := &Plan{Seed: 1, Loss: []LossRule{{Link: "wan", Prob: 0.999}}}
-	if _, err := Apply(plan, r.resolve, []*sim.Engine{r.eng}, nil); err != nil {
+	if _, err := Apply(plan, r.resolve, nil, []*sim.Engine{r.eng}, nil); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 100; i++ {
@@ -191,7 +191,7 @@ func TestLossStreamDeterminism(t *testing.T) {
 	run := func(seed int64) []int64 {
 		r := newRig(t)
 		plan := &Plan{Seed: seed, Loss: []LossRule{{Link: "wan", Prob: 0.5}}}
-		if _, err := Apply(plan, r.resolve, []*sim.Engine{r.eng}, nil); err != nil {
+		if _, err := Apply(plan, r.resolve, nil, []*sim.Engine{r.eng}, nil); err != nil {
 			t.Fatal(err)
 		}
 		r.sendAt(0, 0, 1000)
@@ -237,7 +237,7 @@ func TestScriptedEventsAndTelemetry(t *testing.T) {
 			{At: 60 * sim.Microsecond, Link: "wan", Action: Restore},
 		},
 	}
-	inj, err := Apply(plan, r.resolve, []*sim.Engine{r.eng}, tel)
+	inj, err := Apply(plan, r.resolve, nil, []*sim.Engine{r.eng}, tel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +302,7 @@ func TestApplyUnknownLink(t *testing.T) {
 		return Link{}, &unknownLinkError{name}
 	}
 	plan := &Plan{Events: []Event{{At: 1, Link: "nope", Action: LinkDown}}}
-	if _, err := Apply(plan, bad, []*sim.Engine{r.eng}, nil); err == nil || !strings.Contains(err.Error(), "nope") {
+	if _, err := Apply(plan, bad, nil, []*sim.Engine{r.eng}, nil); err == nil || !strings.Contains(err.Error(), "nope") {
 		t.Fatalf("Apply with unknown link: err = %v", err)
 	}
 }
@@ -345,7 +345,7 @@ func TestPerShardCounterAggregationRace(t *testing.T) {
 			{Link: "l1", Prob: 0.5, Start: 100 * sim.Microsecond},
 		},
 	}
-	inj, err := Apply(plan, resolve, []*sim.Engine{r0.eng, r1.eng}, nil)
+	inj, err := Apply(plan, resolve, nil, []*sim.Engine{r0.eng, r1.eng}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -416,7 +416,7 @@ func TestShardStreamIndependence(t *testing.T) {
 	run := func(reverse int) []int64 {
 		r := newRig(t)
 		plan := &Plan{Seed: 33, Loss: []LossRule{{Link: "wan", Prob: 0.5}}}
-		if _, err := Apply(plan, r.resolve, []*sim.Engine{r.eng}, nil); err != nil {
+		if _, err := Apply(plan, r.resolve, nil, []*sim.Engine{r.eng}, nil); err != nil {
 			t.Fatal(err)
 		}
 		// Reverse-direction traffic interleaved with the forward sends.

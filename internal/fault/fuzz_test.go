@@ -22,6 +22,9 @@ func FuzzFaultPlanJSON(f *testing.F) {
 	f.Add([]byte(`{"feedback":[{"host":"*","kinds":["ack","cnp"],"drop":0.3,"delay_us":100,"jitter_us":50,"corrupt":0.1,"modes":["truncate","stale_ts"],"start_us":5000,"end_us":10000}]}`))
 	f.Add([]byte(`{"feedback":[{"host":"host0","drop":1}]}`))
 	f.Add([]byte(`{"feedback":[{"host":"hostX","drop":0.5}]}`))
+	f.Add([]byte(`{"nodes":[{"at_us":3000,"node":"host0","action":"crash"},{"at_us":6000,"node":"host0","action":"restart"}]}`))
+	f.Add([]byte(`{"nodes":[{"at_us":8000,"node":"dci0","action":"fail"},{"at_us":9000,"node":"dci0","action":"recover"}]}`))
+	f.Add([]byte(`{"nodes":[{"at_us":1,"node":"leaf3","action":"reboot"}]}`))
 	f.Add([]byte(`{}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := ReadPlan(bytes.NewReader(data))
@@ -40,7 +43,7 @@ func FuzzFaultPlanJSON(f *testing.F) {
 			t.Fatalf("round trip rejected its own output: %v\n%s", err, buf.Bytes())
 		}
 		if p2.Seed != p.Seed || len(p2.Events) != len(p.Events) || len(p2.Loss) != len(p.Loss) ||
-			len(p2.Feedback) != len(p.Feedback) {
+			len(p2.Feedback) != len(p.Feedback) || len(p2.Nodes) != len(p.Nodes) {
 			t.Fatalf("round trip changed shape: %+v vs %+v", p, p2)
 		}
 		// Microsecond fields pass through float64: exact below ~2^51 ps,
@@ -68,6 +71,15 @@ func FuzzFaultPlanJSON(f *testing.F) {
 			}
 			if !timeClose(a.Start, b.Start) || !timeClose(a.End, b.End) {
 				t.Fatalf("loss rule %d window drifted: %+v vs %+v", i, a, b)
+			}
+		}
+		for i := range p.Nodes {
+			a, b := p.Nodes[i], p2.Nodes[i]
+			if a.Node != b.Node || a.Action != b.Action {
+				t.Fatalf("node event %d changed in round trip: %+v vs %+v", i, a, b)
+			}
+			if !timeClose(a.At, b.At) {
+				t.Fatalf("node event %d time drifted: %+v vs %+v", i, a, b)
 			}
 		}
 		for i := range p.Feedback {

@@ -40,6 +40,7 @@ type Injector struct {
 
 	links  []*linkState // resolution order — plan order, never map order
 	byName map[string]*linkState
+	nodes  map[string]*NodeHooks
 
 	shards []*shardState
 	byEng  map[*sim.Engine]*shardState
@@ -66,6 +67,12 @@ type shardState struct {
 	fbDrops    int64 // feedback frames destroyed at host ingress
 	fbDelays   int64 // feedback frames deferred
 	fbCorrupts int64 // INT stacks corrupted
+
+	// Node-plane counters (registered as fault.node.*).
+	nodeCrashes    int64
+	nodeRestarts   int64
+	switchFails    int64
+	switchRecovers int64
 }
 
 // linkState is one managed link; dirs[0] transmits from port A, dirs[1]
@@ -96,14 +103,16 @@ type ruleState struct {
 	drops int64
 }
 
-// Apply validates plan, resolves its links and installs it: every scripted
-// event is scheduled per direction on the engine owning that direction's
-// port (a long-haul event fires on both shards at the same absolute time),
-// and loss rules become per-direction port fault hooks. engines lists the
-// build's engines (length 1 on single-engine builds); every resolved port
-// must live on one of them. tel may be nil. Applying an empty plan returns
+// Apply validates plan, resolves its links and nodes and installs it: every
+// scripted link event is scheduled per direction on the engine owning that
+// direction's port (a long-haul event fires on both shards at the same
+// absolute time), node events are scheduled per engine slice the node
+// resolver reports, and loss rules become per-direction port fault hooks.
+// engines lists the build's engines (length 1 on single-engine builds); every
+// resolved port must live on one of them. resolveNode may be nil when the
+// plan has no node events; tel may be nil. Applying an empty plan returns
 // (nil, nil) and leaves the network untouched.
-func Apply(plan *Plan, resolve Resolver, engines []*sim.Engine, tel *metrics.Telemetry) (*Injector, error) {
+func Apply(plan *Plan, resolve Resolver, resolveNode NodeResolver, engines []*sim.Engine, tel *metrics.Telemetry) (*Injector, error) {
 	if plan.Empty() {
 		return nil, nil
 	}
@@ -115,6 +124,7 @@ func Apply(plan *Plan, resolve Resolver, engines []*sim.Engine, tel *metrics.Tel
 	}
 	inj := &Injector{plan: plan,
 		byName:    map[string]*linkState{},
+		nodes:     map[string]*NodeHooks{},
 		byEng:     map[*sim.Engine]*shardState{},
 		fbMatched: make([]bool, len(plan.Feedback)),
 	}
@@ -171,6 +181,9 @@ func Apply(plan *Plan, resolve Resolver, engines []*sim.Engine, tel *metrics.Tel
 			d := d
 			ls.dirs[d].port.Eng.At(ev.At, func() { inj.fire(ls, d, ev) })
 		}
+	}
+	if err := inj.applyNodes(resolveNode); err != nil {
+		return nil, err
 	}
 	for i := range plan.Loss {
 		r := plan.Loss[i]
@@ -309,6 +322,12 @@ func (inj *Injector) register(reg *metrics.Registry) {
 		reg.CounterFunc("fault.fb.drops", func() int64 { return inj.FeedbackDropped() })
 		reg.CounterFunc("fault.fb.delays", func() int64 { return inj.FeedbackDelayed() })
 		reg.CounterFunc("fault.fb.corrupts", func() int64 { return inj.FeedbackCorrupted() })
+	}
+	if len(inj.plan.Nodes) > 0 {
+		reg.CounterFunc("fault.node.crashes", func() int64 { return inj.NodeCrashes() })
+		reg.CounterFunc("fault.node.restarts", func() int64 { return inj.NodeRestarts() })
+		reg.CounterFunc("fault.node.switch_fails", func() int64 { return inj.SwitchFails() })
+		reg.CounterFunc("fault.node.switch_recovers", func() int64 { return inj.SwitchRecovers() })
 	}
 	for _, ls := range inj.links {
 		ls := ls

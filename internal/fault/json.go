@@ -29,18 +29,33 @@ import (
 //	     "delay_us": 100, "jitter_us": 50, "corrupt": 0.1,
 //	     "modes": ["truncate", "stale_ts", "garbage"],
 //	     "start_us": 5000, "end_us": 10000}
+//	  ],
+//	  "nodes": [
+//	    {"at_us": 12000, "node": "host1", "action": "crash"},
+//	    {"at_us": 18000, "node": "host1", "action": "restart"},
+//	    {"at_us": 24000, "node": "dci0", "action": "fail"},
+//	    {"at_us": 30000, "node": "dci0", "action": "recover"}
 //	  ]
 //	}
 //
 // Link names are resolved by the topology (topo.Network.LinkByName):
 // "longhaul", "host<i>", "leaf<i>:<p>", "spine<i>:<p>", "dci<i>:<p>".
 // Feedback rules select hosts ("*" or "host<i>"); empty "kinds"/"modes"
-// means all.
+// means all. Node names resolve whole devices ("host<i>", "leaf<i>",
+// "spine<i>", "dci<i>"); crash/restart apply to hosts, fail/recover to
+// switches.
 type jsonPlan struct {
 	Seed     int64          `json:"seed,omitempty"`
 	Events   []jsonEvent    `json:"events,omitempty"`
 	Loss     []jsonLoss     `json:"loss,omitempty"`
 	Feedback []jsonFeedback `json:"feedback,omitempty"`
+	Nodes    []jsonNode     `json:"nodes,omitempty"`
+}
+
+type jsonNode struct {
+	AtUS   float64 `json:"at_us"`
+	Node   string  `json:"node"`
+	Action string  `json:"action"`
 }
 
 type jsonEvent struct {
@@ -211,6 +226,25 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 		}
 		p.Feedback = append(p.Feedback, r)
 	}
+	for i, jn := range jp.Nodes {
+		if err := checkUS("node event", i, jn.AtUS); err != nil {
+			return nil, err
+		}
+		ev := NodeEvent{At: usTime(jn.AtUS), Node: jn.Node}
+		switch jn.Action {
+		case "crash":
+			ev.Action = HostCrash
+		case "restart":
+			ev.Action = HostRestart
+		case "fail":
+			ev.Action = SwitchFail
+		case "recover":
+			ev.Action = SwitchRecover
+		default:
+			return nil, fmt.Errorf("fault: node event %d: unknown action %q (want crash|restart|fail|recover)", i, jn.Action)
+		}
+		p.Nodes = append(p.Nodes, ev)
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -260,6 +294,13 @@ func WritePlan(w io.Writer, p *Plan) error {
 			}
 		}
 		jp.Feedback = append(jp.Feedback, jf)
+	}
+	for _, ev := range p.Nodes {
+		jp.Nodes = append(jp.Nodes, jsonNode{
+			AtUS:   ev.At.Micros(),
+			Node:   ev.Node,
+			Action: ev.Action.String(),
+		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,151 @@
+package fault
+
+import (
+	"fmt"
+
+	"mlcc/internal/metrics"
+	"mlcc/internal/sim"
+)
+
+// NodeKind classifies a resolved node for action/type checking: crash/restart
+// apply to hosts, fail/recover to switches.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	NodeHost NodeKind = iota
+	NodeSwitch
+)
+
+// String names the kind for diagnostics.
+func (k NodeKind) String() string {
+	if k == NodeHost {
+		return "host"
+	}
+	return "switch"
+}
+
+// NodeHooks is one resolvable node's fault surface. Apply[i] runs on engine
+// Engs[i] at each of the node's event times; index 0 is the node's home
+// engine and carries the counters and the EvNodeState flight-recorder event.
+// A node whose failure must be observed by a peer engine (a DCI switch whose
+// long-haul cable crosses the shard boundary) lists that engine too, with an
+// Apply closure that cuts/restores the remote cable end at the same absolute
+// time — the same per-direction ownership scheme scripted link events use.
+// Resolvers must report the same hook count on every shard layout (extra
+// hooks degenerate to idempotent no-ops on a single engine): the digest folds
+// the fired-event count, so the schedule has to be layout-invariant.
+type NodeHooks struct {
+	ID    int32 // topology node id, for flight-recorder attribution
+	Kind  NodeKind
+	Engs  []*sim.Engine
+	Apply []func(act NodeAction)
+}
+
+// NodeResolver maps a plan's symbolic node names ("host<i>", "leaf<i>",
+// "spine<i>", "dci<i>") onto built devices; topologies provide one
+// (topo.Network.NodeHooksByName).
+type NodeResolver func(name string) (*NodeHooks, error)
+
+// applyNodes resolves and schedules the plan's node events. Resolution is
+// memoized in plan order so scheduling never depends on map iteration;
+// build-time scheduling gives the events minimal insertion sequence numbers
+// on every engine, the property the shard-digest tests rely on.
+func (inj *Injector) applyNodes(resolveNode NodeResolver) error {
+	if len(inj.plan.Nodes) == 0 {
+		return nil
+	}
+	if resolveNode == nil {
+		return fmt.Errorf("fault: plan has node events but no node resolver")
+	}
+	for i := range inj.plan.Nodes {
+		ev := inj.plan.Nodes[i]
+		nh, ok := inj.nodes[ev.Node]
+		if !ok {
+			var err error
+			nh, err = resolveNode(ev.Node)
+			if err != nil {
+				return fmt.Errorf("fault: node event %d: %w", i, err)
+			}
+			if len(nh.Engs) == 0 || len(nh.Engs) != len(nh.Apply) {
+				return fmt.Errorf("fault: node %q resolved with mismatched engine/apply lists", ev.Node)
+			}
+			inj.nodes[ev.Node] = nh
+		}
+		hostAct := ev.Action == HostCrash || ev.Action == HostRestart
+		if hostAct != (nh.Kind == NodeHost) {
+			return fmt.Errorf("fault: node event %d: action %q does not apply to %s %q",
+				i, ev.Action, nh.Kind, ev.Node)
+		}
+		for e := range nh.Engs {
+			sc, ok := inj.byEng[nh.Engs[e]]
+			if !ok {
+				return fmt.Errorf("fault: node %q engine %d is outside the build", ev.Node, e)
+			}
+			e := e
+			ev := ev
+			nh.Engs[e].At(ev.At, func() { inj.fireNode(sc, nh, e, ev) })
+		}
+	}
+	return nil
+}
+
+// fireNode executes one node event's slice on one engine. The home engine
+// (index 0) carries the counters and the flight-recorder record so a
+// multi-engine event is counted once.
+func (inj *Injector) fireNode(sc *shardState, nh *NodeHooks, e int, ev NodeEvent) {
+	nh.Apply[e](ev.Action)
+	if e != 0 {
+		return
+	}
+	switch ev.Action {
+	case HostCrash:
+		sc.nodeCrashes++
+	case HostRestart:
+		sc.nodeRestarts++
+	case SwitchFail:
+		sc.switchFails++
+	case SwitchRecover:
+		sc.switchRecovers++
+	}
+	if sc.fr.Wants(metrics.EvNodeState) {
+		sc.fr.Record(metrics.Event{T: sc.eng.Now(), Kind: metrics.EvNodeState,
+			Node: nh.ID, Port: -1, Val: int64(ev.Action)})
+	}
+}
+
+// NodeCrashes reports scripted host-crash events fired. Nil-safe;
+// quiescent-read only.
+func (inj *Injector) NodeCrashes() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.sum(func(sc *shardState) int64 { return sc.nodeCrashes })
+}
+
+// NodeRestarts reports scripted host-restart events fired. Nil-safe;
+// quiescent-read only.
+func (inj *Injector) NodeRestarts() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.sum(func(sc *shardState) int64 { return sc.nodeRestarts })
+}
+
+// SwitchFails reports scripted switch-failure events fired. Nil-safe;
+// quiescent-read only.
+func (inj *Injector) SwitchFails() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.sum(func(sc *shardState) int64 { return sc.switchFails })
+}
+
+// SwitchRecovers reports scripted switch-recovery events fired. Nil-safe;
+// quiescent-read only.
+func (inj *Injector) SwitchRecovers() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.sum(func(sc *shardState) int64 { return sc.switchRecovers })
+}

@@ -1,0 +1,65 @@
+package guard_test
+
+import (
+	"bytes"
+	"testing"
+
+	"mlcc/internal/guard"
+	"mlcc/internal/sim"
+	"mlcc/internal/topo"
+)
+
+// TestGuardShardedQuiescentReads arms the guard plane on a two-shard build
+// with a hair-trigger tick interval and reads its counters from a second
+// quiescent hook mid-run. The plane reads port pause state and host progress
+// probes across both shards every tick; under `go test -race` (the make-check
+// race sweep includes this package) this proves the quiescent-read contract —
+// no engine goroutine races the plane's cross-shard walks. The counters must
+// also be monotone across quiescent samples.
+func TestGuardShardedQuiescentReads(t *testing.T) {
+	p := topo.DefaultParams().WithAlgorithm(topo.AlgMLCC)
+	p.Seed = 1
+	p.HostsPerLeaf = 2
+	p.LongHaulDelay = 500 * sim.Microsecond
+	p.Shards = 2
+	p.Guard = &guard.Config{Every: 100 * sim.Microsecond}
+	n := topo.Dumbbell(p)
+	if n.ShardCount() != 2 {
+		t.Fatalf("ShardCount = %d, want 2", n.ShardCount())
+	}
+	if n.Guard == nil {
+		t.Fatal("guard plane not armed by P.Guard")
+	}
+	n.Guard.SetOutput(new(bytes.Buffer))
+
+	half := n.NumHosts() / 2
+	n.AddFlow(0, half, 4<<20, sim.Millisecond)
+	n.AddFlow(half+1, 1, 4<<20, sim.Millisecond)
+	n.AddFlow(0, 1, 1<<20, sim.Millisecond)
+
+	var samples int
+	var lastTicks int64
+	n.OnQuiescent(sim.Millisecond, func(now sim.Time) {
+		samples++
+		g := n.Guard
+		if g.Ticks < lastTicks {
+			t.Errorf("t=%v: Ticks went backwards: %d -> %d", now, lastTicks, g.Ticks)
+		}
+		lastTicks = g.Ticks
+		if g.Storms < 0 || g.Deadlocks < 0 || g.Stalls < 0 {
+			t.Errorf("t=%v: negative guard counter", now)
+		}
+		_ = g.Stalled()
+	})
+	n.Run(30 * sim.Millisecond)
+
+	if samples == 0 {
+		t.Fatal("quiescent hook never fired")
+	}
+	if n.Guard.Ticks == 0 {
+		t.Fatal("guard plane never ticked")
+	}
+	if stalled, reason := n.Halted(); stalled {
+		t.Fatalf("healthy run halted: %s", reason)
+	}
+}

@@ -132,6 +132,12 @@ type Host struct {
 	// Receiver side.
 	recv map[pkt.FlowID]*recvState
 
+	// Node-fault state: crashed marks the host powered off (NIC cable cut,
+	// sender-side state torn down); parked remembers each in-progress flow's
+	// acked prefix so Restart can rebuild its go-back-N state and resume.
+	crashed bool
+	parked  []parkedFlow
+
 	// OnFlowDone, if set, fires when this host (as receiver) sees a flow's
 	// last in-order byte.
 	OnFlowDone func(f *Flow)
@@ -168,6 +174,15 @@ type Host struct {
 	WatchdogDecays   int64 // rate halvings applied by the feedback-silence watchdog
 	WatchdogRecovers int64 // halvings unwound after feedback resumed
 	wdPeakShift      int   // deepest halving exponent any flow reached
+
+	// Node-fault counters.
+	Crashes  int64 // scripted power-loss events applied to this host
+	Restarts int64 // scripted restarts applied to this host
+
+	// ackedTotal accumulates cumulative-ack advances across all sender-side
+	// flows — monotone, so the guard plane's stall supervisor can use it as
+	// this host's progress signal.
+	ackedTotal int64
 }
 
 type sendState struct {
@@ -192,6 +207,14 @@ type recvState struct {
 	got     int64 // contiguous bytes received
 	lastCNP sim.Time
 	hasCNP  bool
+}
+
+// parkedFlow is a sender-side flow surviving a host crash: the acked prefix
+// is the transfer's durable checkpoint, from which Restart rebuilds go-back-N
+// state (next = acked) and resumes.
+type parkedFlow struct {
+	flow  *Flow
+	acked int64
 }
 
 // New constructs a host. Call Port to obtain its NIC port for connecting.
@@ -262,6 +285,8 @@ func (h *Host) RegisterMetrics(reg *metrics.Registry, prefix, alg string, perFlo
 	reg.CounterFunc(prefix+".fb_invalid_int", func() int64 { return h.InvalidINT })
 	reg.CounterFunc(prefix+".watchdog_decays", func() int64 { return h.WatchdogDecays })
 	reg.CounterFunc(prefix+".watchdog_recovers", func() int64 { return h.WatchdogRecovers })
+	reg.CounterFunc(prefix+".crashes", func() int64 { return h.Crashes })
+	reg.CounterFunc(prefix+".restarts", func() int64 { return h.Restarts })
 }
 
 // ID returns the host's node id.
@@ -285,8 +310,18 @@ func (h *Host) StartFlow(f *Flow) {
 	h.sending = append(h.sending, s)
 	h.byFlow[f.Info.ID] = s
 	if h.perFlow && h.reg != nil {
-		h.reg.GaugeFunc(fmt.Sprintf("cc.%s.flow%d.rate_bps", h.algName, f.Info.ID),
-			func() float64 { return float64(s.sender.Rate()) })
+		// The gauge resolves the current sendState by ID rather than capturing
+		// s: a host restart rebuilds the flow's go-back-N state, and the
+		// registry rejects duplicate names, so the one registration must
+		// follow the flow across rebuilds.
+		id := f.Info.ID
+		h.reg.GaugeFunc(fmt.Sprintf("cc.%s.flow%d.rate_bps", h.algName, id),
+			func() float64 {
+				if cur, ok := h.byFlow[id]; ok {
+					return float64(cur.sender.Rate())
+				}
+				return 0
+			})
 	}
 	h.armRTO(s)
 	h.port.Kick()
@@ -426,6 +461,15 @@ func (h *Host) onFeedback(p *pkt.Packet) {
 // discarded and counted rather than folded into estimator state; the frame's
 // other fields (cumulative ack, ECE) still apply.
 func (h *Host) deliverFeedback(p *pkt.Packet) {
+	if h.crashed {
+		// A frame the fault filter deferred before the host crashed: a dead
+		// host processes nothing, so it lands in the void — destroyed and
+		// counted like a filter drop, keeping the pool clean.
+		h.FBDropped++
+		h.aud.OnFeedbackDrop(p)
+		h.Pool.Put(p)
+		return
+	}
 	now := h.Eng.Now()
 	if len(p.Hops) > 0 && !cc.ValidINTStack(p.Hops) {
 		h.InvalidINT++
@@ -532,6 +576,7 @@ func (h *Host) onAck(p *pkt.Packet) {
 	}
 	if p.Seq > s.acked {
 		h.aud.OnAckAdvance(p.Flow, s.acked, p.Seq)
+		h.ackedTotal += p.Seq - s.acked
 		s.acked = p.Seq
 		s.progress = now
 		s.backoff = 0 // forward progress resets the backoff and the budget
@@ -722,4 +767,107 @@ func (h *Host) ReceivedBytes(id pkt.FlowID) int64 {
 		return rs.got
 	}
 	return 0
+}
+
+// Crash models a host power loss. The NIC cable is cut in both directions
+// through SetDown — which destroys in-flight frames at their would-be arrival
+// times, folds any open PFC pause interval into PausedTotal and clears the
+// pause state, so a crash while paused cannot strand PausedTotalAt
+// accounting. Sender-side go-back-N state is torn down pool-clean: pacing and
+// RTO timers cancel, CC senders close, queued control frames return to the
+// pool, and every in-progress flow parks with its acked prefix as the
+// checkpoint Restart resumes from. Flows stay un-Done and un-Aborted;
+// receiver-side reassembly state is retained (the acked prefix is durable on
+// both sides, mirroring the audit ledger's monotone replicas). Idempotent.
+func (h *Host) Crash() {
+	if h.crashed {
+		return
+	}
+	h.crashed = true
+	h.Crashes++
+	h.port.SetDown(true)
+	if peer := h.port.Peer(); peer != nil {
+		peer.SetDown(true)
+	}
+	h.wakeEv.Cancel()
+	for p := h.ctl.Pop(); p != nil; p = h.ctl.Pop() {
+		h.Pool.Put(p)
+	}
+	for _, s := range h.sending {
+		s.rtoEv.Cancel()
+		if closer, ok := s.sender.(interface{ Close() }); ok {
+			closer.Close()
+		}
+		h.parked = append(h.parked, parkedFlow{flow: s.flow, acked: s.acked})
+		delete(h.byFlow, s.flow.Info.ID)
+	}
+	h.sending = h.sending[:0]
+	h.rr = 0
+}
+
+// Restart powers a crashed host back on: the NIC comes up in both directions
+// and every parked flow's go-back-N state is rebuilt from its acked
+// checkpoint — next = acked, a fresh CC sender, zeroed RTO backoff and
+// retransmission budget. The audit ledger is NOT re-told about the flow
+// (OnFlowStart twice is a violation); the rebuilt state resumes the same
+// transfer. The progress and watchdog clocks restart when the first frame
+// reopens the window (see emit), so time spent crashed never reads as a
+// stall. A flow the receiver completed while the host was down stays torn
+// down. Idempotent.
+func (h *Host) Restart() {
+	if !h.crashed {
+		return
+	}
+	h.crashed = false
+	h.Restarts++
+	h.port.SetDown(false)
+	if peer := h.port.Peer(); peer != nil {
+		peer.SetDown(false)
+	}
+	now := h.Eng.Now()
+	for _, pf := range h.parked {
+		f := pf.flow
+		if f.Done || f.Aborted {
+			continue
+		}
+		s := &sendState{
+			flow:     f,
+			sender:   h.newSender(f.Info),
+			next:     pf.acked,
+			acked:    pf.acked,
+			nextTime: now,
+			progress: now,
+			lastFB:   now,
+		}
+		s.rtoFn = func() { h.checkRTO(s) }
+		h.sending = append(h.sending, s)
+		h.byFlow[f.Info.ID] = s
+		h.armRTO(s)
+	}
+	h.parked = nil
+	h.port.Kick()
+}
+
+// Crashed reports whether the host is currently powered off.
+func (h *Host) Crashed() bool { return h.crashed }
+
+// ParkedFlows reports sender-side flows parked by a crash (tests).
+func (h *Host) ParkedFlows() int { return len(h.parked) }
+
+// AckedBytes reports cumulative acknowledged payload bytes across all of this
+// host's sender-side flows — monotone across crashes and restarts. This is
+// the guard plane's progress signal (guard.Progress).
+func (h *Host) AckedBytes() int64 { return h.ackedTotal }
+
+// OutstandingBytes reports un-acked bytes inside the go-back-N windows of
+// active sender-side flows. Parked (crashed) and finished flows contribute
+// nothing. This is the guard plane's "work exists" signal (guard.Progress).
+func (h *Host) OutstandingBytes() int64 {
+	var sum int64
+	for _, s := range h.sending {
+		if s.next > s.acked {
+			sum += s.next - s.acked
+		}
+	}
+	return sum
 }

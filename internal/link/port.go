@@ -347,6 +347,11 @@ func (p *Port) drainInbox() {
 // Peer returns the other end of the link, or nil if unconnected.
 func (p *Port) Peer() *Port { return p.peer }
 
+// Cross reports whether this port is one end of a cross-shard link (the peer
+// lives on another engine). Node-fault resolution uses this to decide which
+// engine must own each end's state changes.
+func (p *Port) Cross() bool { return p.cross }
+
 // Busy reports whether the transmitter is mid-frame.
 func (p *Port) Busy() bool { return p.busy }
 

@@ -45,6 +45,13 @@ type Snapshot struct {
 	Running bool
 	Shards  int
 
+	// Stalled and StallReason surface a guard-plane halt: the run stopped
+	// making progress and was gracefully aborted (see internal/guard).
+	// /healthz exposes the flag so a poller distinguishes "idle between
+	// publishes" from "diagnosed stall".
+	Stalled     bool
+	StallReason string
+
 	// Points is the registry snapshot backing /metrics.
 	Points []metrics.Point
 
@@ -114,12 +121,15 @@ func (s *Server) PublishNetwork(n *topo.Network, running bool) {
 		return
 	}
 	tel := n.P.Telemetry
+	halted, reason := n.Halted()
 	snap := &Snapshot{
 		Now:         n.Now(),
 		Fired:       n.Fired(),
 		Pending:     n.PendingEvents(),
 		Running:     running,
 		Shards:      n.ShardCount(),
+		Stalled:     halted,
+		StallReason: reason,
 		Points:      tel.Registry().Snapshot(),
 		Events:      tel.FlightEvents(),
 		FlightTotal: tel.FlightRecorded(),
@@ -224,8 +234,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok epoch=0")
 		return
 	}
-	fmt.Fprintf(w, "ok epoch=%d sim_ms=%.3f events=%d running=%v shards=%d\n",
-		snap.Epoch, snap.Now.Millis(), snap.Fired, snap.Running, snap.Shards)
+	fmt.Fprintf(w, "ok epoch=%d sim_ms=%.3f events=%d running=%v shards=%d stalled=%v\n",
+		snap.Epoch, snap.Now.Millis(), snap.Fired, snap.Running, snap.Shards, snap.Stalled)
 }
 
 // promName maps a dotted registry name onto the Prometheus grammar
@@ -255,6 +265,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{Name: "mlcc_sim_events_pending", Value: float64(snap.Pending), Kind: metrics.PointGauge},
 		{Name: "mlcc_sim_running", Value: boolVal(snap.Running), Kind: metrics.PointGauge},
 		{Name: "mlcc_sim_shards", Value: float64(snap.Shards), Kind: metrics.PointGauge},
+		{Name: "mlcc_sim_stalled", Value: boolVal(snap.Stalled), Kind: metrics.PointGauge},
 		{Name: "mlcc_flight_recorded_total", Value: float64(snap.FlightTotal), Kind: metrics.PointCounter},
 		{Name: "mlcc_obs_snapshot_epoch", Value: float64(snap.Epoch), Kind: metrics.PointCounter},
 	}

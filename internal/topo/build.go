@@ -120,6 +120,7 @@ func TwoDC(p Params) *Network {
 	n.applyTelemetry()
 	n.applyFaults()
 	n.applyAudit()
+	n.applyGuard()
 	return n
 }
 
@@ -175,6 +176,7 @@ func Dumbbell(p Params) *Network {
 	n.applyTelemetry()
 	n.applyFaults()
 	n.applyAudit()
+	n.applyGuard()
 	return n
 }
 

@@ -5,8 +5,10 @@ import (
 	"strconv"
 	"strings"
 
+	"mlcc/internal/fabric"
 	"mlcc/internal/fault"
 	"mlcc/internal/link"
+	"mlcc/internal/sim"
 )
 
 // LinkByName resolves a fault-plan link name to its two ports. Names:
@@ -86,11 +88,105 @@ func (n *Network) LinkByName(name string) (fault.Link, error) {
 	return bad()
 }
 
+// NodeHooksByName resolves a fault-plan node name to its fault surface.
+// Names select whole devices: "host<i>", "leaf<i>", "spine<i>", "dci<i>".
+// Hosts and intra-DC switches resolve to a single hook on their home engine —
+// every cable they touch stays inside one shard, so Crash/Fail can cut both
+// ends directly. A DCI switch on a sharded build gains a second hook on the
+// peer shard's engine that cuts/restores the remote end of the long-haul
+// cable at the same absolute time, mirroring the per-direction ownership
+// scheme scripted link events use (cut-at-delivery epochs stay faithful
+// because both directions transition at identical times).
+func (n *Network) NodeHooksByName(name string) (*fault.NodeHooks, error) {
+	bad := func() (*fault.NodeHooks, error) {
+		return nil, fmt.Errorf("topo: unknown node %q", name)
+	}
+	idx := func(rest string, count int) (int, bool) {
+		i, err := strconv.Atoi(rest)
+		return i, err == nil && i >= 0 && i < count
+	}
+	if rest, ok := strings.CutPrefix(name, "host"); ok {
+		i, ok := idx(rest, n.NumHosts())
+		if !ok {
+			return bad()
+		}
+		h := n.Hosts[i]
+		return &fault.NodeHooks{
+			ID:   int32(n.HostID(i)),
+			Kind: fault.NodeHost,
+			Engs: []*sim.Engine{n.engOf(n.DC(i))},
+			Apply: []func(fault.NodeAction){func(act fault.NodeAction) {
+				if act == fault.HostCrash {
+					h.Crash()
+				} else {
+					h.Restart()
+				}
+			}},
+		}, nil
+	}
+	swHooks := func(sw *fabric.Switch, id int32) *fault.NodeHooks {
+		return &fault.NodeHooks{
+			ID:   id,
+			Kind: fault.NodeSwitch,
+			Engs: []*sim.Engine{sw.Eng},
+			Apply: []func(fault.NodeAction){func(act fault.NodeAction) {
+				if act == fault.SwitchFail {
+					sw.Fail()
+				} else {
+					sw.Recover()
+				}
+			}},
+		}
+	}
+	switch {
+	case strings.HasPrefix(name, "leaf"):
+		i, ok := idx(name[len("leaf"):], len(n.Leaves))
+		if !ok {
+			return bad()
+		}
+		return swHooks(n.Leaves[i], int32(leafIDBase+i)), nil
+	case strings.HasPrefix(name, "spine"):
+		i, ok := idx(name[len("spine"):], len(n.Spines))
+		if !ok {
+			return bad()
+		}
+		return swHooks(n.Spines[i], int32(spineIDBase+i)), nil
+	case strings.HasPrefix(name, "dci"):
+		i, ok := idx(name[len("dci"):], len(n.DCIs))
+		if !ok {
+			return bad()
+		}
+		d := n.DCIs[i]
+		nh := swHooks(d.Switch, int32(dciIDBase+i))
+		lhIdx := n.P.SpinesPerDC
+		if n.Dumbbell {
+			lhIdx = 1
+		}
+		// The long-haul peer hook is scheduled on EVERY layout, not just
+		// sharded ones: the digest folds the fired-event count, so the event
+		// schedule must be layout-invariant (exactly as scripted link events
+		// schedule one event per direction everywhere). On a single-engine
+		// build Fail/Recover already cut/restore the peer end inline (the
+		// link is not cross), so the hook fires as an idempotent no-op; on a
+		// sharded build Fail skips the cross peer and this hook performs the
+		// transition on the engine that owns it, at the same absolute time.
+		if lh := d.Port(lhIdx); lh.Peer() != nil {
+			peer := lh.Peer()
+			nh.Engs = append(nh.Engs, peer.Eng)
+			nh.Apply = append(nh.Apply, func(act fault.NodeAction) {
+				peer.SetDown(act == fault.SwitchFail)
+			})
+		}
+		return nh, nil
+	}
+	return bad()
+}
+
 // applyFaults installs P.Fault on the built network. A broken plan (unknown
 // link, invalid rule) is a programming error on par with a routing hole, so
 // it panics rather than limping along with a partially applied plan.
 func (n *Network) applyFaults() {
-	inj, err := fault.Apply(n.P.Fault, n.LinkByName, n.Engines, n.P.Telemetry)
+	inj, err := fault.Apply(n.P.Fault, n.LinkByName, n.NodeHooksByName, n.Engines, n.P.Telemetry)
 	if err != nil {
 		panic(fmt.Sprintf("topo: bad fault plan: %v", err))
 	}

@@ -1,0 +1,180 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mlcc/internal/audit"
+	"mlcc/internal/fault"
+	"mlcc/internal/guard"
+	"mlcc/internal/host"
+	"mlcc/internal/sim"
+)
+
+// nodeTestParams is the shared geometry for the node-fault tests: a small
+// dumbbell (hosts 0,1 = DC 0; hosts 2,3 = DC 1) with a short long haul so
+// RTO and guard windows stay in the low milliseconds.
+func nodeTestParams(alg string) Params {
+	p := DefaultParams().WithAlgorithm(alg)
+	p.Seed = 1
+	p.HostsPerLeaf = 2
+	p.LongHaulDelay = 100 * sim.Microsecond
+	return p
+}
+
+// TestHostCrashRestartResumes pins the go-back-N restart semantics: a host
+// crashed mid-window parks its flow on the acked prefix and, after restart,
+// rebuilds the send state from that checkpoint and finishes the transfer —
+// no abort, no duplicate ledger entries, books closed.
+func TestHostCrashRestartResumes(t *testing.T) {
+	p := nodeTestParams(AlgMLCC)
+	p.Audit = audit.New()
+	p.Fault = &fault.Plan{Seed: 1, Nodes: []fault.NodeEvent{
+		{At: sim.Millisecond, Node: "host0", Action: fault.HostCrash},
+		{At: 2 * sim.Millisecond, Node: "host0", Action: fault.HostRestart},
+	}}
+	n := Dumbbell(p)
+	f := n.AddFlow(0, 1, 8<<20, 500*sim.Microsecond)
+	n.Run(60 * sim.Millisecond)
+
+	h := n.Hosts[0]
+	if h.Crashes != 1 || h.Restarts != 1 {
+		t.Fatalf("host0 crash/restart counters = %d/%d, want 1/1", h.Crashes, h.Restarts)
+	}
+	if h.Crashed() || h.ParkedFlows() != 0 {
+		t.Fatalf("host0 still crashed=%v with %d parked flows after restart", h.Crashed(), h.ParkedFlows())
+	}
+	if !f.Done || f.Aborted {
+		t.Fatalf("flow done=%v aborted=%v after crash+restart, want resumed to completion", f.Done, f.Aborted)
+	}
+	if f.FinishAt <= 2*sim.Millisecond {
+		t.Errorf("flow finished at %v, before the restart at 2ms — crash never bit", f.FinishAt)
+	}
+	if got := n.Hosts[1].ReceivedBytes(f.Info.ID); got != f.Info.Size {
+		t.Errorf("receiver got %d/%d bytes", got, f.Info.Size)
+	}
+	if inj := n.Faults; inj.NodeCrashes() != 1 || inj.NodeRestarts() != 1 {
+		t.Errorf("injector node counters = %d/%d, want 1/1", inj.NodeCrashes(), inj.NodeRestarts())
+	}
+	if probs := n.AuditProblems(); len(probs) != 0 {
+		t.Errorf("conservation problems after crash+restart: %v", probs)
+	}
+}
+
+// TestHostCrashParkedNoStall pins the progress-clock contract: a parked
+// (crashed) flow contributes no outstanding bytes, so a blackout many times
+// longer than the stall window must NOT trip the progress supervisor — the
+// clock restarts when the rebuilt window reopens, and the transfer still
+// completes.
+func TestHostCrashParkedNoStall(t *testing.T) {
+	p := nodeTestParams(AlgMLCC)
+	p.Guard = &guard.Config{StallK: 4} // stall window ≈ 4×CrossRTT ≈ 0.9 ms
+	p.Fault = &fault.Plan{Seed: 1, Nodes: []fault.NodeEvent{
+		{At: sim.Millisecond, Node: "host0", Action: fault.HostCrash},
+		{At: 21 * sim.Millisecond, Node: "host0", Action: fault.HostRestart},
+	}}
+	n := Dumbbell(p)
+	n.Guard.SetOutput(new(bytes.Buffer))
+	f := n.AddFlow(0, 1, 4<<20, 500*sim.Microsecond)
+	n.Run(60 * sim.Millisecond)
+
+	if n.Guard.Stalls != 0 {
+		t.Errorf("guard counted %d stalls across a 20 ms parked blackout, want 0", n.Guard.Stalls)
+	}
+	if halted, reason := n.Halted(); halted {
+		t.Errorf("run halted during a survivable crash: %s", reason)
+	}
+	if !f.Done || f.Aborted {
+		t.Errorf("flow done=%v aborted=%v, want completed after restart", f.Done, f.Aborted)
+	}
+}
+
+// TestSwitchFailRecoverAuditClean pins the switch-failure path end to end: the
+// DCI drains its buffered frames into the ledger at Fail (so the books still
+// close), go-back-N rides the blackout on RTO retransmissions, and the flow
+// completes after Recover.
+func TestSwitchFailRecoverAuditClean(t *testing.T) {
+	// A Clos build under DCQCN: two 100G spine feeds funnel into the 100G
+	// long haul and the rate controller is still ramping at 1.5 ms, so dci0
+	// carries a multi-megabyte standing queue when the blackout lands and
+	// Fail has real frames to fold into the ledger. (The dumbbell can never
+	// queue at the DCI — one 100G in, one 100G out — and MLCC's near-source
+	// loop would keep it drained anyway, which is the paper's point.)
+	p := nodeTestParams(AlgDCQCN)
+	p.Audit = audit.New()
+	p.SpinesPerDC = 2
+	p.LeavesPerDC = 2
+	p.HostsPerLeaf = 4
+	p.Fault = &fault.Plan{Seed: 1, Nodes: []fault.NodeEvent{
+		{At: 1500 * sim.Microsecond, Node: "dci0", Action: fault.SwitchFail},
+		{At: 5 * sim.Millisecond, Node: "dci0", Action: fault.SwitchRecover},
+	}}
+	n := TwoDC(p)
+	half := n.NumHosts() / 2
+	var crosses []*host.Flow
+	for i := 0; i < 6; i++ {
+		crosses = append(crosses, n.AddFlow(i, half+i, 4<<20,
+			500*sim.Microsecond+sim.Time(i)*10*sim.Microsecond))
+	}
+	intra := n.AddFlow(half+6, half+7, 1<<20, sim.Millisecond)
+	n.Run(100 * sim.Millisecond)
+
+	d := n.DCIs[0]
+	if d.Fails != 1 || d.Recovers != 1 || d.Failed() {
+		t.Fatalf("dci0 fails/recovers/failed = %d/%d/%v, want 1/1/false", d.Fails, d.Recovers, d.Failed())
+	}
+	if d.Drained == 0 {
+		t.Error("dci0 drained no frames at Fail — the blackout hit an empty switch, scenario too weak")
+	}
+	if inj := n.Faults; inj.SwitchFails() != 1 || inj.SwitchRecovers() != 1 {
+		t.Errorf("injector switch counters = %d/%d, want 1/1", inj.SwitchFails(), inj.SwitchRecovers())
+	}
+	for i, c := range crosses {
+		if !c.Done || c.Aborted {
+			t.Errorf("cross flow %d done=%v aborted=%v, want ridden through on RTO", i, c.Done, c.Aborted)
+		}
+	}
+	if !intra.Done {
+		t.Errorf("DC-1 intra flow did not complete — a dci0 failure must not strand the far DC")
+	}
+	if n.Hosts[0].Retransmits == 0 {
+		t.Error("no retransmissions across a 3 ms switch blackout — go-back-N never engaged")
+	}
+	if probs := n.AuditProblems(); len(probs) != 0 {
+		t.Errorf("conservation problems after fail+drain+recover: %v", probs)
+	}
+}
+
+// TestGuardStallHaltsRun pins the progress supervisor's teeth in-sim: a
+// permanent DCI blackout with an unbounded retransmission budget freezes
+// acked bytes while the window stays open, so the guard must dump, count one
+// stall and halt the run long before its deadline.
+func TestGuardStallHaltsRun(t *testing.T) {
+	p := nodeTestParams(AlgMLCC)
+	p.MaxRetrans = -1 // retry forever: nothing aborts, the run just goes nowhere
+	p.RTOMin = 50 * sim.Millisecond
+	p.RTOMax = 50 * sim.Millisecond // first rewind far beyond the stall window
+	p.Guard = &guard.Config{StallK: 16} // ≈ 3.5 ms of silence at this geometry
+	p.Fault = &fault.Plan{Seed: 1, Nodes: []fault.NodeEvent{
+		{At: 2 * sim.Millisecond, Node: "dci0", Action: fault.SwitchFail},
+	}}
+	n := Dumbbell(p)
+	n.Guard.SetOutput(new(bytes.Buffer))
+	n.AddFlow(0, 2, 4<<20, 500*sim.Microsecond)
+	n.Run(200 * sim.Millisecond)
+
+	halted, reason := n.Halted()
+	if !halted {
+		t.Fatalf("run idled to its deadline (now=%v) instead of halting on the stall", n.Now())
+	}
+	if !strings.Contains(reason, "progress stalled") {
+		t.Errorf("halt reason %q does not describe the stall", reason)
+	}
+	if n.Guard.Stalls != 1 {
+		t.Errorf("guard counted %d stalls, want exactly 1", n.Guard.Stalls)
+	}
+	if n.Now() >= 50*sim.Millisecond {
+		t.Errorf("halt landed at %v — after the first RTO rewind, not on the guard's clock", n.Now())
+	}
+}

@@ -1,0 +1,60 @@
+package topo
+
+import (
+	"fmt"
+
+	"mlcc/internal/guard"
+	"mlcc/internal/link"
+	"mlcc/internal/metrics"
+)
+
+// applyGuard arms P.Guard on the built network: every device becomes a
+// wait-for-graph node (its ports monitored for pause storms), every host a
+// progress probe, and the plane ticks as a quiescent hook — reading across
+// shards with all engines parked, exactly like telemetry sampling. The
+// plane's counters register under "guard.*" when telemetry is wired, its
+// dumps merge the per-shard flight-recorder rings, and its stall supervisor
+// requests a graceful Run halt. Defaults scale with the cross-DC RTT, the
+// topology's largest base RTT.
+func (n *Network) applyGuard() {
+	if n.P.Guard == nil {
+		return
+	}
+	var nodes []*guard.Node
+	for i, h := range n.Hosts {
+		nodes = append(nodes, &guard.Node{
+			ID:    int32(n.HostID(i)),
+			Name:  fmt.Sprintf("host%d", i),
+			Ports: []*link.Port{h.Port()},
+		})
+	}
+	swNode := func(id int32, name string, numPorts int, port func(int) *link.Port) {
+		nd := &guard.Node{ID: id, Name: name}
+		for p := 0; p < numPorts; p++ {
+			nd.Ports = append(nd.Ports, port(p))
+		}
+		nodes = append(nodes, nd)
+	}
+	for i, sw := range n.Leaves {
+		swNode(int32(leafIDBase+i), fmt.Sprintf("leaf%d", i), sw.NumPorts(), sw.Port)
+	}
+	for i, sw := range n.Spines {
+		swNode(int32(spineIDBase+i), fmt.Sprintf("spine%d", i), sw.NumPorts(), sw.Port)
+	}
+	for i, d := range n.DCIs {
+		swNode(int32(dciIDBase+i), fmt.Sprintf("dci%d", i), d.NumPorts(), d.Port)
+	}
+	probes := make([]guard.Progress, len(n.Hosts))
+	for i, h := range n.Hosts {
+		probes[i] = h
+	}
+	var frs []*metrics.FlightRecorder
+	if tel := n.P.Telemetry; tel != nil {
+		frs = tel.ShardRecorders(n.shards)
+	}
+	n.Guard = guard.New(*n.P.Guard, n.CrossRTT(), nodes, probes, frs, n.RequestHalt)
+	if tel := n.P.Telemetry; tel != nil {
+		n.Guard.RegisterMetrics(tel.Registry(), "guard")
+	}
+	n.OnQuiescent(n.Guard.Every(), n.Guard.Tick)
+}

@@ -15,6 +15,7 @@ import (
 	"mlcc/internal/dci"
 	"mlcc/internal/fabric"
 	"mlcc/internal/fault"
+	"mlcc/internal/guard"
 	"mlcc/internal/host"
 	"mlcc/internal/link"
 	"mlcc/internal/metrics"
@@ -93,6 +94,16 @@ type Params struct {
 	// link flaps and degradation plus Bernoulli loss rules, all on seeded
 	// PRNG streams (see internal/fault). Nil or empty perturbs nothing.
 	Fault *fault.Plan
+
+	// Guard, when non-nil, arms the runtime-invariant plane: a PFC
+	// pause-storm watchdog, a pause-cycle deadlock detector and a global
+	// progress supervisor, all ticking at quiescent points (see
+	// internal/guard). Zero fields in the config take defaults scaled by the
+	// topology's cross-DC RTT. The plane is read-only: an armed but
+	// untriggered guard leaves the run bit-identical, digests included. A
+	// progress stall requests a graceful halt — Run returns early and
+	// Halted() reports why.
+	Guard *guard.Config
 
 	// Audit, when non-nil, is wired through every component at build time:
 	// hosts and switches report packet fates into the conservation ledger
@@ -185,6 +196,9 @@ type Network struct {
 	// empty).
 	Faults *fault.Injector
 
+	// Guard is the armed runtime-invariant plane (nil when P.Guard is nil).
+	Guard *guard.Plane
+
 	HostsPerDC int
 	Dumbbell   bool
 
@@ -200,6 +214,12 @@ type Network struct {
 	// crossA/crossB are the long-haul cross-shard mailbox ports, flushed in
 	// fixed A→B order at every barrier (nil on single-engine builds).
 	crossA, crossB *link.Port
+
+	// halted/haltReason record a graceful diagnostic abort requested by the
+	// guard plane (or any quiescent hook): Run stops at the next quiescent
+	// boundary instead of advancing to its deadline.
+	halted     bool
+	haltReason string
 }
 
 // NumHosts reports the total host count.
@@ -436,8 +456,13 @@ func (n *Network) runTo(t sim.Time) {
 
 // Run advances the simulation to the given time, pausing at every quiescent
 // hook boundary on the way (see OnQuiescent). Without hooks this is a single
-// uninterrupted advance.
+// uninterrupted advance. A halt requested by a hook (the guard plane's
+// progress supervisor) stops the advance at that boundary; further Run calls
+// are no-ops.
 func (n *Network) Run(until sim.Time) {
+	if n.halted {
+		return
+	}
 	if len(n.qhooks) == 0 {
 		n.runTo(until)
 		return
@@ -457,11 +482,25 @@ func (n *Network) Run(until sim.Time) {
 				h.next += h.every
 			}
 		}
-		if next >= until {
+		if n.halted || next >= until {
 			return
 		}
 	}
 }
+
+// RequestHalt asks Run to stop at the current quiescent boundary with a
+// diagnostic reason — the guard plane's graceful abort path. First reason
+// wins; later requests are ignored.
+func (n *Network) RequestHalt(reason string) {
+	if n.halted {
+		return
+	}
+	n.halted = true
+	n.haltReason = reason
+}
+
+// Halted reports whether a graceful diagnostic abort was requested, and why.
+func (n *Network) Halted() (bool, string) { return n.halted, n.haltReason }
 
 // NodeName maps a flight-recorder node id to its topology name ("host3",
 // "leaf0", "spine1", "dci0"), following the NodeID layout the builder uses:

@@ -38,6 +38,7 @@ import (
 	"mlcc/internal/audit"
 	"mlcc/internal/exp"
 	"mlcc/internal/fault"
+	"mlcc/internal/guard"
 	"mlcc/internal/host"
 	"mlcc/internal/metrics"
 	"mlcc/internal/obs"
@@ -68,6 +69,22 @@ const (
 	Restore  = fault.Restore  // clear a degradation
 )
 
+// FaultNodeEvent is one timed whole-device fault in a FaultPlan: a host
+// crash/restart or a switch failure/recovery, addressed by topology node
+// name ("host3", "leaf0", "spine1", "dci0").
+type FaultNodeEvent = fault.NodeEvent
+
+// FaultNodeAction selects what a FaultNodeEvent does to its node.
+type FaultNodeAction = fault.NodeAction
+
+// Node-fault actions.
+const (
+	HostCrash     = fault.HostCrash     // host dies: in-flight flows park, NIC link cut
+	HostRestart   = fault.HostRestart   // host returns: parked transfers resume from the acked prefix
+	SwitchFail    = fault.SwitchFail    // switch dies: queues drain to the ledger, every cable cut
+	SwitchRecover = fault.SwitchRecover // switch returns: ports restored, buffers empty
+)
+
 // FaultFeedbackRule is one windowed reverse-path rule in a FaultPlan: it
 // drops, delays/jitters, or corrupts ACK/CNP/Switch-INT frames at the
 // matched hosts' feedback ingress. Host selectors use the topology
@@ -96,6 +113,13 @@ const (
 	CorruptGarbage  = fault.CorruptGarbage  // garbage QLen/TxBytes/Band on one hop
 	CorruptAllModes = fault.CorruptAllModes
 )
+
+// GuardConfig tunes the runtime-invariant guard plane (Config.Guard): the
+// PFC pause-storm watchdog, the pause-cycle deadlock detector and the global
+// progress (stall) supervisor. The zero value means "armed with defaults";
+// every field defaults from the topology's cross-DC RTT. See DESIGN.md,
+// "Node faults & guard plane".
+type GuardConfig = guard.Config
 
 // DefaultFBWatchdogK is the recommended Config.FBWatchdogK when running
 // under feedback faults: conservative enough to ride out transient
@@ -259,12 +283,24 @@ type Config struct {
 	Scenario *ScenarioPlan
 
 	// Fault, when non-nil, injects the scripted link faults (flaps,
-	// degradation, loss) and feedback-plane faults (ACK/CNP/Switch-INT
-	// loss, delay, INT corruption) during the run. Link names resolve
+	// degradation, loss), feedback-plane faults (ACK/CNP/Switch-INT loss,
+	// delay, INT corruption) and node faults (host crash/restart, switch
+	// failure/recovery) during the run. Link and node names resolve
 	// against the selected topology; "longhaul" is always the inter-DC
 	// link. Nil costs nothing and leaves the simulation bit-identical to a
 	// fault-free run.
 	Fault *FaultPlan
+
+	// Guard, when non-nil, arms the runtime-invariant guard plane: a PFC
+	// pause-storm watchdog per port, a pause-cycle deadlock detector over
+	// the paused-port wait-for graph, and a global progress supervisor
+	// that dumps the flight recorder and halts the run gracefully when no
+	// acked byte moves anywhere for StallK·maxRTT with data outstanding.
+	// The plane is read-only and ticks only at quiescent points: arming it
+	// never perturbs the event schedule, and an armed-but-untriggered
+	// guard leaves the run bit-identical to an unguarded one. &GuardConfig{}
+	// arms it with defaults scaled by the cross-DC RTT.
+	Guard *GuardConfig
 
 	// FBWatchdogK arms the per-flow feedback-silence watchdog: with data
 	// outstanding and no feedback for K round-trips, the host halves the
@@ -282,10 +318,10 @@ type Config struct {
 	Telemetry *Telemetry
 
 	// Audit enables the end-to-end conservation ledger (internal/audit):
-	// every injected byte is accounted against its fate and the run panics
-	// (flight-recorder dump included when Telemetry records one) on any
-	// conservation violation at run end. Off (the default) costs nothing
-	// and leaves the simulation bit-identical.
+	// every injected byte is accounted against its fate and any
+	// conservation violation at run end is reported in
+	// Result.AuditProblems (Result.Audit then stays empty). Off (the
+	// default) costs nothing and leaves the simulation bit-identical.
 	Audit bool
 
 	// Obs, when non-nil, serves the run live: the server republishes a
@@ -324,6 +360,13 @@ type Result struct {
 	// FaultDrops counts frames destroyed by the fault layer (down-link
 	// discards plus Bernoulli loss); 0 when no plan was attached.
 	FaultDrops int64
+
+	// NodeCrashes/NodeRestarts/SwitchFails/SwitchRecovers count node-fault
+	// events fired by the plan; all 0 without node events.
+	NodeCrashes    int64
+	NodeRestarts   int64
+	SwitchFails    int64
+	SwitchRecovers int64
 
 	// FBDrops and FBCorrupts count feedback frames destroyed and INT
 	// stacks damaged by the plan's feedback rules; 0 without one.
@@ -371,9 +414,26 @@ type Result struct {
 	Collectives []CollectiveStatus
 
 	// Audit is the conservation ledger's one-line fate summary when
-	// Config.Audit was set ("" otherwise). A populated summary means the
-	// run passed every conservation check — violations panic instead.
+	// Config.Audit was set and every conservation check passed ("" when
+	// auditing was off or a check failed — see AuditProblems).
 	Audit string
+
+	// AuditProblems lists the conservation violations found at run end
+	// when Config.Audit was set; nil when auditing was off or the books
+	// closed clean. cmd/mlccsim and cmd/mlccfig exit non-zero on any.
+	AuditProblems []string
+
+	// Stalled reports that the guard plane's progress supervisor halted
+	// the run (StallReason says why); always false without Config.Guard.
+	Stalled     bool
+	StallReason string
+
+	// GuardStorms/GuardDeadlocks/GuardStalls count guard-plane detections
+	// (rising edges, pause cycles, progress stalls); all 0 without
+	// Config.Guard.
+	GuardStorms    int64
+	GuardDeadlocks int64
+	GuardStalls    int64
 }
 
 // Run executes one workload simulation and returns its summary.
@@ -440,6 +500,10 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("mlcc: %w", err)
 		}
 		p.Fault = cfg.Fault
+	}
+	if cfg.Guard != nil {
+		g := *cfg.Guard
+		p.Guard = &g
 	}
 	if sc != nil {
 		if fp := sc.FaultPlan(p.Fault); fp != p.Fault {
@@ -523,7 +587,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	t0 := time.Now()
 	n.Run(cfg.Deadline)
-	n.MustAudit()
+	auditProblems := n.AuditProblems()
 
 	// Collect completions post-run in flow-ID order rather than via
 	// OnFlowDone/OnFlowAbort closures: on a sharded build the closures
@@ -578,6 +642,11 @@ func Run(cfg Config) (*Result, error) {
 			m.Config["fault_events"] = len(cfg.Fault.Events)
 			m.Config["fault_loss_rules"] = len(cfg.Fault.Loss)
 			m.Config["fault_feedback_rules"] = len(cfg.Fault.Feedback)
+			m.Config["fault_node_events"] = len(cfg.Fault.Nodes)
+		}
+		if cfg.Guard != nil {
+			m.Config["guard"] = true
+			m.Config["guard_stall_k"] = cfg.Guard.StallK
 		}
 		if cfg.FBWatchdogK > 0 {
 			m.Config["fb_watchdog_k"] = cfg.FBWatchdogK
@@ -595,8 +664,21 @@ func Run(cfg Config) (*Result, error) {
 		res.Collectives = runner.Statuses()
 	}
 	if cfg.Audit {
-		res.Audit = n.Audit().Summary()
+		res.AuditProblems = auditProblems
+		if len(auditProblems) == 0 {
+			res.Audit = n.Audit().Summary()
+		}
 	}
+	res.Stalled, res.StallReason = n.Halted()
+	if g := n.Guard; g != nil {
+		res.GuardStorms = g.Storms
+		res.GuardDeadlocks = g.Deadlocks
+		res.GuardStalls = g.Stalls
+	}
+	res.NodeCrashes = n.Faults.NodeCrashes()
+	res.NodeRestarts = n.Faults.NodeRestarts()
+	res.SwitchFails = n.Faults.SwitchFails()
+	res.SwitchRecovers = n.Faults.SwitchRecovers()
 	for _, h := range n.Hosts {
 		res.Aborted += int(h.Aborted)
 		res.InvalidINT += h.InvalidINT
